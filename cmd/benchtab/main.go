@@ -1,0 +1,90 @@
+// Command benchtab regenerates every evaluation artifact of the paper —
+// the figures, worked examples, and bound tables — as markdown tables.
+//
+// Usage:
+//
+//	benchtab           # run every experiment
+//	benchtab -exp thm5 # run one experiment (fig1..fig5, ex1, ex3, ex6,
+//	                   # thm1, lower, thm4, thm5, thm6, thm7, cor1, cor2,
+//	                   # lem2, zoo, ablation, congestion)
+//	benchtab -tsv      # tab-separated output instead of markdown
+//
+// Experiment ids match DESIGN.md's per-experiment index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sparsehypercube/internal/analysis"
+)
+
+type experiment struct {
+	id  string
+	run func(tsv bool)
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (or 'all')")
+	tsv := flag.Bool("tsv", false, "emit TSV instead of markdown")
+	flag.Parse()
+
+	experiments := []experiment{
+		{"fig1", func(t bool) { emit(analysis.RunFig1(8), t) }},
+		{"fig2", func(t bool) { emit(analysis.RunFig2(), t) }},
+		{"fig3", func(t bool) { emit(analysis.RunFig3(), t) }},
+		{"fig4", func(t bool) {
+			tb, formatted := analysis.RunFig4()
+			emit(tb, t)
+			fmt.Println(formatted)
+		}},
+		{"fig5", func(t bool) { fmt.Println("### EXP-FIG5 — window partition (Fig. 5)\n\n" + analysis.RunFig5()) }},
+		{"ex1", func(t bool) { emit(analysis.RunEx1(), t) }},
+		{"ex3", func(t bool) { emit(analysis.RunEx3(), t) }},
+		{"ex6", func(t bool) { emit(analysis.RunEx6(), t) }},
+		{"thm1", func(t bool) { emit(analysis.RunFig1(9), t) }},
+		{"lower", func(t bool) { emit(analysis.RunLowerBounds(40), t) }},
+		{"thm4", func(t bool) { emit(analysis.RunThm4(9), t) }},
+		{"thm5", func(t bool) { emit(analysis.RunThm5(40), t) }},
+		{"thm6", func(t bool) { emit(analysis.RunThm6(), t) }},
+		{"thm7", func(t bool) { emit(analysis.RunThm7(40), t) }},
+		{"cor1", func(t bool) { emit(analysis.RunCor1(40), t) }},
+		{"cor2", func(t bool) { emit(analysis.RunCor2(32), t) }},
+		{"lem2", func(t bool) { emit(analysis.RunLem2(16), t) }},
+		{"zoo", func(t bool) { emit(analysis.RunZoo(), t) }},
+		{"permzoo", func(t bool) { emit(analysis.RunPermZoo(), t) }},
+		{"ablation", func(t bool) { emit(analysis.RunAblation(12), t) }},
+		{"congestion", func(t bool) { emit(analysis.RunCongestion(), t) }},
+		{"diameter", func(t bool) { emit(analysis.RunDiameter(), t) }},
+		{"gossip", func(t bool) { emit(analysis.RunGossip(), t) }},
+		{"tree", func(t bool) { emit(analysis.RunTreecast(), t) }},
+		{"mbg", func(t bool) { emit(analysis.RunMbg(), t) }},
+	}
+
+	want := strings.ToLower(*exp)
+	found := false
+	for _, e := range experiments {
+		if want == "all" || want == e.id || "exp-"+e.id == want {
+			e.run(*tsv)
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known ids:", *exp)
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, " %s", e.id)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+}
+
+func emit(t *analysis.Table, tsv bool) {
+	if tsv {
+		fmt.Print(t.TSV())
+	} else {
+		fmt.Println(t.Markdown())
+	}
+}

@@ -1,0 +1,155 @@
+// Command sparsecube constructs, inspects, schedules, verifies, and
+// exports sparse hypercubes from the command line.
+//
+// Usage:
+//
+//	sparsecube describe  -k 3 -n 12 [-dims 2,5,12]
+//	sparsecube stats     -k 2 -n 15
+//	sparsecube schedule  -k 2 -n 8 -source 0 [-quiet]
+//	sparsecube verify    -k 2 -n 10 [-sources 16]
+//	sparsecube neighbors -k 2 -n 8 -vertex 5
+//	sparsecube export    -k 2 -n 6 [-format dot|edges]
+//	sparsecube bounds    -n 20
+//
+// Vertices print as n-bit strings (dimension n first), as in the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sparsehypercube/internal/core"
+	"sparsehypercube/internal/graph"
+	"sparsehypercube/internal/linecomm"
+	"sparsehypercube/internal/topo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	k := fs.Int("k", 2, "call-length bound k")
+	n := fs.Int("n", 10, "cube dimension n (order 2^n)")
+	dims := fs.String("dims", "", "explicit parameter vector n_1,...,n_{k-1},n (overrides auto)")
+	source := fs.Uint64("source", 0, "broadcast source vertex")
+	vertex := fs.Uint64("vertex", 0, "vertex to inspect")
+	sources := fs.Int("sources", 8, "number of sources to verify")
+	format := fs.String("format", "dot", "export format: dot or edges")
+	quiet := fs.Bool("quiet", false, "suppress per-call output")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	s, err := build(*k, *n, *dims)
+	if cmd != "bounds" && err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "describe":
+		fmt.Print(s.Describe())
+	case "stats":
+		fmt.Printf("params:      %s\n", s.Params())
+		fmt.Printf("order:       2^%d = %d\n", s.N(), s.Order())
+		fmt.Printf("max degree:  %d (Q_%d has %d)\n", s.MaxDegree(), s.N(), s.N())
+		fmt.Printf("min degree:  %d\n", s.MinDegree())
+		fmt.Printf("edges:       %d (Q_%d has %d)\n", s.NumEdges(), s.N(), uint64(s.N())<<uint(s.N()-1))
+		fmt.Printf("lower bound: %d (Theorems 2-3)\n", core.LowerBoundDegree(s.K(), s.N()))
+	case "schedule":
+		sched := s.BroadcastSchedule(*source)
+		res := linecomm.Validate(s, s.K(), sched)
+		if !*quiet {
+			fmt.Print(sched.Format(s.N()))
+		}
+		fmt.Printf("rounds: %d, calls: %d, max length: %d, valid: %v, minimum time: %v\n",
+			len(sched.Rounds), sched.TotalCalls(), res.MaxCallLength, res.Valid(), res.MinimumTime)
+		if err := res.Err(); err != nil {
+			fatal(err)
+		}
+	case "verify":
+		step := s.Order() / uint64(*sources)
+		if step == 0 {
+			step = 1
+		}
+		checked := 0
+		for src := uint64(0); src < s.Order(); src += step {
+			res := linecomm.Validate(s, s.K(), s.BroadcastSchedule(src))
+			if err := res.Err(); err != nil {
+				fatal(fmt.Errorf("source %d: %w", src, err))
+			}
+			if !res.MinimumTime {
+				fatal(fmt.Errorf("source %d: not minimum time", src))
+			}
+			checked++
+		}
+		fmt.Printf("OK: %d sources broadcast in %d rounds with calls <= %d\n", checked, s.N(), s.K())
+	case "neighbors":
+		for _, v := range s.Neighbors(*vertex) {
+			fmt.Println(topo.BitString(v, s.N()))
+		}
+	case "export":
+		g, err := s.Graph()
+		if err != nil {
+			fatal(err)
+		}
+		label := func(v int) string { return topo.BitString(uint64(v), s.N()) }
+		switch *format {
+		case "dot":
+			err = graph.WriteDOT(os.Stdout, g, "sparsehypercube", label)
+		case "edges":
+			err = graph.WriteEdgeList(os.Stdout, g, label)
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	case "bounds":
+		fmt.Printf("%-4s %-12s %-12s %-12s\n", "k", "lower", "upper", "Q_n degree")
+		for kk := 1; kk <= 6 && kk < *n; kk++ {
+			upper := "-"
+			switch {
+			case kk == 1:
+				upper = strconv.Itoa(*n)
+			case kk == 2:
+				upper = strconv.Itoa(core.UpperBoundTheorem5(*n))
+			case *n > kk:
+				upper = strconv.Itoa(core.UpperBoundTheorem7(kk, *n))
+			}
+			fmt.Printf("%-4d %-12d %-12s %-12d\n", kk, core.LowerBoundDegree(kk, *n), upper, *n)
+		}
+	default:
+		usage()
+	}
+}
+
+func build(k, n int, dims string) (*core.SparseHypercube, error) {
+	if dims == "" {
+		return core.NewAuto(k, n)
+	}
+	parts := strings.Split(dims, ",")
+	vec := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -dims entry %q", p)
+		}
+		vec = append(vec, v)
+	}
+	return core.New(core.Params{K: len(vec), Dims: vec})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sparsecube:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sparsecube <describe|stats|schedule|verify|neighbors|export|bounds> [flags]")
+	os.Exit(2)
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildAuto(t *testing.T) {
+	s, err := build(2, 15, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 15 {
+		t.Errorf("n = %d", s.N())
+	}
+	if s.MaxDegree() > 8 {
+		t.Errorf("auto params degraded: Delta = %d", s.MaxDegree())
+	}
+}
+
+func TestBuildExplicitDims(t *testing.T) {
+	s, err := build(0, 0, "2,4,7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 3 || s.N() != 7 {
+		t.Errorf("k=%d n=%d", s.K(), s.N())
+	}
+	if _, err := build(0, 0, "2,x"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := build(0, 0, "7,2"); err == nil {
+		t.Error("expected validation error")
+	}
+	// Whitespace tolerated.
+	if _, err := build(0, 0, " 3 , 9 "); err != nil {
+		t.Errorf("whitespace dims rejected: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package sparsehypercube_test
+
+import (
+	"fmt"
+
+	"sparsehypercube"
+)
+
+// The headline result: a 2-line broadcast graph on 2^15 vertices with
+// maximum degree 6 instead of 15, still broadcasting in 15 rounds.
+func ExampleNew() {
+	cube, err := sparsehypercube.New(2, 15)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("max degree:", cube.MaxDegree())
+	fmt.Println("order:", cube.Order())
+	// Output:
+	// max degree: 6
+	// order: 32768
+}
+
+// Broadcasting and verifying against the k-line model.
+func ExampleCube_Broadcast() {
+	cube, err := sparsehypercube.New(2, 10)
+	if err != nil {
+		panic(err)
+	}
+	sched := cube.Broadcast(0)
+	report := cube.Verify(sched)
+	fmt.Println("rounds:", report.Rounds)
+	fmt.Println("minimum time:", report.MinimumTime)
+	fmt.Println("max call length:", report.MaxCallLength)
+	// Output:
+	// rounds: 10
+	// minimum time: true
+	// max call length: 2
+}
+
+// Explicit paper parameters: Construct_BASE(15, 3) is the paper's
+// Example 3, a 6-regular graph.
+func ExampleNewWithDims() {
+	cube, err := sparsehypercube.NewWithDims(2, []int{3, 15})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("degree:", cube.MaxDegree())
+	fmt.Println("edges:", cube.NumEdges())
+	// Output:
+	// degree: 6
+	// edges: 98304
+}
+
+// The degree bounds of Theorems 2, 5 and 7.
+func ExampleLowerBoundDegree() {
+	lb := sparsehypercube.LowerBoundDegree(2, 16)
+	ub, _ := sparsehypercube.UpperBoundDegree(2, 16)
+	fmt.Printf("%d <= Delta <= %d\n", lb, ub)
+	// Output:
+	// 4 <= Delta <= 8
+}
+
+// All-to-all gossip (the paper's §5 direction) in 2n rounds.
+func ExampleCube_Gossip() {
+	cube, err := sparsehypercube.New(2, 8)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := cube.VerifyGossip(cube.Gossip(0))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rounds:", rep.Rounds)
+	fmt.Println("complete:", rep.Complete)
+	// Output:
+	// rounds: 16
+	// complete: true
+}

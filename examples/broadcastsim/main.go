@@ -1,0 +1,80 @@
+// Broadcastsim contrasts the three communication regimes the paper spans
+// on low-degree networks:
+//
+//  1. store-and-forward (k = 1) on the sparse hypercube — slow, because
+//     the graph was thinned below the degree a 1-line broadcast needs;
+//  2. the paper's k-line broadcast on the same graph — minimum time, the
+//     headline result;
+//  3. store-and-forward on the full hypercube — minimum time but with
+//     n-degree routers.
+//
+// It also prints the congestion profile of the k-line schedule (the
+// future-work discussion of the paper's §5).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparsehypercube/internal/broadcast"
+	"sparsehypercube/internal/core"
+	"sparsehypercube/internal/linecomm"
+	"sparsehypercube/internal/topo"
+)
+
+func main() {
+	const n, m = 12, 4
+	s, err := core.NewBase(n, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := s.Graph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %s — N = %d, Delta = %d (Q_%d would need Delta = %d)\n\n",
+		s.Params(), s.Order(), s.MaxDegree(), n, n)
+
+	// Regime 1: store-and-forward on the sparse graph.
+	sf, err := broadcast.StoreForwardSchedule(g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res1 := linecomm.Validate(linecomm.GraphNetwork{G: g}, 1, sf)
+	fmt.Printf("k=1 store-and-forward on sparse graph: %d rounds (minimum %d) — valid: %v\n",
+		len(sf.Rounds), n, res1.Valid())
+
+	// Regime 2: the paper's 2-line broadcast on the same graph.
+	sched := s.BroadcastSchedule(0)
+	res2 := linecomm.Validate(s, 2, sched)
+	fmt.Printf("k=2 line broadcast on sparse graph:    %d rounds — valid: %v, minimum time: %v\n",
+		len(sched.Rounds), res2.Valid(), res2.MinimumTime)
+
+	// Regime 3: store-and-forward on the full hypercube.
+	q := topo.Hypercube(n)
+	sfq, err := broadcast.StoreForwardSchedule(q, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res3 := linecomm.Validate(linecomm.GraphNetwork{G: q}, 1, sfq)
+	fmt.Printf("k=1 store-and-forward on full Q_%d:    %d rounds — valid: %v (but Delta = %d)\n\n",
+		n, len(sfq.Rounds), res3.Valid(), n)
+
+	// Congestion profile of the k-line schedule.
+	st := linecomm.Congestion(sched)
+	hist := linecomm.PathLengthHistogram(sched)
+	fmt.Println("congestion of the k=2 schedule (paper §5 discussion):")
+	fmt.Printf("  total calls:        %d\n", sched.TotalCalls())
+	fmt.Printf("  call lengths:       1-hop x %d, 2-hop x %d\n", hist[1], hist[2])
+	fmt.Printf("  distinct edges hit: %d of %d\n", st.EdgesUsed, s.NumEdges())
+	fmt.Printf("  busiest edge load:  %d uses across %d rounds\n", st.MaxEdgeLoad, len(sched.Rounds))
+	fmt.Printf("  mean edge load:     %.2f\n", st.MeanEdgeLoad)
+
+	fmt.Println("\ntop 5 busiest edges:")
+	for i, l := range linecomm.EdgeLoads(sched) {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  {%s, %s}: %d\n", topo.BitString(l.U, n), topo.BitString(l.V, n), l.Load)
+	}
+}

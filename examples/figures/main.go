@@ -1,0 +1,48 @@
+// Figures regenerates the paper's illustrations as text and Graphviz DOT:
+// Fig. 2 (Rule-1 edges), Fig. 3 (G_{4,2}), Fig. 4 (the broadcast from
+// 0000), and Fig. 5 (the window partition of the k = 3 construction).
+// Pipe the DOT block into `dot -Tpng` to draw Fig. 3.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sparsehypercube/internal/analysis"
+	"sparsehypercube/internal/core"
+	"sparsehypercube/internal/graph"
+	"sparsehypercube/internal/labeling"
+	"sparsehypercube/internal/topo"
+)
+
+func main() {
+	fmt.Println(analysis.RunFig2().Markdown())
+	fmt.Println(analysis.RunFig3().Markdown())
+
+	tb, formatted := analysis.RunFig4()
+	fmt.Println(tb.Markdown())
+	fmt.Println(formatted)
+
+	fmt.Println("### EXP-FIG5 — window partition (Fig. 5)")
+	fmt.Println(analysis.RunFig5())
+
+	// Fig. 3 as DOT, with the paper's labeling/partition choices.
+	s, err := core.NewBase(4, 2, core.LevelSpec{
+		Labeling:  labeling.PaperExample1Q2(),
+		Partition: [][]int{{3}, {4}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := s.Graph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("### G_{4,2} in DOT (Fig. 3)")
+	if err := graph.WriteDOT(os.Stdout, g, "G42", func(v int) string {
+		return topo.BitString(uint64(v), 4)
+	}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package sparsehypercube
+
+import (
+	"fmt"
+
+	"sparsehypercube/internal/gossip"
+	"sparsehypercube/internal/linecomm"
+)
+
+// Gossip generates an all-to-all schedule on the cube (every vertex
+// starts with a token; at the end every vertex knows every token) using
+// the gather-scatter scheme: the broadcast tree of root run in reverse to
+// concentrate all tokens at root in n rounds, then the paper's
+// Broadcast_k to disseminate them in n more. 2n rounds total, calls of
+// length at most k — a factor 2 from the gossip lower bound
+// ceil(log2 N); closing that factor at low degree is the open problem the
+// paper's §5 poses.
+func (c *Cube) Gossip(root uint64) *Schedule {
+	inner := gossip.GatherScatter(c.inner, root)
+	out := &Schedule{Source: inner.Source, Rounds: make([][]Call, len(inner.Rounds))}
+	for i, round := range inner.Rounds {
+		calls := make([]Call, len(round))
+		for j, call := range round {
+			calls[j] = Call{Path: call.Path}
+		}
+		out.Rounds[i] = calls
+	}
+	return out
+}
+
+// GossipReport summarises gossip verification.
+type GossipReport struct {
+	Valid      bool
+	Complete   bool // every vertex knows every token
+	Rounds     int
+	MinKnown   int // fewest tokens known by any vertex at the end
+	Violations []string
+}
+
+// VerifyGossip checks a schedule under the k-line gossip model (telephone
+// exchanges over paths of at most k edges, per-round edge-disjointness,
+// one call per vertex per round) and simulates token propagation. Only
+// cubes with at most 2^14 vertices can be fully simulated.
+func (c *Cube) VerifyGossip(s *Schedule) (GossipReport, error) {
+	if c.Order() > gossip.MaxSimulateOrder {
+		return GossipReport{}, fmt.Errorf(
+			"sparsehypercube: gossip simulation limited to 2^14 vertices, cube has 2^%d", c.N())
+	}
+	inner := &linecomm.Schedule{Source: s.Source, Rounds: make([]linecomm.Round, len(s.Rounds))}
+	for i, round := range s.Rounds {
+		calls := make(linecomm.Round, len(round))
+		for j, call := range round {
+			calls[j] = linecomm.Call{Path: call.Path}
+		}
+		inner.Rounds[i] = calls
+	}
+	res := gossip.Validate(c.inner, c.K(), inner)
+	rep := GossipReport{
+		Valid:    res.Valid(),
+		Complete: res.Complete,
+		Rounds:   res.Rounds,
+		MinKnown: res.MinKnown,
+	}
+	for _, v := range res.Violations {
+		rep.Violations = append(rep.Violations, v.String())
+	}
+	return rep, nil
+}
+
+// GossipMinimumRounds returns the gossip round lower bound ceil(log2 N).
+func GossipMinimumRounds(order uint64) int { return gossip.MinimumRounds(order) }

@@ -1,0 +1,55 @@
+package sparsehypercube
+
+import (
+	"testing"
+)
+
+func TestGossipFacade(t *testing.T) {
+	cube, err := New(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := cube.Gossip(0)
+	rep, err := cube.VerifyGossip(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Valid || !rep.Complete {
+		t.Fatalf("gossip failed: %+v", rep)
+	}
+	if rep.Rounds != 2*cube.N() {
+		t.Fatalf("gossip rounds = %d, want %d", rep.Rounds, 2*cube.N())
+	}
+	if rep.MinKnown != int(cube.Order()) {
+		t.Fatalf("min known = %d", rep.MinKnown)
+	}
+	if GossipMinimumRounds(cube.Order()) != cube.N() {
+		t.Fatal("gossip lower bound wrong")
+	}
+}
+
+func TestGossipFacadeCatchesTampering(t *testing.T) {
+	cube, err := New(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := cube.Gossip(3)
+	sched.Rounds = sched.Rounds[:len(sched.Rounds)-2]
+	rep, err := cube.VerifyGossip(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete {
+		t.Fatal("truncated gossip should be incomplete")
+	}
+}
+
+func TestGossipSimulationCap(t *testing.T) {
+	cube, err := New(2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cube.VerifyGossip(&Schedule{}); err == nil {
+		t.Fatal("expected simulation-cap error for 2^15 vertices")
+	}
+}

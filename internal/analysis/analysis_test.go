@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Headers: []string{"a", "bb"}}
+	tb.AddRow(1, true)
+	tb.AddRow("x", false)
+	tb.AddRow(2.5, "z")
+	tb.Note("note %d", 7)
+	md := tb.Markdown()
+	for _, want := range []string{"### X — demo", "| a", "| bb", "yes", "NO", "2.500", "> note 7"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	tsv := tb.TSV()
+	if !strings.HasPrefix(tsv, "a\tbb\n1\tyes\n") {
+		t.Errorf("tsv = %q", tsv)
+	}
+}
+
+func TestAllOK(t *testing.T) {
+	tb := &Table{Headers: []string{"v", "ok"}}
+	tb.AddRow(1, true)
+	tb.AddRow(2, true)
+	if !tb.AllOK("ok") {
+		t.Error("AllOK should hold")
+	}
+	tb.AddRow(3, false)
+	if tb.AllOK("ok") {
+		t.Error("AllOK should fail with a NO row")
+	}
+	if tb.AllOK("missing") {
+		t.Error("AllOK on missing column should fail")
+	}
+	empty := &Table{Headers: []string{"ok"}}
+	if empty.AllOK("ok") {
+		t.Error("AllOK on empty table should fail")
+	}
+}
+
+func TestRunFig1AllValid(t *testing.T) {
+	tb := RunFig1(4)
+	if !tb.AllOK("all-valid") {
+		t.Fatalf("Fig. 1 reproduction has failures:\n%s", tb.Markdown())
+	}
+	if len(tb.Rows) != 4 {
+		t.Errorf("expected 4 rows, got %d", len(tb.Rows))
+	}
+	// h = 3 row must read N = 22, Delta = 3, diam = 6.
+	row := tb.Rows[2]
+	if row[1] != "22" || row[2] != "3" || row[3] != "6" {
+		t.Errorf("h=3 row wrong: %v", row)
+	}
+}
+
+func TestRunFig2Fig3EdgeCounts(t *testing.T) {
+	if got := len(RunFig2().Rows); got != 16 {
+		t.Errorf("Fig. 2: %d Rule-1 edges, want 16", got)
+	}
+	f3 := RunFig3()
+	if got := len(f3.Rows); got != 24 {
+		t.Errorf("Fig. 3: %d edges, want 24", got)
+	}
+	rule2 := 0
+	for _, row := range f3.Rows {
+		if row[2] == "2" {
+			rule2++
+		}
+	}
+	if rule2 != 8 {
+		t.Errorf("Fig. 3: %d Rule-2 edges, want 8 (one per vertex pair per high dim)", rule2)
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	tb, formatted := RunFig4()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("Fig. 4: %d rounds", len(tb.Rows))
+	}
+	// Informed counts must double: 2, 4, 8, 16.
+	want := []string{"2", "4", "8", "16"}
+	for i, row := range tb.Rows {
+		if row[3] != want[i] {
+			t.Errorf("round %d informed = %s, want %s", i+1, row[3], want[i])
+		}
+	}
+	if !strings.Contains(formatted, "broadcast from 0000 in 4 rounds") {
+		t.Errorf("formatted schedule wrong:\n%s", formatted)
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	out := RunFig5()
+	for _, want := range []string{"Construct(3, [7 4 2])", "S_1 = {7,6}", "S_2 = {5}", "base region: dimensions 1..2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig. 5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunEx1(t *testing.T) {
+	tb := RunEx1()
+	if !tb.AllOK("optimal") {
+		t.Fatalf("Example 1 labelings not optimal:\n%s", tb.Markdown())
+	}
+}
+
+func TestRunEx3(t *testing.T) {
+	tb := RunEx3()
+	md := tb.Markdown()
+	for _, want := range []string{"| Delta(G_{15,3})", "| 6 ", "| 32768"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Example 3 table missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRunEx6(t *testing.T) {
+	tb := RunEx6()
+	md := tb.Markdown()
+	if !strings.Contains(md, "0000001 0000010 0000100 0100000 1000000") {
+		t.Errorf("Example 6 adjacency wrong:\n%s", md)
+	}
+}
+
+func TestRunBoundTables(t *testing.T) {
+	if tb := RunLowerBounds(24); !tb.AllOK("LB <= Delta") {
+		t.Errorf("lower-bound table violated:\n%s", tb.Markdown())
+	}
+	if tb := RunThm5(32); !tb.AllOK("Delta <= bound") {
+		t.Errorf("Theorem 5 table violated:\n%s", tb.Markdown())
+	}
+	if tb := RunThm7(28); !tb.AllOK("Delta <= bound") {
+		t.Errorf("Theorem 7 table violated:\n%s", tb.Markdown())
+	}
+	if tb := RunCor1(32); !tb.AllOK("Delta <= bound") {
+		t.Errorf("Corollary 1 table violated:\n%s", tb.Markdown())
+	}
+	if tb := RunLem2(12); !tb.AllOK("in-range") {
+		t.Errorf("Lemma 2 table violated:\n%s", tb.Markdown())
+	}
+}
+
+func TestRunSchemeTables(t *testing.T) {
+	if tb := RunThm4(7); !tb.AllOK("all-valid") {
+		t.Errorf("Theorem 4 sweep failed:\n%s", tb.Markdown())
+	}
+	if tb := RunThm6(); !tb.AllOK("all-valid") {
+		t.Errorf("Theorem 6 sweep failed:\n%s", tb.Markdown())
+	}
+}
+
+func TestRunCor2RatioBounded(t *testing.T) {
+	tb := RunCor2(32)
+	for _, row := range tb.Rows {
+		k := row[0]
+		var coeff float64
+		switch k {
+		case "2":
+			coeff = 3
+		case "3":
+			coeff = 5
+		case "4":
+			coeff = 7
+		}
+		ratio, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("bad ratio cell %q", row[4])
+		}
+		if ratio > coeff {
+			t.Errorf("k=%s: ratio %f exceeds 2k-1 = %f", k, ratio, coeff)
+		}
+	}
+}
+
+func TestRunZoo(t *testing.T) {
+	tb := RunZoo()
+	if len(tb.Rows) < 7 {
+		t.Errorf("zoo table too small:\n%s", tb.Markdown())
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	tb := RunAblation(4)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("ablation rows = %d", len(tb.Rows))
+	}
+	// At the spanning-tree budget (15 edges) failure must be total: a
+	// 16-vertex tree cannot 2-line broadcast in 4 rounds... (max degree 4
+	// spanning trees of Q_4 lack the reach). At 32 edges (all of Q_4),
+	// every graph is Q_4 itself, a 1-mlbg, hence 2-mlbg.
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[3] != "0.000" {
+		t.Errorf("full Q_4 budget should never fail: %v", last)
+	}
+}
+
+func TestRunCongestion(t *testing.T) {
+	tb := RunCongestion()
+	if len(tb.Rows) < 3 {
+		t.Fatalf("congestion rows = %d", len(tb.Rows))
+	}
+}

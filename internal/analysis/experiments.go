@@ -1,0 +1,661 @@
+package analysis
+
+import (
+	"fmt"
+
+	"sparsehypercube/internal/broadcast"
+	"sparsehypercube/internal/core"
+	"sparsehypercube/internal/graph"
+	"sparsehypercube/internal/intmath"
+	"sparsehypercube/internal/labeling"
+	"sparsehypercube/internal/linecomm"
+	"sparsehypercube/internal/topo"
+)
+
+// RunFig1 reproduces Figure 1 / Theorem 1: the degree-3 tri-tree family.
+// For each h it builds T_h, checks the three conditions of the proof
+// (degree 3, diameter 2h, order 3*2^h-2) and machine-checks the
+// minimum-time 2h-line broadcast from a set of sources (all sources for
+// small h).
+func RunFig1(hMax int) *Table {
+	t := &Table{
+		ID:    "EXP-FIG1",
+		Title: "Theorem 1 tree T_h (Fig. 1 shows h = 3)",
+		Headers: []string{"h", "N=3*2^h-2", "Delta", "diam", "k=2h",
+			"rounds", "ceil(log2 N)", "sources", "all-valid"},
+	}
+	for h := 1; h <= hMax; h++ {
+		g := topo.TriTree(h)
+		net := linecomm.GraphNetwork{G: g}
+		want := broadcast.TriTreeMinimumRounds(h)
+		sources := allOrSampledSources(g.NumVertices(), 64)
+		valid := true
+		rounds := 0
+		for _, src := range sources {
+			sched, err := broadcast.TriTreeSchedule(h, src)
+			if err != nil {
+				valid = false
+				break
+			}
+			res := linecomm.Validate(net, 2*h, sched)
+			if !res.Valid() || !res.MinimumTime || res.MaxCallLength > 2*h {
+				valid = false
+			}
+			rounds = len(sched.Rounds)
+		}
+		t.AddRow(h, g.NumVertices(), g.MaxDegree(), graph.Diameter(g), 2*h,
+			rounds, want, len(sources), valid)
+	}
+	t.Note("Fig. 1 instance: h = 3, N = 22, Delta = 3, broadcast in 5 rounds with calls <= 6.")
+	return t
+}
+
+// RunFig2 reproduces Figure 2: the Rule-1 (subcube) edges of G_{4,2}.
+func RunFig2() *Table {
+	t := &Table{
+		ID:      "EXP-FIG2",
+		Title:   "Rule-1 edges of Construct_BASE(4,2) (Fig. 2)",
+		Headers: []string{"edge", "dimension"},
+	}
+	s := mustPaperG42()
+	for u := uint64(0); u < s.Order(); u++ {
+		for d := 1; d <= 2; d++ {
+			v := u ^ 1<<uint(d-1)
+			if u < v {
+				t.AddRow(fmt.Sprintf("%s -- %s", topo.BitString(u, 4), topo.BitString(v, 4)), d)
+			}
+		}
+	}
+	return t
+}
+
+// RunFig3 reproduces Figure 3: the complete edge set of G_{4,2} with the
+// paper's labeling and partition, plus the graph statistics.
+func RunFig3() *Table {
+	t := &Table{
+		ID:      "EXP-FIG3",
+		Title:   "G_{4,2} = Construct_BASE(4,2) (Fig. 3)",
+		Headers: []string{"edge", "dimension", "rule"},
+	}
+	s := mustPaperG42()
+	for u := uint64(0); u < s.Order(); u++ {
+		for d := 1; d <= 4; d++ {
+			v := u ^ 1<<uint(d-1)
+			if u < v && s.HasEdgeDim(u, d) {
+				rule := "1"
+				if d > 2 {
+					rule = "2"
+				}
+				t.AddRow(fmt.Sprintf("%s -- %s", topo.BitString(u, 4), topo.BitString(v, 4)), d, rule)
+			}
+		}
+	}
+	g, err := s.Graph()
+	if err != nil {
+		panic(err)
+	}
+	ok, src, err := broadcast.IsKMLBG(g, 2)
+	if err != nil {
+		panic(err)
+	}
+	t.Note("|V| = %d, |E| = %d, Delta = %d (3-regular, vs Delta(Q_4) = 4).",
+		s.Order(), s.NumEdges(), s.MaxDegree())
+	t.Note("Exhaustive checker certifies 2-mlbg: %v (first failing source: %d).", ok, src)
+	return t
+}
+
+// RunFig4 reproduces Figure 4 / Example 4: the broadcast from 0000 in
+// G_{4,2}, round by round.
+func RunFig4() (*Table, string) {
+	s := mustPaperG42()
+	sched := s.BroadcastSchedule(0)
+	res := linecomm.Validate(s, 2, sched)
+	t := &Table{
+		ID:      "EXP-FIG4",
+		Title:   "Broadcast_2 from 0000 in G_{4,2} (Fig. 4 / Example 4)",
+		Headers: []string{"round", "dimension", "calls", "informed-after"},
+	}
+	for i, round := range sched.Rounds {
+		t.AddRow(i+1, s.N()-i, len(round), res.InformedPerRound[i])
+	}
+	t.Note("valid: %v, minimum time: %v, max call length: %d.",
+		res.Valid(), res.MinimumTime, res.MaxCallLength)
+	t.Note("The paper routes 0000's first call through relay 0010; the" +
+		" dominator table here picks relay 0001 — both satisfy Condition A.")
+	return t, sched.Format(4)
+}
+
+// RunFig5 reproduces Figure 5: the dimension-window partition of the
+// k = 3 recursive construction, rendered for Construct_REC(7,4,2).
+func RunFig5() string {
+	s, err := core.NewRec(7, 4, 2,
+		core.LevelSpec{Labeling: labeling.PaperExample1Q2(), Partition: [][]int{{3}, {4}}},
+		core.LevelSpec{Labeling: labeling.PaperExample1Q2(), Partition: [][]int{{7, 6}, {5}}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return s.Describe()
+}
+
+// RunEx1 reproduces Example 1: optimal Condition-A labelings of Q_2, Q_3,
+// with exhaustive optimality certificates.
+func RunEx1() *Table {
+	t := &Table{
+		ID:      "EXP-EX1",
+		Title:   "Example 1 labelings and exact lambda_m",
+		Headers: []string{"m", "paper labels", "constructive", "exhaustive lambda", "optimal"},
+	}
+	q2 := labeling.PaperExample1Q2()
+	q3 := labeling.PaperExample1Q3()
+	for _, c := range []struct {
+		m     int
+		paper *labeling.Labeling
+	}{{2, q2}, {3, q3}} {
+		best, err := labeling.Best(c.m)
+		if err != nil {
+			panic(err)
+		}
+		exact, _ := labeling.MaxLabelsExhaustive(c.m)
+		t.AddRow(c.m, c.paper.NumLabels(), best.NumLabels(), exact,
+			c.paper.NumLabels() == exact && best.NumLabels() == exact)
+	}
+	return t
+}
+
+// RunEx3 reproduces Example 3: G_{15,3} statistics and a validated
+// broadcast.
+func RunEx3() *Table {
+	s, err := core.NewBase(15, 3)
+	if err != nil {
+		panic(err)
+	}
+	sched := s.BroadcastSchedule(0)
+	res := linecomm.Validate(s, 2, sched)
+	t := &Table{
+		ID:      "EXP-EX3",
+		Title:   "G_{15,3} (Example 3)",
+		Headers: []string{"quantity", "value", "paper"},
+	}
+	t.AddRow("N", s.Order(), "2^15")
+	t.AddRow("Delta(G_{15,3})", s.MaxDegree(), "6 = 3 + 3")
+	t.AddRow("Delta(Q_15)", 15, "15")
+	t.AddRow("|S_i| (each)", 3, "3")
+	t.AddRow("broadcast rounds from 0", len(sched.Rounds), "15")
+	t.AddRow("schedule valid & minimal", res.Valid() && res.MinimumTime, "yes")
+	t.AddRow("max call length", res.MaxCallLength, "<= 2")
+	return t
+}
+
+// RunEx6 reproduces Example 6: the adjacency of 0000000 in
+// Construct_REC(7,4,2) plus a validated 3-line broadcast.
+func RunEx6() *Table {
+	s, err := core.NewRec(7, 4, 2,
+		core.LevelSpec{Labeling: labeling.PaperExample1Q2(), Partition: [][]int{{3}, {4}}},
+		core.LevelSpec{Labeling: labeling.PaperExample1Q2(), Partition: [][]int{{7, 6}, {5}}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	t := &Table{
+		ID:      "EXP-EX6",
+		Title:   "Construct_REC(7,4,2) (Examples 5-6)",
+		Headers: []string{"quantity", "value", "paper"},
+	}
+	nbrs := s.Neighbors(0)
+	nbrStr := ""
+	for i, v := range nbrs {
+		if i > 0 {
+			nbrStr += " "
+		}
+		nbrStr += topo.BitString(v, 7)
+	}
+	t.AddRow("N(0000000)", nbrStr, "0000001 0000010 0000100 0100000 1000000")
+	t.AddRow("Delta", s.MaxDegree(), "")
+	valid := true
+	for _, src := range []uint64{0, 1, 63, 127} {
+		res := linecomm.Validate(s, 3, s.BroadcastSchedule(src))
+		if !res.Valid() || !res.MinimumTime || res.MaxCallLength > 3 {
+			valid = false
+		}
+	}
+	t.AddRow("3-line broadcast valid (4 sources)", valid, "yes")
+	return t
+}
+
+// RunLowerBounds tabulates Theorems 2 and 3 against the constructed
+// degrees: the lower bound for the class and the degree our construction
+// achieves (EXP-THM23).
+func RunLowerBounds(nMax int) *Table {
+	t := &Table{
+		ID:      "EXP-THM23",
+		Title:   "Degree lower bounds (Theorems 2-3) vs constructed degree",
+		Headers: []string{"n", "k", "lower bound", "constructed Delta", "LB <= Delta"},
+	}
+	for _, k := range []int{2, 3, 4, 5, 6} {
+		for n := k + 1; n <= nMax; n += 3 {
+			p, err := core.AutoParams(k, n)
+			if err != nil {
+				continue
+			}
+			d, err := core.DegreeForParams(p)
+			if err != nil {
+				continue
+			}
+			lb := core.LowerBoundDegree(k, n)
+			t.AddRow(n, k, lb, d, lb <= d)
+		}
+	}
+	return t
+}
+
+// RunThm4 sweeps Construct_BASE instances and validates Broadcast_2
+// (EXP-THM4), exhaustively over sources for small n.
+func RunThm4(nMax int) *Table {
+	t := &Table{
+		ID:      "EXP-THM4",
+		Title:   "Theorem 4: Broadcast_2 is a minimum-time 2-line scheme",
+		Headers: []string{"n", "m", "Delta", "sources", "rounds", "max-len", "all-valid"},
+	}
+	for n := 2; n <= nMax; n++ {
+		for m := 1; m < n; m++ {
+			s, err := core.NewBase(n, m)
+			if err != nil {
+				continue
+			}
+			sources := allOrSampledSources(int(s.Order()), 32)
+			valid := true
+			maxLen := 0
+			for _, src := range sources {
+				res := linecomm.Validate(s, 2, s.BroadcastSchedule(uint64(src)))
+				if !res.Valid() || !res.MinimumTime {
+					valid = false
+				}
+				if res.MaxCallLength > maxLen {
+					maxLen = res.MaxCallLength
+				}
+			}
+			t.AddRow(n, m, s.MaxDegree(), len(sources), s.N(), maxLen, valid)
+		}
+	}
+	return t
+}
+
+// RunThm5 produces the k = 2 series (EXP-THM5): constructed degree vs the
+// Theorem-5 bound and the Theorem-2 lower bound.
+func RunThm5(nMax int) *Table {
+	t := &Table{
+		ID:    "EXP-THM5",
+		Title: "Theorem 5: k = 2 sparse hypercubes, Delta <= 2*ceil(sqrt(2n+4)) - 4",
+		Headers: []string{"n", "m*", "Delta(G_{n,m*})", "auto Delta", "T5 bound",
+			"lower ceil(sqrt n)", "Delta <= bound"},
+	}
+	for n := 2; n <= nMax; n++ {
+		m := core.Theorem5M(n)
+		d, err := core.DegreeForParams(core.BaseParams(n, m))
+		if err != nil {
+			continue
+		}
+		pa, err := core.AutoParams(2, n)
+		if err != nil {
+			continue
+		}
+		da, err := core.DegreeForParams(pa)
+		if err != nil {
+			continue
+		}
+		bound := core.UpperBoundTheorem5(n)
+		t.AddRow(n, m, d, da, bound, core.LowerBoundDegree(2, n), d <= bound)
+	}
+	t.Note("Q_n itself has Delta = n: the construction wins for every n >= 7 and asymptotically Delta = Theta(sqrt n).")
+	return t
+}
+
+// RunThm6 sweeps recursive constructions and validates Broadcast_k
+// (EXP-THM6).
+func RunThm6() *Table {
+	t := &Table{
+		ID:      "EXP-THM6",
+		Title:   "Theorem 6: Broadcast_k is a minimum-time k-line scheme",
+		Headers: []string{"k", "params (n,...,n_1)", "Delta", "sources", "max-len", "all-valid"},
+	}
+	cases := []core.Params{
+		core.RecParams(6, 4, 2),
+		core.RecParams(7, 4, 2),
+		core.RecParams(10, 5, 2),
+		core.RecParams(12, 5, 2),
+		{K: 4, Dims: []int{1, 2, 3, 8}},
+		{K: 4, Dims: []int{2, 4, 7, 12}},
+		{K: 5, Dims: []int{1, 2, 3, 4, 10}},
+		{K: 5, Dims: []int{2, 3, 5, 8, 13}},
+		{K: 6, Dims: []int{1, 2, 4, 6, 9, 14}},
+	}
+	for _, p := range cases {
+		s, err := core.New(p)
+		if err != nil {
+			continue
+		}
+		sources := allOrSampledSources(int(s.Order()), 16)
+		valid := true
+		maxLen := 0
+		for _, src := range sources {
+			res := linecomm.Validate(s, p.K, s.BroadcastSchedule(uint64(src)))
+			if !res.Valid() || !res.MinimumTime {
+				valid = false
+			}
+			if res.MaxCallLength > maxLen {
+				maxLen = res.MaxCallLength
+			}
+		}
+		t.AddRow(p.K, p.String(), s.MaxDegree(), len(sources), maxLen, valid)
+	}
+	return t
+}
+
+// RunThm7 produces the k >= 3 series (EXP-THM7).
+func RunThm7(nMax int) *Table {
+	t := &Table{
+		ID:    "EXP-THM7",
+		Title: "Theorem 7: Delta <= (2k-1)*ceil(n^(1/k)) - k",
+		Headers: []string{"k", "n", "formula params Delta", "auto Delta", "T7 bound",
+			"lower bound", "Delta <= bound"},
+	}
+	for _, k := range []int{3, 4, 5, 6} {
+		for n := k + 2; n <= nMax; n += 2 {
+			var dFormula interface{} = "-"
+			if p, err := core.Theorem7Params(k, n); err == nil {
+				if d, err := core.DegreeForParams(p); err == nil {
+					dFormula = d
+				}
+			}
+			pa, err := core.AutoParams(k, n)
+			if err != nil {
+				continue
+			}
+			da, err := core.DegreeForParams(pa)
+			if err != nil {
+				continue
+			}
+			bound := core.UpperBoundTheorem7(k, n)
+			t.AddRow(k, n, dFormula, da, bound, core.LowerBoundDegree(k, n), da <= bound)
+		}
+	}
+	return t
+}
+
+// RunCor1 produces the Corollary 1 series (EXP-COR1).
+func RunCor1(nMax int) *Table {
+	t := &Table{
+		ID:      "EXP-COR1",
+		Title:   "Corollary 1: k = ceil(log2 n) gives Delta <= 4*ceil(log2 log2 N) - 2",
+		Headers: []string{"n", "k", "auto Delta", "C1 bound", "Delta <= bound"},
+	}
+	for n := 4; n <= nMax; n += 2 {
+		k := core.Corollary1K(n)
+		p, err := core.AutoParams(k, n)
+		if err != nil {
+			continue
+		}
+		d, err := core.DegreeForParams(p)
+		if err != nil {
+			continue
+		}
+		bound := core.UpperBoundCorollary1(n)
+		t.AddRow(n, k, d, bound, d <= bound)
+	}
+	return t
+}
+
+// RunCor2 produces the tightness ratios of Corollary 2 (EXP-COR2): for
+// constant k the constructed degree over the lower bound stays bounded.
+func RunCor2(nMax int) *Table {
+	t := &Table{
+		ID:      "EXP-COR2",
+		Title:   "Corollary 2: Delta = Theta(n^(1/k)) — ratio constructed/lower stays bounded",
+		Headers: []string{"k", "n", "Delta", "ceil(n^(1/k))", "ratio"},
+	}
+	for _, k := range []int{2, 3, 4} {
+		for n := 8; n <= nMax; n *= 2 {
+			if n <= k {
+				continue
+			}
+			p, err := core.AutoParams(k, n)
+			if err != nil {
+				continue
+			}
+			d, err := core.DegreeForParams(p)
+			if err != nil {
+				continue
+			}
+			root := int(intmath.CeilRoot(uint64(n), k))
+			t.AddRow(k, n, d, root, float64(d)/float64(root))
+		}
+	}
+	t.Note("The ratio stays below 2k-1 (Theorem 7's coefficient), witnessing Theta(n^(1/k)).")
+	return t
+}
+
+// RunLem2 produces the lambda_m table (EXP-LEM2). Beyond the paper's
+// bounds it adds the counting upper bound floor(2^m / gamma(Q_m)), which
+// pins lambda exactly for every m <= 5.
+func RunLem2(mMax int) *Table {
+	t := &Table{
+		ID:      "EXP-LEM2",
+		Title:   "Lemma 2: ceil(m/2)+1 <= lambda_m <= m+1 (counting bound added)",
+		Headers: []string{"m", "constructive lambda", "lower", "upper", "counting upper", "exact", "in-range"},
+	}
+	for m := 1; m <= mMax; m++ {
+		best, err := labeling.Best(m)
+		if err != nil {
+			continue
+		}
+		lam := best.NumLabels()
+		counting := labeling.CountingUpperBound(m)
+		exact := "-"
+		if m <= 4 {
+			e, _ := labeling.MaxLabelsExhaustive(m)
+			exact = fmt.Sprintf("%d", e)
+		} else if lam == counting {
+			exact = fmt.Sprintf("%d", lam) // construction meets the counting bound
+		}
+		t.AddRow(m, lam, labeling.LowerBound(m), labeling.UpperBound(m), counting, exact,
+			lam >= labeling.LowerBound(m) && lam <= counting)
+	}
+	t.Note("Equality lambda_m = m+1 holds at m = 2^p - 1 via Hamming-code cosets; the counting bound settles lambda_5 = 4.")
+	return t
+}
+
+// RunZoo compares the topology zoo against sparse hypercubes at matched
+// order (EXP-ZOO).
+func RunZoo() *Table {
+	t := &Table{
+		ID:      "EXP-ZOO",
+		Title:   "Topology context (paper SS1/SS3): degree/diameter/edges at N = 2^9 (or closest)",
+		Headers: []string{"graph", "N", "Delta", "diameter", "edges", "k-mlbg status"},
+	}
+	n := 9
+	q := topo.Hypercube(n)
+	t.AddRow(fmt.Sprintf("Q_%d", n), q.NumVertices(), q.MaxDegree(), graph.Diameter(q), q.NumEdges(), "1-mlbg (classic)")
+	fq := topo.FoldedHypercube(n)
+	t.AddRow(fmt.Sprintf("FQ_%d", n), fq.NumVertices(), fq.MaxDegree(), graph.Diameter(fq), fq.NumEdges(), "1-mlbg (denser)")
+	cq := topo.CrossedCube(n)
+	t.AddRow(fmt.Sprintf("CQ_%d", n), cq.NumVertices(), cq.MaxDegree(), graph.Diameter(cq), cq.NumEdges(), "diameter-halved variant")
+	ccc := topo.CubeConnectedCycles(6)
+	t.AddRow("CCC_6", ccc.NumVertices(), ccc.MaxDegree(), graph.Diameter(ccc), ccc.NumEdges(), "degree-3, diameter Theta(n)")
+	db := topo.DeBruijn(n)
+	t.AddRow(fmt.Sprintf("UB_%d", n), db.NumVertices(), db.MaxDegree(), graph.Diameter(db), db.NumEdges(), "degree-4")
+	tt := topo.TriTree(8)
+	t.AddRow("T_8 (Thm 1)", tt.NumVertices(), tt.MaxDegree(), graph.Diameter(tt), tt.NumEdges(),
+		fmt.Sprintf("%d-mlbg", 16))
+	for _, k := range []int{2, 3} {
+		s, err := core.NewAuto(k, n)
+		if err != nil {
+			continue
+		}
+		g, err := s.Graph()
+		if err != nil {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("sparse %s", s.Params()), s.Order(), s.MaxDegree(),
+			graph.Diameter(g), s.NumEdges(), fmt.Sprintf("%d-mlbg (this paper)", k))
+	}
+	return t
+}
+
+// RunAblation measures how often random Q_4 subgraphs at a given edge
+// budget fail to be 2-mlbgs, versus the always-passing G_{4,2}
+// (EXP-ABL).
+func RunAblation(trials int) *Table {
+	t := &Table{
+		ID:      "EXP-ABL",
+		Title:   "Ablation: random connected Q_4 subgraphs vs Construct_BASE(4,2) at k = 2",
+		Headers: []string{"edges", "graphs tried", "2-mlbg", "failure rate"},
+	}
+	for _, budget := range []int{15, 18, 21, 24, 28, 32} {
+		fails := 0
+		for seed := 0; seed < trials; seed++ {
+			g := randomCubeSubgraph(int64(seed)*977+int64(budget), 4, budget)
+			ok, _, err := broadcast.IsKMLBG(g, 2)
+			if err != nil {
+				panic(err)
+			}
+			if !ok {
+				fails++
+			}
+		}
+		t.AddRow(budget, trials, trials-fails, float64(fails)/float64(trials))
+	}
+	s := mustPaperG42()
+	g, _ := s.Graph()
+	ok, _, _ := broadcast.IsKMLBG(g, 2)
+	t.Note("G_{4,2} (24 edges, structured): 2-mlbg = %v on every run.", ok)
+	return t
+}
+
+// RunCongestion reports the edge-load statistics of Broadcast_k schedules
+// (EXP-CONG) — the §5 discussion quantified.
+func RunCongestion() *Table {
+	t := &Table{
+		ID:    "EXP-CONG",
+		Title: "Congestion of Broadcast_k schedules (paper SS5 discussion)",
+		Headers: []string{"construction", "rounds", "calls", "edges used", "|E|",
+			"max edge load", "mean edge load", "len histogram"},
+	}
+	cases := []core.Params{
+		core.BaseParams(10, 3),
+		core.BaseParams(15, 3),
+		core.RecParams(12, 5, 2),
+		{K: 4, Dims: []int{2, 4, 7, 14}},
+	}
+	for _, p := range cases {
+		s, err := core.New(p)
+		if err != nil {
+			continue
+		}
+		sched := s.BroadcastSchedule(0)
+		st := linecomm.Congestion(sched)
+		hist := linecomm.PathLengthHistogram(sched)
+		histStr := ""
+		for l := 1; l <= p.K; l++ {
+			if histStr != "" {
+				histStr += " "
+			}
+			histStr += fmt.Sprintf("%d:%d", l, hist[l])
+		}
+		t.AddRow(p.String(), len(sched.Rounds), sched.TotalCalls(), st.EdgesUsed,
+			s.NumEdges(), st.MaxEdgeLoad, st.MeanEdgeLoad, histStr)
+	}
+	t.Note("Within a round, loads are 1 by edge-disjointness; totals measure reuse across rounds.")
+	return t
+}
+
+// mustPaperG42 builds G_{4,2} with the paper's Example-2 choices.
+func mustPaperG42() *core.SparseHypercube {
+	s, err := core.NewBase(4, 2, core.LevelSpec{
+		Labeling:  labeling.PaperExample1Q2(),
+		Partition: [][]int{{3}, {4}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// allOrSampledSources returns every vertex when order <= limit, otherwise
+// a deterministic sample including the extremes.
+func allOrSampledSources(order, limit int) []int {
+	if order <= limit {
+		out := make([]int, order)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := []int{0, 1, order - 1}
+	step := order / (limit - len(out))
+	if step < 1 {
+		step = 1
+	}
+	for v := step; v < order-1 && len(out) < limit; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// randomCubeSubgraph builds a connected spanning subgraph of Q_n with the
+// given edge budget: a random spanning tree plus random extra cube edges.
+func randomCubeSubgraph(seed int64, n, budget int) *graph.Graph {
+	q := topo.Hypercube(n)
+	order := q.NumVertices()
+	var edges [][2]int
+	q.Edges(func(u, v int) { edges = append(edges, [2]int{u, v}) })
+	// Deterministic shuffle (xorshift) to stay reproducible.
+	rng := seed*2654435761 + 1
+	next := func(bound int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		v := int(rng % int64(bound))
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	for i := len(edges) - 1; i > 0; i-- {
+		j := next(i + 1)
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	parent := make([]int, order)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	b := graph.NewBuilder(order)
+	used := 0
+	var extra [][2]int
+	for _, e := range edges {
+		ru, rv := find(e[0]), find(e[1])
+		if ru != rv {
+			parent[ru] = rv
+			b.AddEdge(e[0], e[1])
+			used++
+		} else {
+			extra = append(extra, e)
+		}
+	}
+	for _, e := range extra {
+		if used >= budget {
+			break
+		}
+		b.AddEdge(e[0], e[1])
+		used++
+	}
+	return b.Finish()
+}

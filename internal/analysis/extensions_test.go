@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDiameterBoundHolds(t *testing.T) {
+	tb := RunDiameter()
+	if !tb.AllOK("within bound") {
+		t.Fatalf("footnote-1 diameter bound violated:\n%s", tb.Markdown())
+	}
+	if len(tb.Rows) < 6 {
+		t.Errorf("diameter table too small: %d rows", len(tb.Rows))
+	}
+}
+
+func TestRunGossipComplete(t *testing.T) {
+	tb := RunGossip()
+	if !tb.AllOK("complete") {
+		t.Fatalf("gossip schemes incomplete:\n%s", tb.Markdown())
+	}
+	// Dimension exchange must be time-optimal: rounds == lower bound.
+	for _, row := range tb.Rows {
+		if row[0] == "dimension exchange" && row[4] != row[5] {
+			t.Errorf("dimension exchange not optimal: %v", row)
+		}
+		if row[0] == "gather-scatter" {
+			// 2n rounds vs lower bound n: exactly a factor 2.
+			if row[4] == row[5] {
+				t.Errorf("gather-scatter unexpectedly optimal: %v", row)
+			}
+		}
+	}
+}
+
+func TestRunTreecastAllMinimum(t *testing.T) {
+	tb := RunTreecast()
+	if !tb.AllOK("minimum") {
+		t.Fatalf("treecast table has non-minimum rows:\n%s", tb.Markdown())
+	}
+	if len(tb.Rows) < 7 {
+		t.Errorf("treecast table too small: %d rows", len(tb.Rows))
+	}
+}
+
+func TestRunMbgAllCertified(t *testing.T) {
+	tb := RunMbg()
+	if !tb.AllOK("1-mlbg (exhaustive)") {
+		t.Fatalf("mbg catalogue failed:\n%s", tb.Markdown())
+	}
+	if len(tb.Rows) != 8 {
+		t.Errorf("mbg rows = %d", len(tb.Rows))
+	}
+}
+
+func TestRunPermZoo(t *testing.T) {
+	tb := RunPermZoo()
+	if len(tb.Rows) != 8 {
+		t.Fatalf("perm zoo rows = %d", len(tb.Rows))
+	}
+	md := tb.Markdown()
+	for _, want := range []string{"star S_4", "pancake P_5", "| 720 "} {
+		if !strings.Contains(md, want) {
+			t.Errorf("perm zoo missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package broadcast
+
+import (
+	"testing"
+
+	"sparsehypercube/internal/graph"
+	"sparsehypercube/internal/intmath"
+	"sparsehypercube/internal/linecomm"
+	"sparsehypercube/internal/topo"
+)
+
+// Theorem 1, machine-checked: T_h is a 2h-mlbg — from every source the
+// tree scheme completes in ceil(log2(3*2^h-2)) rounds with calls of
+// length at most 2h.
+func TestTriTreeScheduleAllSources(t *testing.T) {
+	for h := 1; h <= 5; h++ {
+		g := topo.TriTree(h)
+		net := linecomm.GraphNetwork{G: g}
+		k := 2 * h
+		want := TriTreeMinimumRounds(h)
+		for src := 0; src < g.NumVertices(); src++ {
+			sched, err := TriTreeSchedule(h, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := linecomm.Validate(net, k, sched)
+			if err := res.Err(); err != nil {
+				t.Fatalf("h=%d src=%d: %v", h, src, err)
+			}
+			if !res.Complete {
+				t.Fatalf("h=%d src=%d: incomplete (%d/%d)", h, src, res.Informed, g.NumVertices())
+			}
+			if len(sched.Rounds) != want {
+				t.Fatalf("h=%d src=%d: %d rounds, want %d", h, src, len(sched.Rounds), want)
+			}
+			if !res.MinimumTime {
+				t.Fatalf("h=%d src=%d: not minimum time", h, src)
+			}
+			if res.MaxCallLength > k {
+				t.Fatalf("h=%d src=%d: call length %d > 2h = %d", h, src, res.MaxCallLength, k)
+			}
+		}
+	}
+}
+
+// Larger tri-trees with sampled sources (h = 6, 7: 190 and 382 vertices).
+func TestTriTreeScheduleSampled(t *testing.T) {
+	for _, h := range []int{6, 7} {
+		g := topo.TriTree(h)
+		net := linecomm.GraphNetwork{G: g}
+		srcs := []int{0, 1, 2, g.NumVertices() / 2, g.NumVertices() - 1}
+		for _, src := range srcs {
+			sched, err := TriTreeSchedule(h, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := linecomm.Validate(net, 2*h, sched)
+			if err := res.Err(); err != nil {
+				t.Fatalf("h=%d src=%d: %v", h, src, err)
+			}
+			if !res.MinimumTime {
+				t.Fatalf("h=%d src=%d: %d rounds, want %d", h, src, len(sched.Rounds), TriTreeMinimumRounds(h))
+			}
+		}
+	}
+}
+
+func TestTriTreeScheduleErrors(t *testing.T) {
+	if _, err := TriTreeSchedule(0, 0); err == nil {
+		t.Error("expected error for h = 0")
+	}
+	if _, err := TriTreeSchedule(2, 100); err == nil {
+		t.Error("expected error for out-of-range source")
+	}
+}
+
+// The complete binary tree from its root broadcasts in minimum time; from
+// arbitrary sources within one extra round (the slack Theorem 1 absorbs).
+func TestCompleteBinaryTreeSchedule(t *testing.T) {
+	for h := 1; h <= 6; h++ {
+		g := topo.CompleteBinaryTree(h)
+		net := linecomm.GraphNetwork{G: g}
+		minRounds := intmath.CeilLog2(uint64(g.NumVertices()))
+		for src := 0; src < g.NumVertices(); src++ {
+			sched, err := CompleteBinaryTreeSchedule(h, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := linecomm.Validate(net, 2*h, sched)
+			if err := res.Err(); err != nil {
+				t.Fatalf("h=%d src=%d: %v", h, src, err)
+			}
+			if !res.Complete {
+				t.Fatalf("h=%d src=%d: incomplete", h, src)
+			}
+			if len(sched.Rounds) > minRounds+1 {
+				t.Fatalf("h=%d src=%d: %d rounds > %d+1", h, src, len(sched.Rounds), minRounds)
+			}
+			if src == 0 && len(sched.Rounds) != minRounds {
+				t.Fatalf("h=%d from root: %d rounds, want %d", h, len(sched.Rounds), minRounds)
+			}
+		}
+	}
+	if _, err := CompleteBinaryTreeSchedule(3, -1); err == nil {
+		t.Error("expected error for bad source")
+	}
+}
+
+func TestStoreForwardOnHypercube(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		g := topo.Hypercube(n)
+		net := linecomm.GraphNetwork{G: g}
+		for _, src := range []int{0, g.NumVertices() - 1} {
+			sched, err := StoreForwardSchedule(g, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := linecomm.Validate(net, 1, sched)
+			if err := res.Err(); err != nil {
+				t.Fatalf("n=%d src=%d: %v", n, src, err)
+			}
+			if !res.MinimumTime {
+				t.Fatalf("Q_%d store-and-forward took %d rounds, want %d", n, len(sched.Rounds), n)
+			}
+		}
+	}
+}
+
+func TestStoreForwardOnPathAndStar(t *testing.T) {
+	// P_8 from an end: k = 1 forces 7 rounds (the motivating bottleneck).
+	g := topo.Path(8)
+	sched, err := StoreForwardSchedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Rounds) != 7 {
+		t.Errorf("P_8 from end: %d rounds, want 7", len(sched.Rounds))
+	}
+	res := linecomm.Validate(linecomm.GraphNetwork{G: g}, 1, sched)
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Star from center: one leaf per round.
+	s := topo.Star(6)
+	sched, err = StoreForwardSchedule(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Rounds) != 5 {
+		t.Errorf("K_{1,5} from center: %d rounds, want 5", len(sched.Rounds))
+	}
+}
+
+func TestStoreForwardDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if _, err := StoreForwardSchedule(g, 0); err == nil {
+		t.Error("expected error on disconnected graph")
+	}
+	if _, err := StoreForwardSchedule(g, 9); err == nil {
+		t.Error("expected error on bad source")
+	}
+}
+
+// The checker certifies known k-mlbgs.
+func TestExhaustiveKnownPositives(t *testing.T) {
+	// K_{1,3} is a 2-mlbg (the paper's fewest-edges example).
+	if ok, src, err := IsKMLBG(topo.Star(4), 2); err != nil || !ok {
+		t.Errorf("K_{1,3} k=2: ok=%v src=%d err=%v", ok, src, err)
+	}
+	// C_4 is a 2-mlbg.
+	if ok, src, err := IsKMLBG(topo.Cycle(4), 2); err != nil || !ok {
+		t.Errorf("C_4 k=2: ok=%v src=%d err=%v", ok, src, err)
+	}
+	// P_4 is a 2-mlbg but not a 1-mlbg.
+	if ok, _, err := IsKMLBG(topo.Path(4), 2); err != nil || !ok {
+		t.Error("P_4 k=2 should hold")
+	}
+	if ok, src, err := IsKMLBG(topo.Path(4), 1); err != nil || ok {
+		t.Errorf("P_4 k=1 should fail, got ok (src=%d err=%v)", src, err)
+	}
+	// Q_3 is a 1-mlbg (hypercubes are minimal broadcast graphs).
+	if ok, _, err := IsKMLBG(topo.Hypercube(3), 1); err != nil || !ok {
+		t.Error("Q_3 k=1 should hold")
+	}
+	// T_1 = K_{1,3} again via the tri-tree generator, with k from Theorem 1.
+	if ok, _, err := IsKMLBG(topo.TriTree(1), 2); err != nil || !ok {
+		t.Error("T_1 k=2 should hold")
+	}
+}
+
+func TestExhaustiveKnownNegatives(t *testing.T) {
+	// P_8 with k = 1: ceil(log 8) = 3 rounds cannot cover a path.
+	if ok, _, err := IsKMLBG(topo.Path(8), 1); err != nil || ok {
+		t.Error("P_8 k=1 should fail")
+	}
+	// C_8 with k = 1: a cycle spreads at most 2 vertices/round of growth
+	// per frontier; 3 rounds reach at most 1+2+4 = 7 < 8... (it does fail).
+	if ok, _, err := IsKMLBG(topo.Cycle(8), 1); err != nil || ok {
+		t.Error("C_8 k=1 should fail")
+	}
+}
+
+func TestExhaustiveWitnessIsValid(t *testing.T) {
+	g := topo.Cycle(4)
+	c, err := NewChecker(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MinimumRounds() != 2 {
+		t.Fatalf("MinimumRounds = %d", c.MinimumRounds())
+	}
+	ok, sched := c.FeasibleFrom(0)
+	if !ok || sched == nil {
+		t.Fatal("C_4 from 0 should be feasible")
+	}
+	res := linecomm.Validate(linecomm.GraphNetwork{G: g}, 2, sched)
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.MinimumTime {
+		t.Fatal("witness not minimum time")
+	}
+}
+
+func TestCheckerLimits(t *testing.T) {
+	if _, err := NewChecker(topo.Hypercube(5), 2); err == nil {
+		t.Error("expected vertex-limit error (32 > 26)")
+	}
+	if _, err := NewChecker(topo.Cycle(4), 0); err == nil {
+		t.Error("expected k >= 1 error")
+	}
+	big := topo.Complete(13) // 78 edges > 64
+	if _, err := NewChecker(big, 2); err == nil {
+		t.Error("expected edge-limit error")
+	}
+}

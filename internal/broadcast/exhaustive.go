@@ -1,0 +1,210 @@
+package broadcast
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sparsehypercube/internal/graph"
+	"sparsehypercube/internal/intmath"
+	"sparsehypercube/internal/linecomm"
+)
+
+// Exhaustive minimum-time k-line broadcast decision for small graphs.
+// This is a construction-agnostic certificate: it knows nothing about
+// sparse hypercubes and searches the raw scheduling space, so agreement
+// with the paper's schemes is independent evidence for Theorems 4 and 6
+// (and disagreement on ablated graphs shows the checker has teeth).
+
+// ExhaustiveLimitVertices bounds the searchable graph order.
+const ExhaustiveLimitVertices = 26
+
+// maxPathsPerPair caps path enumeration to keep the search sane; hit only
+// on dense graphs with large k, which the experiments avoid.
+const maxPathsPerPair = 512
+
+// pathCand is a candidate call: a concrete path with its edge mask.
+type pathCand struct {
+	path  []uint64
+	edges uint64 // bit mask over edge ids
+	to    int
+}
+
+// Checker decides minimum-time k-line broadcast feasibility on one graph.
+type Checker struct {
+	g     *graph.Graph
+	k     int
+	n     int
+	tau   int          // ceil(log2 n)
+	cands [][]pathCand // per source vertex: all simple paths of length <= k
+}
+
+// NewChecker prepares the path tables for g and k.
+func NewChecker(g *graph.Graph, k int) (*Checker, error) {
+	n := g.NumVertices()
+	if n < 2 || n > ExhaustiveLimitVertices {
+		return nil, fmt.Errorf("broadcast: exhaustive checker supports 2..%d vertices, got %d",
+			ExhaustiveLimitVertices, n)
+	}
+	if g.NumEdges() > 64 {
+		return nil, fmt.Errorf("broadcast: exhaustive checker supports <= 64 edges, got %d", g.NumEdges())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("broadcast: k = %d < 1", k)
+	}
+	edgeID := make(map[[2]int]int)
+	g.Edges(func(u, v int) {
+		edgeID[[2]int{u, v}] = len(edgeID)
+	})
+	eid := func(u, v int) int {
+		if u > v {
+			u, v = v, u
+		}
+		return edgeID[[2]int{u, v}]
+	}
+	c := &Checker{g: g, k: k, n: n, tau: intmath.CeilLog2(uint64(n)), cands: make([][]pathCand, n)}
+	for src := 0; src < n; src++ {
+		var out []pathCand
+		onPath := make([]bool, n)
+		onPath[src] = true
+		pathBuf := []uint64{uint64(src)}
+		var dfs func(v int, edges uint64) error
+		dfs = func(v int, edges uint64) error {
+			if len(pathBuf)-1 >= 1 {
+				if len(out) >= maxPathsPerPair*4 {
+					return fmt.Errorf("broadcast: path explosion from vertex %d", src)
+				}
+				cp := make([]uint64, len(pathBuf))
+				copy(cp, pathBuf)
+				out = append(out, pathCand{path: cp, edges: edges, to: v})
+			}
+			if len(pathBuf)-1 == c.k {
+				return nil
+			}
+			for _, w := range c.g.Neighbors(v) {
+				if onPath[w] {
+					continue
+				}
+				onPath[w] = true
+				pathBuf = append(pathBuf, uint64(w))
+				if err := dfs(int(w), edges|1<<uint(eid(v, int(w)))); err != nil {
+					return err
+				}
+				pathBuf = pathBuf[:len(pathBuf)-1]
+				onPath[w] = false
+			}
+			return nil
+		}
+		for _, w := range g.Neighbors(src) {
+			onPath[w] = true
+			pathBuf = append(pathBuf, uint64(w))
+			if err := dfs(int(w), 1<<uint(eid(src, int(w)))); err != nil {
+				return nil, err
+			}
+			pathBuf = pathBuf[:1]
+			onPath[w] = false
+		}
+		c.cands[src] = out
+	}
+	return c, nil
+}
+
+// MinimumRounds returns the broadcast round lower bound for the graph.
+func (c *Checker) MinimumRounds() int { return c.tau }
+
+// FeasibleFrom reports whether a minimum-time k-line broadcast from src
+// exists, returning a witness schedule when it does.
+func (c *Checker) FeasibleFrom(src int) (bool, *linecomm.Schedule) {
+	full := uint32(1)<<uint(c.n) - 1
+	failed := make(map[uint64]bool) // (round, informed) -> proven infeasible
+	rounds := make([]linecomm.Round, 0, c.tau)
+
+	var solve func(round int, informed uint32) bool
+	solve = func(round int, informed uint32) bool {
+		if informed == full {
+			// Trim empty trailing rounds.
+			return true
+		}
+		if round == c.tau {
+			return false
+		}
+		key := uint64(informed)<<5 | uint64(round)
+		if failed[key] {
+			return false
+		}
+		// Doubling prune: remaining rounds must be able to cover.
+		need := c.n - bits.OnesCount32(informed)
+		if bits.OnesCount32(informed)*((1<<uint(c.tau-round))-1) < need {
+			failed[key] = true
+			return false
+		}
+		callers := make([]int, 0, bits.OnesCount32(informed))
+		for v := 0; v < c.n; v++ {
+			if informed&(1<<uint(v)) != 0 {
+				callers = append(callers, v)
+			}
+		}
+		var roundCalls linecomm.Round
+		var assign func(i int, usedEdges uint64, newInf uint32) bool
+		assign = func(i int, usedEdges uint64, newInf uint32) bool {
+			if i == len(callers) {
+				if newInf == 0 {
+					return false // no progress; skip-everything branch is useless
+				}
+				rounds = append(rounds, append(linecomm.Round(nil), roundCalls...))
+				if solve(round+1, informed|newInf) {
+					return true
+				}
+				rounds = rounds[:len(rounds)-1]
+				return false
+			}
+			// Prune: even if every remaining caller informs one vertex, can
+			// the doubling requirement still be met?
+			potential := bits.OnesCount32(informed) + bits.OnesCount32(newInf) + (len(callers) - i)
+			if potential*(1<<uint(c.tau-round-1)) < c.n {
+				return false
+			}
+			caller := callers[i]
+			for _, cand := range c.cands[caller] {
+				tgt := uint32(1) << uint(cand.to)
+				if informed&tgt != 0 || newInf&tgt != 0 {
+					continue
+				}
+				if usedEdges&cand.edges != 0 {
+					continue
+				}
+				roundCalls = append(roundCalls, linecomm.Call{Path: cand.path})
+				if assign(i+1, usedEdges|cand.edges, newInf|tgt) {
+					return true
+				}
+				roundCalls = roundCalls[:len(roundCalls)-1]
+			}
+			// Caller skips this round.
+			return assign(i+1, usedEdges, newInf)
+		}
+		if assign(0, 0, 0) {
+			return true
+		}
+		failed[key] = true
+		return false
+	}
+	if solve(0, 1<<uint(src)) {
+		return true, &linecomm.Schedule{Source: uint64(src), Rounds: rounds}
+	}
+	return false, nil
+}
+
+// IsKMLBG reports whether g is a minimal k-line broadcast graph: broadcast
+// completes in ceil(log2 N) rounds from every source. On failure it
+// returns a witness source with no minimum-time scheme.
+func IsKMLBG(g *graph.Graph, k int) (bool, int, error) {
+	c, err := NewChecker(g, k)
+	if err != nil {
+		return false, -1, err
+	}
+	for src := 0; src < g.NumVertices(); src++ {
+		if ok, _ := c.FeasibleFrom(src); !ok {
+			return false, src, nil
+		}
+	}
+	return true, -1, nil
+}

@@ -1,0 +1,75 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"sparsehypercube/internal/graph"
+	"sparsehypercube/internal/linecomm"
+	"sparsehypercube/internal/matching"
+)
+
+// StoreForwardSchedule computes a store-and-forward (k = 1) broadcast
+// schedule on g from src, maximising the number of newly informed vertices
+// each round with a maximum bipartite matching between informed vertices
+// and their uninformed neighbors. This is the classic baseline model the
+// paper contrasts with k-line communication: on Q_n it completes in the
+// minimum n rounds; on low-degree graphs it exhibits the bottleneck that
+// motivates longer calls.
+func StoreForwardSchedule(g *graph.Graph, src int) (*linecomm.Schedule, error) {
+	n := g.NumVertices()
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("broadcast: source %d outside [0,%d)", src, n)
+	}
+	informed := make([]bool, n)
+	informed[src] = true
+	informedCount := 1
+	sched := &linecomm.Schedule{Source: uint64(src)}
+	for informedCount < n {
+		// Build the bipartite instance: left = informed vertices with at
+		// least one uninformed neighbor, right = uninformed vertices.
+		var left []int
+		rightIndex := make([]int, n)
+		for i := range rightIndex {
+			rightIndex[i] = -1
+		}
+		var right []int
+		for v := 0; v < n; v++ {
+			if !informed[v] {
+				rightIndex[v] = len(right)
+				right = append(right, v)
+			}
+		}
+		adj := make([][]int, 0, informedCount)
+		for v := 0; v < n; v++ {
+			if !informed[v] {
+				continue
+			}
+			var row []int
+			for _, w := range g.Neighbors(v) {
+				if !informed[w] {
+					row = append(row, rightIndex[w])
+				}
+			}
+			if len(row) > 0 {
+				left = append(left, v)
+				adj = append(adj, row)
+			}
+		}
+		matchL, size := matching.Bipartite(len(left), len(right), adj)
+		if size == 0 {
+			return nil, fmt.Errorf("broadcast: graph disconnected, %d vertices unreachable", n-informedCount)
+		}
+		var round linecomm.Round
+		for i, v := range left {
+			if matchL[i] < 0 {
+				continue
+			}
+			w := right[matchL[i]]
+			round = append(round, linecomm.Call{Path: []uint64{uint64(v), uint64(w)}})
+			informed[w] = true
+			informedCount++
+		}
+		sched.Rounds = append(sched.Rounds, round)
+	}
+	return sched, nil
+}

@@ -1,0 +1,300 @@
+// Package broadcast provides broadcast algorithms that are independent of
+// the sparse-hypercube construction: the Theorem-1 tree schemes (line
+// broadcasting on the degree-3 tri-tree in minimum time), a
+// store-and-forward baseline driven by maximum matching, and an exhaustive
+// minimum-time k-line checker used to certify small graphs without
+// trusting the paper's schemes.
+package broadcast
+
+import (
+	"fmt"
+
+	"sparsehypercube/internal/intmath"
+	"sparsehypercube/internal/linecomm"
+	"sparsehypercube/internal/topo"
+)
+
+// treeShape abstracts the complete-binary-tree structure the Theorem-1
+// schemes recurse over: a children function plus parent pointers for path
+// construction. Vertices are the ids of the underlying topo graph.
+type treeShape struct {
+	parent   []int // parent[v] or -1 at the global root
+	children func(v int) (l, r int, ok bool)
+}
+
+// path returns the unique tree path between u and v (inclusive).
+func (t *treeShape) path(u, v int) []uint64 {
+	// Climb both to their LCA, collecting the two half-paths.
+	depth := func(x int) int {
+		d := 0
+		for t.parent[x] >= 0 {
+			x = t.parent[x]
+			d++
+		}
+		return d
+	}
+	du, dv := depth(u), depth(v)
+	var up []uint64
+	x, y := u, v
+	for du > dv {
+		up = append(up, uint64(x))
+		x = t.parent[x]
+		du--
+	}
+	var down []uint64
+	for dv > du {
+		down = append(down, uint64(y))
+		y = t.parent[y]
+		dv--
+	}
+	for x != y {
+		up = append(up, uint64(x))
+		down = append(down, uint64(y))
+		x = t.parent[x]
+		y = t.parent[y]
+	}
+	up = append(up, uint64(x)) // the LCA
+	for i := len(down) - 1; i >= 0; i-- {
+		up = append(up, down[i])
+	}
+	return up
+}
+
+// scheduler accumulates calls into rounds.
+type scheduler struct {
+	shape  *treeShape
+	rounds []linecomm.Round
+}
+
+func (s *scheduler) call(round, from, to int) {
+	for len(s.rounds) <= round {
+		s.rounds = append(s.rounds, nil)
+	}
+	s.rounds[round] = append(s.rounds[round], linecomm.Call{Path: s.shape.path(from, to)})
+}
+
+// scheduleRoot broadcasts a complete binary subtree of height t rooted at
+// r (which is already informed), starting at round start. Uses t+1 rounds.
+// This is shape A of the recursion: r calls its left child, which takes
+// over the left subtree, while r keeps feeding the right subtree (shape B).
+func (s *scheduler) scheduleRoot(r, t, start int) {
+	if t == 0 {
+		return
+	}
+	l, rc, ok := s.shape.children(r)
+	if !ok {
+		return
+	}
+	s.call(start, r, l)
+	s.scheduleRoot(l, t-1, start+1)
+	s.scheduleFeed(r, rc, t-1, start+1)
+}
+
+// scheduleFeed broadcasts a complete binary subtree of height t rooted at
+// x, none of which is informed, from the external informed owner v (the
+// call paths run from v through the tree to x's subtree). Shape B: v calls
+// x's left child, handing it the left subtree plus the pendant x, and
+// keeps feeding the right subtree. Uses rounds start..start+t.
+func (s *scheduler) scheduleFeed(v, x, t, start int) {
+	if t == 0 {
+		s.call(start, v, x)
+		return
+	}
+	l, r, _ := s.shape.children(x)
+	s.call(start, v, l)
+	s.schedulePendant(l, x, t-1, start+1)
+	s.scheduleFeed(v, r, t-1, start+1)
+}
+
+// schedulePendant broadcasts a complete binary subtree of height t rooted
+// at the informed vertex r plus one extra uninformed "pendant" vertex q
+// (possibly far from r; the call to q routes through foreign vertices,
+// which the line model allows). Shape C. Uses rounds start..start+t.
+func (s *scheduler) schedulePendant(r, q, t, start int) {
+	if t == 0 {
+		s.call(start, r, q)
+		return
+	}
+	l, rc, _ := s.shape.children(r)
+	s.call(start, r, l)
+	s.schedulePendant(l, q, t-1, start+1)
+	s.scheduleFeed(r, rc, t-1, start+1)
+}
+
+// scheduleInternal broadcasts a complete binary subtree of height t rooted
+// at r from an arbitrary informed vertex src inside it. Uses at most
+// rounds start..start+t+1 (one more than from the root: src first calls
+// the root, then the two halves proceed as usual).
+func (s *scheduler) scheduleInternal(src, r, t, start int) {
+	if src == r {
+		s.scheduleRoot(r, t, start)
+		return
+	}
+	s.call(start, src, r)
+	// Descend toward src: the child subtree containing src keeps src as
+	// its owner; r feeds the other child subtree.
+	l, rc, _ := s.shape.children(r)
+	if inSubtree(s.shape, src, l) {
+		s.scheduleFeed(r, rc, t-1, start+1)
+		s.scheduleInternal(src, l, t-1, start+1)
+	} else {
+		s.scheduleFeed(r, l, t-1, start+1)
+		s.scheduleInternal(src, rc, t-1, start+1)
+	}
+}
+
+func inSubtree(shape *treeShape, v, root int) bool {
+	for v >= 0 {
+		if v == root {
+			return true
+		}
+		v = shape.parent[v]
+	}
+	return false
+}
+
+// cbtShape returns the treeShape of topo.CompleteBinaryTree(h) (heap
+// numbering: children of v are 2v+1, 2v+2).
+func cbtShape(h int) *treeShape {
+	order := 1<<uint(h+1) - 1
+	parent := make([]int, order)
+	parent[0] = -1
+	for v := 1; v < order; v++ {
+		parent[v] = (v - 1) / 2
+	}
+	return &treeShape{
+		parent: parent,
+		children: func(v int) (int, int, bool) {
+			l := 2*v + 1
+			if l+1 >= order {
+				return 0, 0, false
+			}
+			return l, l + 1, true
+		},
+	}
+}
+
+// CompleteBinaryTreeSchedule returns a line-broadcast schedule for the
+// complete binary tree of height h from source src. From the root it is
+// minimum time (h+1 = ceil(log2 N) rounds); from other sources it may use
+// one extra round (the tree alone is not an mlbg — Theorem 1 wraps three
+// of them around a center to absorb the slack).
+func CompleteBinaryTreeSchedule(h, src int) (*linecomm.Schedule, error) {
+	order := 1<<uint(h+1) - 1
+	if src < 0 || src >= order {
+		return nil, fmt.Errorf("broadcast: source %d outside [0,%d)", src, order)
+	}
+	s := &scheduler{shape: cbtShape(h)}
+	s.scheduleInternal(src, 0, h, 0)
+	return &linecomm.Schedule{Source: uint64(src), Rounds: s.rounds}, nil
+}
+
+// triTreeShape returns the treeShape of topo.TriTree(h), with the center's
+// children function excluding the given branch root (the center behaves as
+// the root of a virtual complete binary tree over the other two branches).
+func triTreeShape(h int, excludeBranch int) *treeShape {
+	s := 1<<uint(h) - 1
+	order := 1 + 3*s
+	parent := make([]int, order)
+	parent[topo.TriTreeCenter] = -1
+	for br := 0; br < 3; br++ {
+		base := 1 + br*s
+		parent[base] = topo.TriTreeCenter
+		for i := 1; i < s; i++ {
+			parent[base+i] = base + (i-1)/2
+		}
+	}
+	branchOf := func(v int) int { return (v - 1) / s }
+	return &treeShape{
+		parent: parent,
+		children: func(v int) (int, int, bool) {
+			if v == topo.TriTreeCenter {
+				var roots []int
+				for br := 0; br < 3; br++ {
+					if br != excludeBranch {
+						roots = append(roots, topo.TriTreeBranchRoot(h, br))
+					}
+				}
+				return roots[0], roots[1], true
+			}
+			base := 1 + branchOf(v)*s
+			i := v - base
+			if 2*i+2 >= s {
+				return 0, 0, false
+			}
+			return base + 2*i + 1, base + 2*i + 2, true
+		},
+	}
+}
+
+// TriTreeSchedule returns a minimum-time line-broadcast schedule for the
+// Theorem-1 tree T_h from any source: ceil(log2(3*2^h-2)) rounds with
+// every call of length at most 2h, certifying T_h as a 2h-mlbg.
+func TriTreeSchedule(h, src int) (*linecomm.Schedule, error) {
+	if h < 1 {
+		return nil, fmt.Errorf("broadcast: TriTree height %d < 1", h)
+	}
+	order := topo.TriTreeOrder(h)
+	if src < 0 || src >= order {
+		return nil, fmt.Errorf("broadcast: source %d outside [0,%d)", src, order)
+	}
+	if h == 1 {
+		return triTreeH1Schedule(src), nil
+	}
+	c := topo.TriTreeCenter
+	if src == c {
+		// Rounds 0,1: the center hands roots to branches 0 and 1; from
+		// round 2 on it feeds branch 2 while branches 0, 1 self-serve.
+		shape := triTreeShape(h, 2) // center's virtual children: roots 0, 1
+		s := &scheduler{shape: shape}
+		r0 := topo.TriTreeBranchRoot(h, 0)
+		r1 := topo.TriTreeBranchRoot(h, 1)
+		r2 := topo.TriTreeBranchRoot(h, 2)
+		s.call(0, c, r0)
+		s.scheduleRoot(r0, h-1, 1)
+		s.call(1, c, r1)
+		s.scheduleRoot(r1, h-1, 2)
+		s.scheduleFeed(c, r2, h-1, 2)
+		return &linecomm.Schedule{Source: uint64(src), Rounds: s.rounds}, nil
+	}
+	// Source inside a branch: it calls the center, which then roots the
+	// virtual height-h tree over the other two branches, while the source
+	// finishes its own branch from wherever it sits.
+	sSize := 1<<uint(h) - 1
+	br := (src - 1) / sSize
+	shape := triTreeShape(h, br)
+	s := &scheduler{shape: shape}
+	s.call(0, src, c)
+	s.scheduleRoot(c, h, 1)
+	s.scheduleInternal(src, topo.TriTreeBranchRoot(h, br), h-1, 1)
+	return &linecomm.Schedule{Source: uint64(src), Rounds: s.rounds}, nil
+}
+
+// triTreeH1Schedule handles T_1 = K_{1,3} (N = 4, 2 rounds) explicitly.
+func triTreeH1Schedule(src int) *linecomm.Schedule {
+	c := uint64(topo.TriTreeCenter)
+	leaves := []uint64{1, 2, 3}
+	if src == topo.TriTreeCenter {
+		// c -> 1; then c -> 2 and 1 -> (via c) -> 3.
+		return &linecomm.Schedule{Source: c, Rounds: []linecomm.Round{
+			{{Path: []uint64{c, 1}}},
+			{{Path: []uint64{c, 2}}, {Path: []uint64{1, c, 3}}},
+		}}
+	}
+	var others []uint64
+	for _, l := range leaves {
+		if int(l) != src {
+			others = append(others, l)
+		}
+	}
+	u := uint64(src)
+	return &linecomm.Schedule{Source: u, Rounds: []linecomm.Round{
+		{{Path: []uint64{u, c}}},
+		{{Path: []uint64{c, others[0]}}, {Path: []uint64{u, c, others[1]}}},
+	}}
+}
+
+// TriTreeMinimumRounds returns ceil(log2(3*2^h-2)).
+func TriTreeMinimumRounds(h int) int {
+	return intmath.CeilLog2(uint64(topo.TriTreeOrder(h)))
+}

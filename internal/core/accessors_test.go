@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestAccessorsAndPanics(t *testing.T) {
+	s, err := NewRec(7, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Params(); got.K != 3 || got.N() != 7 {
+		t.Errorf("Params() = %v", got)
+	}
+	// Level/DimClass over the whole dimension range.
+	wantLevel := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 6: 3, 7: 3}
+	for d, l := range wantLevel {
+		if s.Level(d) != l {
+			t.Errorf("Level(%d) = %d, want %d", d, s.Level(d), l)
+		}
+	}
+	for d := 1; d <= 2; d++ {
+		if s.DimClass(d) != -1 {
+			t.Errorf("base dim %d should have class -1", d)
+		}
+	}
+	for d := 3; d <= 7; d++ {
+		if c := s.DimClass(d); c < 0 || c > 1 {
+			t.Errorf("DimClass(%d) = %d out of range", d, c)
+		}
+	}
+	for _, fn := range []func(){
+		func() { s.Level(0) },
+		func() { s.Level(8) },
+		func() { s.DimClass(-1) },
+		func() { s.HasEdgeDim(1<<7, 3) },
+		func() { s.DegreeOf(1 << 7) },
+		func() { s.LabelAt(1, 0) },
+		func() { s.LabelAt(4, 0) },
+		func() { s.CallPath(0, 0) },
+		func() { s.BroadcastSchedule(1 << 7) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewAutoEndToEnd(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4} {
+		s, err := NewAuto(k, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.N() != 11 {
+			t.Errorf("k=%d: n = %d", k, s.N())
+		}
+		if s.K() > k {
+			t.Errorf("k=%d: construction uses %d levels > k", k, s.K())
+		}
+	}
+	if _, err := NewAuto(0, 5); err == nil {
+		t.Error("expected error for k = 0")
+	}
+}
+
+func TestBoundPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { UpperBoundTheorem5(0) },
+		func() { UpperBoundTheorem7(2, 10) },
+		func() { UpperBoundTheorem7(5, 5) },
+		func() { UpperBoundCorollary1(1) },
+		func() { Corollary1K(1) },
+		func() { LowerBoundDegree(0, 5) },
+		func() { Theorem1K(3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTheorem7ParamsDomainErrors(t *testing.T) {
+	if _, err := Theorem7Params(2, 10); err == nil {
+		t.Error("k = 2 should be rejected")
+	}
+	if _, err := Theorem7Params(5, 5); err == nil {
+		t.Error("n <= k should be rejected")
+	}
+	// Very tight n: either a valid vector or a clean error.
+	for k := 3; k <= 6; k++ {
+		p, err := Theorem7Params(k, k+1)
+		if err == nil {
+			if verr := p.Validate(); verr != nil {
+				t.Errorf("k=%d n=%d: returned invalid params: %v", k, k+1, verr)
+			}
+		}
+	}
+}

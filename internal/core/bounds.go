@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sparsehypercube/internal/intmath"
+)
+
+// Bounds from the paper's §2 and the degree guarantees of §3–§4. All are
+// exact integer formulas; n = log2 N throughout.
+
+// LowerBoundDegree returns the paper's degree lower bound for a k-mlbg on
+// 2^n vertices:
+//
+//	k = 1:       Delta >= n (the source must call n distinct neighbors),
+//	k = 2, 3, 4: Delta >= ceil(n^(1/k))            (Theorem 2),
+//	k >= 5:      the smallest Delta >= 3 with
+//	             3*((Delta-1)^k - 1) >= n          (Theorem 3's inequality),
+//	             which is >= ceil((n/3 + 1)^(1/k)) + 1.
+func LowerBoundDegree(k, n int) int {
+	if k < 1 || n < 1 {
+		panic("core: LowerBoundDegree requires k, n >= 1")
+	}
+	switch {
+	case k == 1:
+		return n
+	case k <= 4:
+		return int(intmath.CeilRoot(uint64(n), k))
+	default:
+		for delta := 3; ; delta++ {
+			if 3*(intPowSat(delta-1, k)-1) >= n {
+				return delta
+			}
+		}
+	}
+}
+
+// intPowSat computes base^exp saturating at a large sentinel to avoid
+// overflow in bound loops.
+func intPowSat(base, exp int) int {
+	const cap = 1 << 50
+	r := 1
+	for i := 0; i < exp; i++ {
+		r *= base
+		if r > cap {
+			return cap
+		}
+	}
+	return r
+}
+
+// UpperBoundTheorem5 returns Theorem 5's guarantee for k = 2:
+// there is a 2-mlbg of order 2^n with Delta <= 2*ceil(sqrt(2n+4)) - 4
+// (for n = 1 the bound given in the proof is 2*3 - 4 = 2).
+func UpperBoundTheorem5(n int) int {
+	if n < 1 {
+		panic("core: UpperBoundTheorem5 requires n >= 1")
+	}
+	return 2*int(intmath.CeilSqrt(uint64(2*n+4))) - 4
+}
+
+// UpperBoundTheorem7 returns Theorem 7's guarantee for k >= 3:
+// Delta <= (2k-1)*ceil(n^(1/k)) - k.
+func UpperBoundTheorem7(k, n int) int {
+	if k < 3 || n <= k {
+		panic("core: UpperBoundTheorem7 requires 3 <= k < n")
+	}
+	return (2*k-1)*int(intmath.CeilRoot(uint64(n), k)) - k
+}
+
+// UpperBoundCorollary1 returns Corollary 1's guarantee: with
+// k = ceil(log2 n), Delta <= 4*ceil(log2 log2 N) - 2 = 4*ceil(log2 n) - 2.
+func UpperBoundCorollary1(n int) int {
+	if n < 2 {
+		panic("core: UpperBoundCorollary1 requires n >= 2")
+	}
+	return 4*intmath.CeilLog2(uint64(n)) - 2
+}
+
+// Corollary1K returns the call length Corollary 1 uses: ceil(log2 n).
+func Corollary1K(n int) int {
+	if n < 2 {
+		panic("core: Corollary1K requires n >= 2")
+	}
+	return intmath.CeilLog2(uint64(n))
+}
+
+// Theorem1K returns the call-length threshold of Theorem 1: for
+// k >= 2*ceil(log2((N+2)/3)) there is a k-mlbg with Delta <= 3
+// (the tri-tree T_h with h = ceil(log2((N+2)/3)), the smallest h with
+// 3*2^h - 2 >= N).
+func Theorem1K(order uint64) int {
+	if order < 4 {
+		panic("core: Theorem1K requires N >= 4")
+	}
+	h := 0
+	for 3*(uint64(1)<<uint(h))-2 < order {
+		h++
+	}
+	return 2 * h
+}

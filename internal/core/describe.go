@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders the construction's level structure — the information of
+// the paper's Fig. 5 (window layout and partition of S) in text form.
+func (s *SparseHypercube) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: N = 2^%d, Delta = %d, delta = %d, |E| = %d\n",
+		s.params, s.n, s.MaxDegree(), s.MinDegree(), s.NumEdges())
+	fmt.Fprintf(&b, "  base region: dimensions 1..%d (all edges present)\n", s.params.Dims[0])
+	for l := 2; l <= s.params.K; l++ {
+		ld := s.levelOf(l)
+		lo, hi := s.params.governedRange(l)
+		fmt.Fprintf(&b, "  level %d: labels g_%d over window (%d,%d] (%s, lambda = %d) govern dimensions %d..%d\n",
+			l, l, ld.wlo, ld.whi, ld.lab.Source(), ld.lab.NumLabels(), lo+1, hi)
+		for c, dims := range ld.classDims {
+			fmt.Fprintf(&b, "    S_%d = %s\n", c+1, dimSet(dims))
+		}
+	}
+	return b.String()
+}
+
+func dimSet(dims []int) string {
+	if len(dims) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

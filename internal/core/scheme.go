@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"sparsehypercube/internal/linecomm"
+)
+
+// CallPath returns the path a caller at u uses to fire dimension d — the
+// call placed by schemes Broadcast_2 / Broadcast_k when processing
+// dimension d (paper §3/§4).
+//
+// If the dimension-d edge exists at u the call is direct. Otherwise
+// Condition A guarantees a helper dimension j in the level-below window
+// whose flip moves u into the label class owning d; the path recursively
+// flips j, then crosses d. The endpoint therefore equals u with bit d
+// flipped, possibly with additional flips in bits below the level window —
+// exactly the paper's "w calls vertex +-i(+-j w)". Length <= Level(d) <= k.
+func (s *SparseHypercube) CallPath(u uint64, d int) []uint64 {
+	s.checkDim(d)
+	s.checkVertex(u)
+	path := make([]uint64, 1, s.Level(d)+1)
+	path[0] = u
+	return s.extendPath(path, d)
+}
+
+// extendPath routes from the last vertex of path across dimension d,
+// appending every hop.
+func (s *SparseHypercube) extendPath(path []uint64, d int) []uint64 {
+	u := path[len(path)-1]
+	if s.HasEdgeDim(u, d) {
+		return append(path, u^(1<<uint(d-1)))
+	}
+	// No direct edge: d sits at some level l >= 2 and g_l(u) is not the
+	// class owning d. Find the one-bit window flip reaching that class.
+	l := int(s.dimLevel[d])
+	ld := s.levelOf(l)
+	c := int(s.dimClass[d])
+	b := ld.lab.DominatorBit(ld.windowValue(u), c)
+	if b < 0 {
+		// Impossible: DominatorBit returns -1 only when u already has
+		// label c, which implies a direct edge.
+		panic(fmt.Sprintf("core: inconsistent labeling at u=%d d=%d", u, d))
+	}
+	helper := ld.wlo + b + 1 // window bit b is dimension wlo+b+1
+	path = s.extendPath(path, helper)
+	v := path[len(path)-1]
+	return append(path, v^(1<<uint(d-1)))
+}
+
+// BroadcastSchedule generates the paper's minimum-time k-line broadcast
+// scheme from source (Broadcast_2 for K = 2, Broadcast_k generally,
+// binomial broadcast for K = 1): n rounds; in the round for dimension
+// i = n, n-1, ..., 1 every informed vertex places CallPath(., i).
+// Theorems 4 and 6 assert validity; linecomm.Validate machine-checks it.
+func (s *SparseHypercube) BroadcastSchedule(source uint64) *linecomm.Schedule {
+	s.checkVertex(source)
+	informed := make([]uint64, 1, s.Order())
+	informed[0] = source
+	rounds := make([]linecomm.Round, 0, s.n)
+	for d := s.n; d >= 1; d-- {
+		round := make(linecomm.Round, 0, len(informed))
+		for _, w := range informed {
+			round = append(round, linecomm.Call{Path: s.CallPath(w, d)})
+		}
+		for _, call := range round {
+			informed = append(informed, call.To())
+		}
+		rounds = append(rounds, round)
+	}
+	return &linecomm.Schedule{Source: source, Rounds: rounds}
+}
+
+// MaxCallLength returns the worst-case call length of the scheme, which
+// is the number of levels K (Theorem 6's k bound).
+func (s *SparseHypercube) MaxCallLength() int { return s.params.K }

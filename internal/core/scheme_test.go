@@ -1,0 +1,255 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sparsehypercube/internal/labeling"
+	"sparsehypercube/internal/linecomm"
+)
+
+// mustValidSchedule asserts the construction's scheme from source is a
+// flawless minimum-time k-line broadcast.
+func mustValidSchedule(t *testing.T, s *SparseHypercube, source uint64) *linecomm.Result {
+	t.Helper()
+	sched := s.BroadcastSchedule(source)
+	if len(sched.Rounds) != s.N() {
+		t.Fatalf("%v source %d: %d rounds, want %d", s.Params(), source, len(sched.Rounds), s.N())
+	}
+	res := linecomm.Validate(s, s.K(), sched)
+	if err := res.Err(); err != nil {
+		t.Fatalf("%v source %d: %v", s.Params(), source, err)
+	}
+	if !res.Complete || !res.MinimumTime {
+		t.Fatalf("%v source %d: complete=%v minimumTime=%v informed=%d",
+			s.Params(), source, res.Complete, res.MinimumTime, res.Informed)
+	}
+	return res
+}
+
+// Theorem 4: Broadcast_2 is a minimum-time 2-line broadcast scheme for
+// every Construct_BASE graph, from every source.
+func TestTheorem4AllSourcesSmall(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		for m := 1; m < n; m++ {
+			s, err := NewBase(n, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for src := uint64(0); src < s.Order(); src++ {
+				res := mustValidSchedule(t, s, src)
+				if res.MaxCallLength > 2 {
+					t.Fatalf("n=%d m=%d src=%d: call length %d > 2", n, m, src, res.MaxCallLength)
+				}
+			}
+		}
+	}
+}
+
+// Theorem 4 on larger instances with sampled sources, including the
+// paper's G_{15,3}.
+func TestTheorem4Sampled(t *testing.T) {
+	cases := []struct{ n, m int }{{10, 3}, {12, 4}, {15, 3}, {15, 4}, {16, 5}}
+	for _, c := range cases {
+		s, err := NewBase(c.n, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range []uint64{0, 1, s.Order() - 1, s.Order() / 3, 0xA5A5 % s.Order()} {
+			res := mustValidSchedule(t, s, src)
+			if res.MaxCallLength > 2 {
+				t.Fatalf("n=%d m=%d: call length %d", c.n, c.m, res.MaxCallLength)
+			}
+		}
+	}
+}
+
+// Theorem 6: Broadcast_k is a minimum-time k-line broadcast scheme for the
+// general construction. Exhaustive over sources for small instances.
+func TestTheorem6AllSourcesSmall(t *testing.T) {
+	params := []Params{
+		RecParams(4, 3, 1),
+		RecParams(5, 3, 2),
+		RecParams(6, 4, 2),
+		RecParams(7, 4, 2), // the paper's Example 6 shape
+		{K: 4, Dims: []int{1, 2, 3, 6}},
+		{K: 4, Dims: []int{2, 3, 5, 7}},
+		{K: 5, Dims: []int{1, 2, 3, 4, 7}},
+	}
+	for _, p := range params {
+		s, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := uint64(0); src < s.Order(); src++ {
+			res := mustValidSchedule(t, s, src)
+			if res.MaxCallLength > p.K {
+				t.Fatalf("%v src=%d: call length %d > k", p, src, res.MaxCallLength)
+			}
+		}
+	}
+}
+
+// Theorem 6 on larger instances with sampled sources.
+func TestTheorem6Sampled(t *testing.T) {
+	params := []Params{
+		RecParams(12, 5, 2),
+		RecParams(15, 6, 3),
+		{K: 4, Dims: []int{2, 4, 7, 14}},
+		{K: 5, Dims: []int{2, 3, 5, 8, 13}},
+		{K: 6, Dims: []int{1, 2, 4, 6, 9, 12}},
+	}
+	for _, p := range params {
+		s, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range []uint64{0, 1, s.Order() - 1, s.Order() / 5} {
+			res := mustValidSchedule(t, s, src)
+			if res.MaxCallLength > p.K {
+				t.Fatalf("%v src=%d: call length %d > k", p, src, res.MaxCallLength)
+			}
+		}
+	}
+}
+
+// The degenerate K = 1 construction runs the classic binomial broadcast:
+// all calls have length exactly 1.
+func TestHypercubeBinomialScheme(t *testing.T) {
+	s, err := NewHypercube(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []uint64{0, 17, 63} {
+		res := mustValidSchedule(t, s, src)
+		if res.MaxCallLength != 1 {
+			t.Fatalf("binomial scheme produced call length %d", res.MaxCallLength)
+		}
+	}
+}
+
+// Example 4 / Fig. 4: broadcasting from 0000 in G_{4,2}. Round 1 is a
+// single length-2 call from 0000 whose relay flips a base dimension and
+// which crosses dimension 4; the remaining rounds keep doubling.
+func TestPaperExample4Broadcast(t *testing.T) {
+	s, err := NewBase(4, 2, LevelSpec{
+		Labeling:  labeling.PaperExample1Q2(),
+		Partition: [][]int{{3}, {4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := s.BroadcastSchedule(0)
+	res := linecomm.Validate(s, 2, sched)
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.MinimumTime {
+		t.Fatal("not minimum time")
+	}
+	r1 := sched.Rounds[0]
+	if len(r1) != 1 {
+		t.Fatalf("round 1 has %d calls", len(r1))
+	}
+	call := r1[0]
+	if call.From() != 0 {
+		t.Fatal("round 1 caller must be the source")
+	}
+	// 0000 has label c1; dimension 4 belongs to S_2, so the call must
+	// relay through a base neighbor with label c2 (0001 or 0010, the
+	// paper picks 0010) and end at that neighbor with bit 4 flipped.
+	if call.Length() != 2 {
+		t.Fatalf("round 1 call length %d, want 2", call.Length())
+	}
+	relay := call.Path[1]
+	if relay != 0b0001 && relay != 0b0010 {
+		t.Fatalf("relay %04b not a base neighbor of 0000", relay)
+	}
+	if s.LabelAt(2, relay) != 1 {
+		t.Fatalf("relay label %d, want c2", s.LabelAt(2, relay))
+	}
+	if call.To() != relay|0b1000 {
+		t.Fatalf("receiver %04b, want relay + dimension 4", call.To())
+	}
+	// Round 2: two calls (doubling), crossing dimension 3.
+	if len(sched.Rounds[1]) != 2 {
+		t.Fatalf("round 2 has %d calls", len(sched.Rounds[1]))
+	}
+	if res.InformedPerRound[1] != 4 || res.InformedPerRound[3] != 16 {
+		t.Fatalf("doubling broken: %v", res.InformedPerRound)
+	}
+}
+
+// CallPath structural properties on a 3-level construction.
+func TestCallPathProperties(t *testing.T) {
+	s, err := New(Params{K: 3, Dims: []int{3, 6, 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(uRaw uint16, dRaw uint8) bool {
+		u := uint64(uRaw) & (1<<12 - 1)
+		d := int(dRaw)%12 + 1
+		path := s.CallPath(u, d)
+		if len(path) < 2 || len(path)-1 > s.Level(d) {
+			return false
+		}
+		if path[0] != u {
+			return false
+		}
+		// Every hop is an edge.
+		for i := 1; i < len(path); i++ {
+			if !s.HasEdge(path[i-1], path[i]) {
+				return false
+			}
+		}
+		// The endpoint flips bit d; any extra flips are strictly below d.
+		diff := path[len(path)-1] ^ u
+		if diff&(1<<uint(d-1)) == 0 {
+			return false
+		}
+		if diff>>uint(d) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Schedules never produce a call longer than K across a parameter sweep.
+func TestMaxCallLengthBound(t *testing.T) {
+	params := []Params{
+		BaseParams(9, 3),
+		RecParams(10, 5, 2),
+		{K: 4, Dims: []int{2, 4, 6, 11}},
+	}
+	for _, p := range params {
+		s, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := s.BroadcastSchedule(1)
+		if got := sched.MaxCallLength(); got > s.MaxCallLength() {
+			t.Errorf("%v: observed call length %d > declared %d", p, got, s.MaxCallLength())
+		}
+	}
+}
+
+// Congestion sanity on a validated schedule: within-round edge use is
+// disjoint by validity, so the max per-edge load across the whole
+// schedule is bounded by the number of rounds.
+func TestScheduleCongestionBounded(t *testing.T) {
+	s, err := NewBase(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := s.BroadcastSchedule(0)
+	st := linecomm.Congestion(sched)
+	if st.MaxEdgeLoad > s.N() {
+		t.Errorf("max edge load %d > rounds %d", st.MaxEdgeLoad, s.N())
+	}
+	if st.EdgesUsed == 0 || st.TotalEdgeTime < int(s.Order())-1 {
+		t.Errorf("congestion stats implausible: %+v", st)
+	}
+}

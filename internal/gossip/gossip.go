@@ -1,0 +1,234 @@
+// Package gossip explores the paper's closing research direction (§5):
+// gossiping — the all-to-all analogue of broadcast — under the k-line
+// communication model. Every vertex starts with its own token; a call
+// between two vertices exchanges all tokens both ways (the telephone
+// convention); calls placed in the same round must be edge-disjoint, of
+// length at most k, and each vertex may take part in at most one call per
+// round as an endpoint (pass-through switching remains free, as in the
+// line model).
+//
+// The package provides the model validator/simulator, the classic
+// dimension-exchange scheme on Q_n (optimal: n rounds), and a
+// gather-scatter scheme on sparse hypercubes that completes in 2n rounds
+// with calls of length at most k — evidence that the degree reduction of
+// the paper extends to gossip at a factor-2 cost in time. Whether
+// minimum-time k-line gossip (n rounds) is possible on o(n)-degree graphs
+// is exactly the open problem the paper poses.
+package gossip
+
+import (
+	"fmt"
+
+	"sparsehypercube/internal/bitvec"
+	"sparsehypercube/internal/core"
+	"sparsehypercube/internal/intmath"
+	"sparsehypercube/internal/linecomm"
+)
+
+// MaxSimulateOrder caps full token-set simulation (bitset per vertex).
+const MaxSimulateOrder = 1 << 14
+
+// Result reports gossip validation.
+type Result struct {
+	Violations []linecomm.Violation
+	// Complete: every vertex knows every token at the end.
+	Complete bool
+	// MinKnown is the smallest token count over vertices at the end.
+	MinKnown int
+	// Rounds is the schedule length.
+	Rounds int
+	// MinimumTime: complete in exactly ceil(log2 N) rounds.
+	MinimumTime bool
+}
+
+// Valid reports whether no violations were found.
+func (r *Result) Valid() bool { return len(r.Violations) == 0 }
+
+// Err mirrors linecomm.Result.Err.
+func (r *Result) Err() error {
+	if r.Valid() {
+		return nil
+	}
+	return fmt.Errorf("gossip: %d violations, first: %s", len(r.Violations), r.Violations[0])
+}
+
+// MinimumRounds returns the gossip lower bound ceil(log2 N): each round
+// at most doubles the spread of any single token.
+func MinimumRounds(order uint64) int { return intmath.CeilLog2(order) }
+
+// Validate checks a schedule under the k-line gossip model on net and
+// simulates token propagation. Schedule.Source is ignored (gossip has no
+// distinguished originator).
+func Validate(net linecomm.Network, k int, s *linecomm.Schedule) *Result {
+	res := &Result{Rounds: len(s.Rounds)}
+	order := net.Order()
+	if order > MaxSimulateOrder {
+		res.Violations = append(res.Violations, linecomm.Violation{
+			Round: -1, Call: -1, Kind: linecomm.VertexOutOfRange,
+			Msg: fmt.Sprintf("order %d exceeds simulation cap %d", order, MaxSimulateOrder),
+		})
+		return res
+	}
+	n := int(order)
+	know := make([]*bitvec.Set, n)
+	for v := 0; v < n; v++ {
+		know[v] = bitvec.New(n)
+		know[v].Set(v)
+	}
+	for ri, round := range s.Rounds {
+		usedEdge := make(map[[2]uint64]bool)
+		busy := make(map[uint64]int)
+		type xchg struct{ a, b uint64 }
+		var merges []xchg
+		for ci, call := range round {
+			bad := false
+			if len(call.Path) < 2 {
+				res.Violations = append(res.Violations, linecomm.Violation{
+					Round: ri, Call: ci, Kind: linecomm.PathInvalid,
+					Msg: fmt.Sprintf("path has %d vertices", len(call.Path))})
+				continue
+			}
+			for _, v := range call.Path {
+				if v >= order {
+					res.Violations = append(res.Violations, linecomm.Violation{
+						Round: ri, Call: ci, Kind: linecomm.VertexOutOfRange,
+						Msg: fmt.Sprintf("vertex %d outside [0,%d)", v, order)})
+					bad = true
+				}
+			}
+			if bad {
+				continue
+			}
+			seen := make(map[uint64]bool)
+			for _, v := range call.Path {
+				if seen[v] {
+					res.Violations = append(res.Violations, linecomm.Violation{
+						Round: ri, Call: ci, Kind: linecomm.PathInvalid,
+						Msg: fmt.Sprintf("vertex %d repeated", v)})
+					bad = true
+				}
+				seen[v] = true
+			}
+			for i := 1; i < len(call.Path); i++ {
+				if !net.HasEdge(call.Path[i-1], call.Path[i]) {
+					res.Violations = append(res.Violations, linecomm.Violation{
+						Round: ri, Call: ci, Kind: linecomm.PathInvalid,
+						Msg: fmt.Sprintf("no edge {%d,%d}", call.Path[i-1], call.Path[i])})
+					bad = true
+				}
+			}
+			if call.Length() > k {
+				res.Violations = append(res.Violations, linecomm.Violation{
+					Round: ri, Call: ci, Kind: linecomm.PathTooLong,
+					Msg: fmt.Sprintf("length %d > k = %d", call.Length(), k)})
+			}
+			if bad {
+				continue
+			}
+			for _, endpoint := range []uint64{call.From(), call.To()} {
+				if prev, dup := busy[endpoint]; dup {
+					res.Violations = append(res.Violations, linecomm.Violation{
+						Round: ri, Call: ci, Kind: linecomm.CallerDuplicate,
+						Msg: fmt.Sprintf("vertex %d already in call %d this round", endpoint, prev)})
+				} else {
+					busy[endpoint] = ci
+				}
+			}
+			for i := 1; i < len(call.Path); i++ {
+				a, b := call.Path[i-1], call.Path[i]
+				if a > b {
+					a, b = b, a
+				}
+				e := [2]uint64{a, b}
+				if usedEdge[e] {
+					res.Violations = append(res.Violations, linecomm.Violation{
+						Round: ri, Call: ci, Kind: linecomm.EdgeConflict,
+						Msg: fmt.Sprintf("edge {%d,%d} reused", a, b)})
+				}
+				usedEdge[e] = true
+			}
+			merges = append(merges, xchg{call.From(), call.To()})
+		}
+		// Apply all exchanges simultaneously (synchronous round).
+		for _, m := range merges {
+			u := know[m.a].Clone()
+			know[m.a].UnionWith(know[m.b])
+			know[m.b].UnionWith(u)
+		}
+	}
+	res.MinKnown = n
+	res.Complete = true
+	for v := 0; v < n; v++ {
+		c := know[v].Count()
+		if c < res.MinKnown {
+			res.MinKnown = c
+		}
+		if c != n {
+			res.Complete = false
+		}
+	}
+	res.MinimumTime = res.Complete && len(s.Rounds) == MinimumRounds(order)
+	return res
+}
+
+// HypercubeExchange returns the classic dimension-exchange gossip on Q_n:
+// in the round for dimension i every vertex exchanges with its dimension-i
+// neighbor (2^(n-1) disjoint edges). Completes in n = ceil(log2 N) rounds
+// with k = 1 — minimum time, but on a degree-n graph.
+func HypercubeExchange(n int) (*linecomm.Schedule, error) {
+	if n < 1 || n > 14 {
+		return nil, fmt.Errorf("gossip: dimension %d out of [1,14]", n)
+	}
+	order := uint64(1) << uint(n)
+	s := &linecomm.Schedule{}
+	for d := 1; d <= n; d++ {
+		var round linecomm.Round
+		bit := uint64(1) << uint(d-1)
+		for u := uint64(0); u < order; u++ {
+			if u&bit == 0 {
+				round = append(round, linecomm.Call{Path: []uint64{u, u | bit}})
+			}
+		}
+		s.Rounds = append(s.Rounds, round)
+	}
+	return s, nil
+}
+
+// GatherScatter returns a 2n-round k-line gossip on a sparse hypercube:
+// the broadcast tree of root is first run in reverse (each vertex forwards
+// its accumulated tokens to the vertex that informed it, in reverse round
+// order), concentrating all tokens at root after n rounds; the paper's
+// Broadcast_k then disseminates them in n more rounds. Call lengths stay
+// bounded by k, and per-round calls are edge-disjoint because each phase
+// reuses the edge sets of single broadcast rounds.
+func GatherScatter(s *core.SparseHypercube, root uint64) *linecomm.Schedule {
+	return FromBroadcast(s.BroadcastSchedule(root))
+}
+
+// FromBroadcast lifts ANY valid broadcast schedule into a gossip schedule
+// of twice the length: the broadcast run backwards (reversed rounds,
+// reversed paths) gathers every token at the source — each vertex sends
+// to the vertex that informed it, strictly before that vertex sends on,
+// because broadcast informs parents before children — then the original
+// broadcast scatters the full token set. Edge-disjointness per round and
+// the one-call-per-vertex gossip constraint are inherited from the
+// broadcast rounds (callers and receivers of a valid broadcast round are
+// disjoint sets). This turns every broadcast scheme in the repository —
+// Broadcast_k, the tri-tree schemes, tree planners — into a
+// 2*ceil(log2 N)-round gossip scheme on the same graph.
+func FromBroadcast(bc *linecomm.Schedule) *linecomm.Schedule {
+	out := &linecomm.Schedule{Source: bc.Source}
+	for ri := len(bc.Rounds) - 1; ri >= 0; ri-- {
+		var round linecomm.Round
+		for _, call := range bc.Rounds[ri] {
+			rev := make([]uint64, len(call.Path))
+			for i, v := range call.Path {
+				rev[len(call.Path)-1-i] = v
+			}
+			round = append(round, linecomm.Call{Path: rev})
+		}
+		out.Rounds = append(out.Rounds, round)
+	}
+	out.Rounds = append(out.Rounds, bc.Rounds...)
+	return out
+}

@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT writes g in Graphviz DOT format. label, if non-nil, supplies a
+// display label per vertex (default: the vertex index).
+func WriteDOT(w io.Writer, g *Graph, name string, label func(v int) string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(bw, "graph %s {\n", name)
+	for v := 0; v < g.NumVertices(); v++ {
+		if label != nil {
+			fmt.Fprintf(bw, "  %d [label=%q];\n", v, label(v))
+		}
+	}
+	g.Edges(func(u, v int) {
+		fmt.Fprintf(bw, "  %d -- %d;\n", u, v)
+	})
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteEdgeList writes one "u v" pair per line (u < v), optionally mapping
+// vertices through label.
+func WriteEdgeList(w io.Writer, g *Graph, label func(v int) string) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	g.Edges(func(u, v int) {
+		if err != nil {
+			return
+		}
+		if label != nil {
+			_, err = fmt.Fprintf(bw, "%s %s\n", label(u), label(v))
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,311 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sparsehypercube/internal/bitvec"
+)
+
+// k4 returns the complete graph on 4 vertices.
+func k4() *Graph {
+	return FromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+}
+
+// c5 returns the 5-cycle.
+func c5() *Graph {
+	return FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+}
+
+// p4 returns the path on 4 vertices.
+func p4() *Graph {
+	return FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := k4()
+	if g.NumVertices() != 4 || g.NumEdges() != 6 {
+		t.Fatalf("K4: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	for v := 0; v < 4; v++ {
+		if g.Degree(v) != 3 {
+			t.Errorf("K4 degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+	if !g.HasEdge(0, 3) || !g.HasEdge(3, 0) || g.HasEdge(0, 0) || g.HasEdge(0, 4) {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func TestBuilderDedupAndSorted(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(3, 1)
+	b.AddEdge(1, 3)
+	b.AddEdge(4, 1)
+	b.AddEdge(0, 1)
+	g := b.Finish()
+	if g.NumEdges() != 3 {
+		t.Fatalf("dedup failed: m=%d", g.NumEdges())
+	}
+	ns := g.Neighbors(1)
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1] >= ns[i] {
+			t.Fatalf("neighbors of 1 not sorted: %v", ns)
+		}
+	}
+	if len(ns) != 3 || ns[0] != 0 || ns[1] != 3 || ns[2] != 4 {
+		t.Fatalf("neighbors of 1 = %v", ns)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	b := NewBuilder(3)
+	for _, fn := range []func(){
+		func() { b.AddEdge(0, 0) },
+		func() { b.AddEdge(-1, 2) },
+		func() { b.AddEdge(0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHandshakeLemma(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		m := int(mRaw) % 40
+		g := randomGraph(seed, n, m)
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := p4()
+	d := BFS(g, 0)
+	want := []int32{0, 1, 2, 3}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("BFS(P4,0) = %v", d)
+		}
+	}
+	if Distance(g, 0, 3) != 3 || Distance(g, 2, 2) != 0 {
+		t.Error("Distance wrong")
+	}
+	// Disconnected.
+	g2 := FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if Distance(g2, 0, 3) != -1 {
+		t.Error("expected -1 for disconnected pair")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := c5()
+	p := ShortestPath(g, 0, 2)
+	if len(p) != 3 || p[0] != 0 || p[2] != 2 {
+		t.Fatalf("ShortestPath(C5,0,2) = %v", p)
+	}
+	for i := 1; i < len(p); i++ {
+		if !g.HasEdge(p[i-1], p[i]) {
+			t.Fatalf("path uses non-edge: %v", p)
+		}
+	}
+	if got := ShortestPath(g, 3, 3); len(got) != 1 || got[0] != 3 {
+		t.Error("trivial path wrong")
+	}
+	g2 := FromEdges(3, [][2]int{{0, 1}})
+	if ShortestPath(g2, 0, 2) != nil {
+		t.Error("expected nil path when unreachable")
+	}
+}
+
+func TestEccentricityDiameter(t *testing.T) {
+	if d := Diameter(c5()); d != 2 {
+		t.Errorf("diam(C5) = %d, want 2", d)
+	}
+	if d := Diameter(p4()); d != 3 {
+		t.Errorf("diam(P4) = %d, want 3", d)
+	}
+	if d := Diameter(k4()); d != 1 {
+		t.Errorf("diam(K4) = %d, want 1", d)
+	}
+	if e := Eccentricity(p4(), 1); e != 2 {
+		t.Errorf("ecc(P4,1) = %d, want 2", e)
+	}
+	g2 := FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if Diameter(g2) != -1 || Eccentricity(g2, 0) != -1 {
+		t.Error("disconnected diameter should be -1")
+	}
+}
+
+func TestConnectivityComponents(t *testing.T) {
+	if !IsConnected(c5()) || IsConnected(FromEdges(2, nil)) {
+		t.Error("IsConnected wrong")
+	}
+	comp, nc := Components(FromEdges(6, [][2]int{{0, 1}, {1, 2}, {3, 4}}))
+	if nc != 3 {
+		t.Fatalf("components = %d, want 3", nc)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] || comp[3] != comp[4] || comp[0] == comp[3] || comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Errorf("component ids wrong: %v", comp)
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	if IsBipartite(c5()) {
+		t.Error("C5 reported bipartite")
+	}
+	if !IsBipartite(p4()) {
+		t.Error("P4 reported non-bipartite")
+	}
+	c6 := FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	if !IsBipartite(c6) {
+		t.Error("C6 reported non-bipartite")
+	}
+}
+
+func TestIsTree(t *testing.T) {
+	if !IsTree(p4()) {
+		t.Error("P4 is a tree")
+	}
+	if IsTree(c5()) || IsTree(FromEdges(4, [][2]int{{0, 1}, {2, 3}})) {
+		t.Error("non-trees reported as trees")
+	}
+}
+
+func TestDominatingSet(t *testing.T) {
+	g := c5()
+	s := bitvec.New(5)
+	s.Set(0)
+	s.Set(2)
+	if !IsDominatingSet(g, s) {
+		t.Error("{0,2} dominates C5")
+	}
+	s2 := bitvec.New(5)
+	s2.Set(0)
+	if IsDominatingSet(g, s2) {
+		t.Error("{0} does not dominate C5")
+	}
+	if got := MinDominatingSetSize(g); got != 2 {
+		t.Errorf("gamma(C5) = %d, want 2", got)
+	}
+	if got := MinDominatingSetSize(k4()); got != 1 {
+		t.Errorf("gamma(K4) = %d, want 1", got)
+	}
+	// gamma(P4) = 2, gamma(C7) = 3 (= ceil(7/3)).
+	if got := MinDominatingSetSize(p4()); got != 2 {
+		t.Errorf("gamma(P4) = %d, want 2", got)
+	}
+	c7 := FromEdges(7, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 0}})
+	if got := MinDominatingSetSize(c7); got != 3 {
+		t.Errorf("gamma(C7) = %d, want 3", got)
+	}
+}
+
+// Property: BFS from u gives symmetric distances dist_u(v) == dist_v(u) on
+// random connected graphs.
+func TestBFSSymmetryProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%12 + 2
+		g := randomConnectedGraph(seed, n)
+		for u := 0; u < n; u++ {
+			du := BFS(g, u)
+			for v := 0; v < n; v++ {
+				if BFS(g, v)[u] != du[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality dist(u,w) <= dist(u,v) + dist(v,w).
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%12 + 3
+		g := randomConnectedGraph(seed, n)
+		d := make([][]int32, n)
+		for v := 0; v < n; v++ {
+			d[v] = BFS(g, v)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				for w := 0; w < n; w++ {
+					if d[u][w] > d[u][v]+d[v][w] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteDOTAndEdgeList(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteDOT(&sb, p4(), "P4", func(v int) string { return string(rune('a' + v)) }); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph P4 {", `0 [label="a"];`, "0 -- 1;", "2 -- 3;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if err := WriteEdgeList(&sb, p4(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "0 1\n1 2\n2 3\n" {
+		t.Errorf("edge list = %q", sb.String())
+	}
+}
+
+func randomGraph(seed int64, n, m int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Finish()
+}
+
+func randomConnectedGraph(seed int64, n int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, rng.Intn(v)) // random spanning tree
+	}
+	extra := rng.Intn(n)
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Finish()
+}

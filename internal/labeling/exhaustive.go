@@ -1,0 +1,119 @@
+package labeling
+
+// MaxLabelsExhaustive computes lambda_m exactly by backtracking search:
+// the largest K for which V(Q_m) can be labeled with K labels so that
+// every label class dominates Q_m. Exponential; intended for m <= 4
+// (m = 4 takes well under a second with the pruning below).
+func MaxLabelsExhaustive(m int) (int, *Labeling) {
+	if m < 1 || m > 4 {
+		panic("labeling: exhaustive search limited to m <= 4")
+	}
+	for k := UpperBound(m); k >= 1; k-- {
+		if labels, ok := searchLabeling(m, k); ok {
+			l, err := FromLabels(m, k, labels, "exhaustive")
+			if err != nil {
+				panic("labeling: exhaustive search produced invalid labeling: " + err.Error())
+			}
+			return k, l
+		}
+	}
+	panic("labeling: unreachable — one label always works")
+}
+
+// searchLabeling looks for a Condition-A labeling of Q_m with exactly k
+// classes (every class nonempty is implied: a class that never appears
+// cannot dominate).
+func searchLabeling(m, k int) ([]uint8, bool) {
+	order := 1 << uint(m)
+	if k > order {
+		return nil, false
+	}
+	labels := make([]uint8, order)
+	assigned := make([]bool, order)
+
+	// For each vertex u: which classes are present in N[u] so far, and how
+	// many slots of N[u] remain unassigned.
+	type nbState struct {
+		present uint32
+		free    int
+	}
+	state := make([]nbState, order)
+	for u := range state {
+		state[u].free = m + 1
+	}
+	closed := make([][]int, order)
+	for u := 0; u < order; u++ {
+		nb := []int{u}
+		for b := 0; b < m; b++ {
+			nb = append(nb, u^(1<<uint(b)))
+		}
+		closed[u] = nb
+	}
+	fullMask := uint32(1)<<uint(k) - 1
+
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == order {
+			return true
+		}
+		// Symmetry breaking: vertex 0 gets label 0; beyond that, a new
+		// label value may only be introduced in order.
+		maxUsed := 0
+		for i := 0; i < v; i++ {
+			if int(labels[i])+1 > maxUsed {
+				maxUsed = int(labels[i]) + 1
+			}
+		}
+		limit := maxUsed + 1
+		if limit > k {
+			limit = k
+		}
+		for c := 0; c < limit; c++ {
+			labels[v] = uint8(c)
+			assigned[v] = true
+			ok := true
+			// Update neighborhood states; prune when any fully assigned
+			// neighborhood misses a class, or cannot possibly cover.
+			for _, u := range closed[v] {
+				st := &state[u]
+				st.present |= 1 << uint(c)
+				st.free--
+				missing := popcount32(fullMask &^ st.present)
+				if missing > st.free {
+					ok = false
+				}
+			}
+			if ok && rec(v+1) {
+				return true
+			}
+			for _, u := range closed[v] {
+				st := &state[u]
+				st.free++
+				// Recompute presence (cheap for m <= 4).
+				st.present = 0
+				for _, w := range closed[u] {
+					if assigned[w] && w != v {
+						st.present |= 1 << uint(labels[w])
+					} else if w == v {
+						// v is being unassigned
+						continue
+					}
+				}
+			}
+			assigned[v] = false
+		}
+		return false
+	}
+	if rec(0) {
+		return labels, true
+	}
+	return nil, false
+}
+
+func popcount32(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

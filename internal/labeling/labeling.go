@@ -1,0 +1,222 @@
+// Package labeling builds and verifies the "Condition A" labelings at the
+// heart of the sparse-hypercube construction (paper §3): a labeling f of
+// V(Q_m) by a set C of labels such that for every vertex u, the labels seen
+// on u's closed neighborhood are exactly C — equivalently, every label
+// class is a dominating set of Q_m. The maximum possible number of labels
+// is the domatic-style quantity the paper calls lambda_m, with
+// ceil(m/2)+1 <= lambda_m <= m+1 (Lemma 2); the upper end is achieved by
+// Hamming-code cosets when m = 2^p - 1.
+package labeling
+
+import (
+	"fmt"
+
+	"sparsehypercube/internal/hamming"
+)
+
+// MaxWindow bounds the window dimension m for explicit label tables.
+// Sparse-hypercube windows are O(n^(1/k)), so 16 is far beyond any
+// parameter the experiments reach.
+const MaxWindow = 16
+
+// Labeling assigns one of NumLabels labels (0-based) to every vertex of
+// Q_m and carries a dominator table for O(1) Condition-A lookups.
+type Labeling struct {
+	m         int
+	numLabels int
+	labels    []uint8 // 2^m entries
+	dom       []int8  // dom[x*numLabels+c]: bit to flip at x to reach class c; -1 if f(x)==c
+	source    string  // human-readable provenance
+}
+
+// M returns the window dimension.
+func (l *Labeling) M() int { return l.m }
+
+// NumLabels returns the number of label classes.
+func (l *Labeling) NumLabels() int { return l.numLabels }
+
+// Source describes how the labeling was constructed.
+func (l *Labeling) Source() string { return l.source }
+
+// Label returns the label of vertex x of Q_m.
+func (l *Labeling) Label(x uint64) int {
+	return int(l.labels[x])
+}
+
+// DominatorBit returns the 0-based bit to flip at x so that the result has
+// label c, or -1 when x itself has label c. Defined for every (x, c) by
+// Condition A.
+func (l *Labeling) DominatorBit(x uint64, c int) int {
+	return int(l.dom[int(x)*l.numLabels+c])
+}
+
+// ClassSize returns the number of vertices carrying label c.
+func (l *Labeling) ClassSize(c int) int {
+	cnt := 0
+	for _, lb := range l.labels {
+		if int(lb) == c {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// Trivial returns the one-label labeling of Q_m (always satisfies
+// Condition A).
+func Trivial(m int) (*Labeling, error) {
+	if err := checkM(m); err != nil {
+		return nil, err
+	}
+	labels := make([]uint8, 1<<uint(m))
+	return finish(m, 1, labels, "trivial")
+}
+
+// Hamming returns the coset labeling of Q_m for m = 2^p - 1: label(x) is
+// the Hamming syndrome of x, giving m+1 labels, the Lemma-2 maximum.
+func Hamming(m int) (*Labeling, error) {
+	if err := checkM(m); err != nil {
+		return nil, err
+	}
+	p := 0
+	for (1<<uint(p+1))-1 <= m {
+		p++
+	}
+	if (1<<uint(p))-1 != m {
+		return nil, fmt.Errorf("labeling: Hamming labeling requires m = 2^p - 1, got %d", m)
+	}
+	code, err := hamming.New(p)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]uint8, 1<<uint(m))
+	for x := range labels {
+		labels[x] = uint8(code.Syndrome(uint64(x)))
+	}
+	return finish(m, m+1, labels, fmt.Sprintf("hamming(p=%d)", p))
+}
+
+// Composed returns the paper's general-m construction (Lemma 2 proof):
+// take the largest m' = 2^p - 1 <= m, partition Q_m into 2^(m-m') copies
+// of Q_{m'}, and label each copy by the Hamming syndrome of its low m'
+// bits. Yields m'+1 >= ceil(m/2)+1 labels.
+func Composed(m int) (*Labeling, error) {
+	if err := checkM(m); err != nil {
+		return nil, err
+	}
+	p := 1
+	for (1<<uint(p+1))-1 <= m {
+		p++
+	}
+	mPrime := 1<<uint(p) - 1
+	code, err := hamming.New(p)
+	if err != nil {
+		return nil, err
+	}
+	mask := uint64(1)<<uint(mPrime) - 1
+	labels := make([]uint8, 1<<uint(m))
+	for x := range labels {
+		labels[x] = uint8(code.Syndrome(uint64(x) & mask))
+	}
+	return finish(m, mPrime+1, labels, fmt.Sprintf("composed(m'=%d)", mPrime))
+}
+
+// Best returns the best available constructive labeling of Q_m: Hamming
+// when m = 2^p - 1, otherwise Composed. Its label count meets the Lemma-2
+// lower bound ceil(m/2)+1 and is optimal for every m <= 5.
+func Best(m int) (*Labeling, error) {
+	if l, err := Hamming(m); err == nil {
+		return l, nil
+	}
+	return Composed(m)
+}
+
+// FromLabels validates an arbitrary labeling against Condition A and wraps
+// it. labels must have 2^m entries with values in [0, numLabels).
+func FromLabels(m, numLabels int, labels []uint8, source string) (*Labeling, error) {
+	if err := checkM(m); err != nil {
+		return nil, err
+	}
+	if len(labels) != 1<<uint(m) {
+		return nil, fmt.Errorf("labeling: got %d labels, want 2^%d", len(labels), m)
+	}
+	if numLabels < 1 || numLabels > 256 {
+		return nil, fmt.Errorf("labeling: numLabels %d out of range", numLabels)
+	}
+	for x, lb := range labels {
+		if int(lb) >= numLabels {
+			return nil, fmt.Errorf("labeling: vertex %d has label %d >= %d", x, lb, numLabels)
+		}
+	}
+	cp := make([]uint8, len(labels))
+	copy(cp, labels)
+	return finish(m, numLabels, cp, source)
+}
+
+// finish builds the dominator table, verifying Condition A in the process.
+func finish(m, numLabels int, labels []uint8, source string) (*Labeling, error) {
+	order := 1 << uint(m)
+	dom := make([]int8, order*numLabels)
+	for i := range dom {
+		dom[i] = -2 // sentinel: class not seen
+	}
+	for x := 0; x < order; x++ {
+		row := dom[x*numLabels : (x+1)*numLabels]
+		row[labels[x]] = -1
+		for b := 0; b < m; b++ {
+			y := x ^ (1 << uint(b))
+			c := labels[y]
+			if row[c] == -2 {
+				row[c] = int8(b)
+			}
+		}
+		for c, v := range row {
+			if v == -2 {
+				return nil, fmt.Errorf(
+					"labeling: Condition A violated: vertex %0*b sees no label %d in its closed neighborhood",
+					m, x, c)
+			}
+		}
+	}
+	return &Labeling{m: m, numLabels: numLabels, labels: labels, dom: dom, source: source}, nil
+}
+
+// Verify re-checks Condition A from scratch; it never fails for labelings
+// built by this package and exists for use on externally supplied tables.
+func (l *Labeling) Verify() error {
+	_, err := finish(l.m, l.numLabels, l.labels, l.source)
+	return err
+}
+
+// LowerBound returns the Lemma-2 lower bound ceil(m/2)+1 on lambda_m.
+func LowerBound(m int) int { return (m+1)/2 + 1 }
+
+// UpperBound returns the Lemma-2 upper bound m+1 on lambda_m.
+func UpperBound(m int) int { return m + 1 }
+
+func checkM(m int) error {
+	if m < 1 || m > MaxWindow {
+		return fmt.Errorf("labeling: window dimension %d out of range [1,%d]", m, MaxWindow)
+	}
+	return nil
+}
+
+// PaperExample1Q2 returns the Q_2 labeling of the paper's Example 1:
+// f(00)=f(11)=c1, f(01)=f(10)=c2 (c1 -> 0, c2 -> 1).
+func PaperExample1Q2() *Labeling {
+	l, err := FromLabels(2, 2, []uint8{0, 1, 1, 0}, "paper-example1-Q2")
+	if err != nil {
+		panic(err) // fixture; cannot fail
+	}
+	return l
+}
+
+// PaperExample1Q3 returns the Q_3 labeling of the paper's Example 1:
+// f(000)=f(111)=c1, f(001)=f(110)=c2, f(010)=f(101)=c3, f(011)=f(100)=c4.
+func PaperExample1Q3() *Labeling {
+	// Index by vertex value: 000,001,010,011,100,101,110,111.
+	l, err := FromLabels(3, 4, []uint8{0, 1, 2, 3, 3, 2, 1, 0}, "paper-example1-Q3")
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

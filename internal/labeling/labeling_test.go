@@ -1,0 +1,222 @@
+package labeling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sparsehypercube/internal/bitvec"
+	"sparsehypercube/internal/graph"
+	"sparsehypercube/internal/topo"
+)
+
+func TestTrivial(t *testing.T) {
+	for m := 1; m <= 6; m++ {
+		l, err := Trivial(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.NumLabels() != 1 || l.M() != m {
+			t.Fatalf("trivial(%d) wrong", m)
+		}
+		if l.DominatorBit(0, 0) != -1 {
+			t.Fatal("own label must map to -1")
+		}
+	}
+}
+
+func TestHammingLabeling(t *testing.T) {
+	for _, m := range []int{1, 3, 7, 15} {
+		l, err := Hamming(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.NumLabels() != m+1 {
+			t.Fatalf("hamming(%d): %d labels, want %d", m, l.NumLabels(), m+1)
+		}
+		if err := l.Verify(); err != nil {
+			t.Fatalf("hamming(%d): %v", m, err)
+		}
+		// All classes have equal size 2^m/(m+1).
+		want := (1 << uint(m)) / (m + 1)
+		for c := 0; c < l.NumLabels(); c++ {
+			if got := l.ClassSize(c); got != want {
+				t.Fatalf("hamming(%d) class %d size %d, want %d", m, c, got, want)
+			}
+		}
+	}
+	for _, m := range []int{2, 4, 5, 6, 8} {
+		if _, err := Hamming(m); err == nil {
+			t.Errorf("Hamming(%d) should fail", m)
+		}
+	}
+}
+
+func TestComposedMeetsLemma2LowerBound(t *testing.T) {
+	for m := 1; m <= MaxWindow; m++ {
+		l, err := Composed(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.NumLabels() < LowerBound(m) {
+			t.Errorf("composed(%d): %d labels < Lemma-2 lower bound %d", m, l.NumLabels(), LowerBound(m))
+		}
+		if l.NumLabels() > UpperBound(m) {
+			t.Errorf("composed(%d): %d labels > upper bound %d", m, l.NumLabels(), UpperBound(m))
+		}
+	}
+}
+
+func TestBestKnownValues(t *testing.T) {
+	// lambda values achieved by the paper's constructions.
+	want := map[int]int{1: 2, 2: 2, 3: 4, 4: 4, 5: 4, 6: 4, 7: 8, 8: 8, 14: 8, 15: 16}
+	for m, k := range want {
+		l, err := Best(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.NumLabels() != k {
+			t.Errorf("Best(%d) = %d labels, want %d", m, l.NumLabels(), k)
+		}
+	}
+}
+
+// Every label class of a Condition-A labeling must dominate Q_m — checked
+// against the independent graph-level dominating-set test.
+func TestClassesAreDominatingSets(t *testing.T) {
+	for _, m := range []int{2, 3, 4, 5, 6, 7} {
+		l, err := Best(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := topo.Hypercube(m)
+		for c := 0; c < l.NumLabels(); c++ {
+			set := bitvec.New(q.NumVertices())
+			for x := 0; x < q.NumVertices(); x++ {
+				if l.Label(uint64(x)) == c {
+					set.Set(x)
+				}
+			}
+			if !graph.IsDominatingSet(q, set) {
+				t.Errorf("m=%d: class %d is not dominating", m, c)
+			}
+		}
+	}
+}
+
+func TestDominatorBitSemantics(t *testing.T) {
+	for _, m := range []int{2, 3, 5, 7} {
+		l, err := Best(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := uint64(0); x < 1<<uint(m); x++ {
+			for c := 0; c < l.NumLabels(); c++ {
+				b := l.DominatorBit(x, c)
+				if b == -1 {
+					if l.Label(x) != c {
+						t.Fatalf("m=%d x=%d c=%d: -1 but label %d", m, x, c, l.Label(x))
+					}
+					continue
+				}
+				if got := l.Label(x ^ 1<<uint(b)); got != c {
+					t.Fatalf("m=%d x=%d c=%d: flip bit %d gives label %d", m, x, c, b, got)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperExample1(t *testing.T) {
+	q2 := PaperExample1Q2()
+	if q2.NumLabels() != 2 {
+		t.Fatal("Example 1 Q2 should have 2 labels")
+	}
+	if q2.Label(0b00) != q2.Label(0b11) || q2.Label(0b01) != q2.Label(0b10) ||
+		q2.Label(0b00) == q2.Label(0b01) {
+		t.Fatal("Example 1 Q2 labeling pattern wrong")
+	}
+	q3 := PaperExample1Q3()
+	if q3.NumLabels() != 4 {
+		t.Fatal("Example 1 Q3 should have 4 labels")
+	}
+	pairs := [][2]uint64{{0b000, 0b111}, {0b001, 0b110}, {0b010, 0b101}, {0b011, 0b100}}
+	seen := map[int]bool{}
+	for _, p := range pairs {
+		if q3.Label(p[0]) != q3.Label(p[1]) {
+			t.Fatalf("complementary pair %v has different labels", p)
+		}
+		if seen[q3.Label(p[0])] {
+			t.Fatalf("label %d reused across pairs", q3.Label(p[0]))
+		}
+		seen[q3.Label(p[0])] = true
+	}
+}
+
+func TestFromLabelsRejectsBadInput(t *testing.T) {
+	// Wrong length.
+	if _, err := FromLabels(2, 2, []uint8{0, 1}, "x"); err == nil {
+		t.Error("expected length error")
+	}
+	// Label out of range.
+	if _, err := FromLabels(2, 2, []uint8{0, 1, 2, 0}, "x"); err == nil {
+		t.Error("expected range error")
+	}
+	// Violates Condition A: label 1 appears only on vertex 3; vertex 0's
+	// closed neighborhood {0,1,2} misses it.
+	if _, err := FromLabels(2, 2, []uint8{0, 0, 0, 1}, "x"); err == nil {
+		t.Error("expected Condition A violation")
+	}
+}
+
+// Exhaustive lambda for m <= 4 matches the constructive values, proving
+// the constructions optimal there (the paper notes lambda_2 = 2 < 3,
+// i.e. the Lemma-2 lower bound is tight at m = 2).
+func TestExhaustiveLambda(t *testing.T) {
+	want := map[int]int{1: 2, 2: 2, 3: 4, 4: 4}
+	for m, k := range want {
+		got, l := MaxLabelsExhaustive(m)
+		if got != k {
+			t.Errorf("lambda_%d = %d (exhaustive), want %d", m, got, k)
+		}
+		if l.NumLabels() != k {
+			t.Errorf("exhaustive labeling for m=%d has %d labels", m, l.NumLabels())
+		}
+		if err := l.Verify(); err != nil {
+			t.Errorf("exhaustive labeling invalid: %v", err)
+		}
+		best, err := Best(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.NumLabels() != got {
+			t.Errorf("Best(%d) = %d labels but exhaustive found %d", m, best.NumLabels(), got)
+		}
+	}
+}
+
+// Property: for random m and random vertices, Condition A holds — the
+// closed neighborhood of any vertex sees every label.
+func TestConditionAProperty(t *testing.T) {
+	f := func(mRaw, xRaw uint16) bool {
+		m := int(mRaw)%10 + 1
+		l, err := Best(m)
+		if err != nil {
+			return false
+		}
+		x := uint64(xRaw) & (1<<uint(m) - 1)
+		seen := make([]bool, l.NumLabels())
+		seen[l.Label(x)] = true
+		for b := 0; b < m; b++ {
+			seen[l.Label(x^1<<uint(b))] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

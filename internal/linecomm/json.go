@@ -1,0 +1,48 @@
+package linecomm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// scheduleJSON is the stable on-disk representation of a Schedule.
+type scheduleJSON struct {
+	Source uint64       `json:"source"`
+	Rounds [][][]uint64 `json:"rounds"` // rounds -> calls -> path
+}
+
+// WriteJSON serialises the schedule. The format is rounds of call paths,
+// so schedules can be archived, diffed, and replayed across runs.
+func WriteJSON(w io.Writer, s *Schedule) error {
+	out := scheduleJSON{Source: s.Source, Rounds: make([][][]uint64, len(s.Rounds))}
+	for i, round := range s.Rounds {
+		out.Rounds[i] = make([][]uint64, len(round))
+		for j, call := range round {
+			out.Rounds[i][j] = call.Path
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON deserialises a schedule written by WriteJSON, rejecting
+// structurally broken inputs (empty or single-vertex paths).
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var in scheduleJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("linecomm: decoding schedule: %w", err)
+	}
+	s := &Schedule{Source: in.Source, Rounds: make([]Round, len(in.Rounds))}
+	for i, round := range in.Rounds {
+		s.Rounds[i] = make(Round, len(round))
+		for j, path := range round {
+			if len(path) < 2 {
+				return nil, fmt.Errorf("linecomm: round %d call %d: path has %d vertices", i+1, j, len(path))
+			}
+			s.Rounds[i][j] = Call{Path: path}
+		}
+	}
+	return s, nil
+}

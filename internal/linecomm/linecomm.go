@@ -1,0 +1,194 @@
+// Package linecomm models the paper's k-line communication (Definition 1):
+// communication proceeds in synchronous rounds; in each round an informed
+// vertex may place at most one call along a path of at most k edges; calls
+// placed in the same round must be pairwise edge-disjoint and must have
+// pairwise distinct receivers. The package provides schedule data types, a
+// strict validator (the machine-checkable form of Theorems 4 and 6), a
+// simulator, and congestion metrics for the paper's §5 discussion.
+package linecomm
+
+import (
+	"fmt"
+	"strings"
+
+	"sparsehypercube/internal/graph"
+	"sparsehypercube/internal/intmath"
+)
+
+// Call is one circuit-switched call: a simple path from the caller
+// Path[0] to the receiver Path[len-1] occupying every edge along it.
+type Call struct {
+	Path []uint64
+}
+
+// From returns the calling vertex.
+func (c Call) From() uint64 { return c.Path[0] }
+
+// To returns the receiving vertex.
+func (c Call) To() uint64 { return c.Path[len(c.Path)-1] }
+
+// Length returns the number of edges occupied.
+func (c Call) Length() int { return len(c.Path) - 1 }
+
+// Round is the set of calls placed in one time unit.
+type Round []Call
+
+// Schedule is a broadcast schedule from Source.
+type Schedule struct {
+	Source uint64
+	Rounds []Round
+}
+
+// TotalCalls returns the number of calls across all rounds.
+func (s *Schedule) TotalCalls() int {
+	n := 0
+	for _, r := range s.Rounds {
+		n += len(r)
+	}
+	return n
+}
+
+// MaxCallLength returns the longest call in the schedule (0 if empty).
+func (s *Schedule) MaxCallLength() int {
+	max := 0
+	for _, r := range s.Rounds {
+		for _, c := range r {
+			if c.Length() > max {
+				max = c.Length()
+			}
+		}
+	}
+	return max
+}
+
+// Network is the minimal graph interface the validator needs. It is
+// satisfied both by materialised graphs (GraphNetwork) and by implicit
+// constructions such as the sparse hypercube, whose edge predicate is
+// computable without storing adjacency.
+type Network interface {
+	// Order returns the number of vertices; vertex ids are [0, Order).
+	Order() uint64
+	// HasEdge reports whether {u, v} is an edge.
+	HasEdge(u, v uint64) bool
+}
+
+// GraphNetwork adapts graph.Graph to Network.
+type GraphNetwork struct{ G *graph.Graph }
+
+// Order implements Network.
+func (g GraphNetwork) Order() uint64 { return uint64(g.G.NumVertices()) }
+
+// HasEdge implements Network.
+func (g GraphNetwork) HasEdge(u, v uint64) bool { return g.G.HasEdge(int(u), int(v)) }
+
+// ViolationKind classifies validator findings.
+type ViolationKind int
+
+// Violation kinds, in rough order of severity.
+const (
+	// CallerUninformed: the caller did not hold the message yet.
+	CallerUninformed ViolationKind = iota
+	// CallerDuplicate: a vertex placed more than one call in a round.
+	CallerDuplicate
+	// PathInvalid: empty path, repeated vertex, or a hop with no edge.
+	PathInvalid
+	// PathTooLong: the call exceeds the length bound k.
+	PathTooLong
+	// EdgeConflict: two calls in the same round share an edge.
+	EdgeConflict
+	// ReceiverConflict: two calls in the same round share a receiver.
+	ReceiverConflict
+	// ReceiverInformed: the receiver already held the message (legal in
+	// the model but never useful in a minimum-time scheme, so flagged).
+	ReceiverInformed
+	// VertexOutOfRange: a path mentions a vertex outside [0, Order).
+	VertexOutOfRange
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case CallerUninformed:
+		return "caller-uninformed"
+	case CallerDuplicate:
+		return "caller-duplicate"
+	case PathInvalid:
+		return "path-invalid"
+	case PathTooLong:
+		return "path-too-long"
+	case EdgeConflict:
+		return "edge-conflict"
+	case ReceiverConflict:
+		return "receiver-conflict"
+	case ReceiverInformed:
+		return "receiver-informed"
+	case VertexOutOfRange:
+		return "vertex-out-of-range"
+	default:
+		return fmt.Sprintf("violation(%d)", int(k))
+	}
+}
+
+// Violation is one validator finding.
+type Violation struct {
+	Round int // 0-based round index
+	Call  int // index within the round, -1 when not call-specific
+	Kind  ViolationKind
+	Msg   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("round %d call %d: %s: %s", v.Round+1, v.Call, v.Kind, v.Msg)
+}
+
+// Result summarises a validation run.
+type Result struct {
+	Violations       []Violation
+	InformedPerRound []uint64 // cumulative count after each round
+	Informed         uint64   // final count
+	Complete         bool     // every vertex informed
+	MinimumTime      bool     // Complete in exactly ceil(log2 N) rounds
+	MaxCallLength    int
+}
+
+// Valid reports whether no violations were found.
+func (r *Result) Valid() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when valid, otherwise an error describing the first few
+// violations.
+func (r *Result) Err() error {
+	if r.Valid() {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d violations:", len(r.Violations))
+	for i, v := range r.Violations {
+		if i == 5 {
+			fmt.Fprintf(&b, " ... (%d more)", len(r.Violations)-5)
+			break
+		}
+		fmt.Fprintf(&b, " [%s]", v)
+	}
+	return fmt.Errorf("linecomm: %s", b.String())
+}
+
+// edgeKey canonicalises an undirected edge.
+type edgeKey struct{ u, v uint64 }
+
+func mkEdge(a, b uint64) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{a, b}
+}
+
+// Validate checks s against the classic k-line model (Definition 1) on
+// net and reports every violation together with completion statistics.
+// It does not stop at the first problem, so tests can assert on specific
+// kinds. See ValidateOpts for the generalised model.
+func Validate(net Network, k int, s *Schedule) *Result {
+	return ValidateOpts(net, k, s, DefaultOptions())
+}
+
+// MinimumRounds returns the information-theoretic broadcast lower bound
+// ceil(log2 N) for an N-vertex network.
+func MinimumRounds(order uint64) int { return intmath.CeilLog2(order) }

@@ -1,0 +1,215 @@
+package linecomm
+
+import (
+	"strings"
+	"testing"
+
+	"sparsehypercube/internal/topo"
+)
+
+// starNet is K_{1,3} with center 0: the paper's fewest-edge member of G_2.
+func starNet() Network { return GraphNetwork{topo.Star(4)} }
+
+// starSchedule is a valid minimum-time 2-line broadcast from the center:
+// round 1: 0->1; round 2: 0->2 and 1->(via 0)->3.
+func starSchedule() *Schedule {
+	return &Schedule{Source: 0, Rounds: []Round{
+		{{Path: []uint64{0, 1}}},
+		{{Path: []uint64{0, 2}}, {Path: []uint64{1, 0, 3}}},
+	}}
+}
+
+func TestValidStarBroadcast(t *testing.T) {
+	res := Validate(starNet(), 2, starSchedule())
+	if !res.Valid() {
+		t.Fatalf("expected valid, got %v", res.Err())
+	}
+	if !res.Complete || !res.MinimumTime {
+		t.Fatalf("expected complete minimum-time: %+v", res)
+	}
+	if res.MaxCallLength != 2 {
+		t.Errorf("max call length = %d, want 2", res.MaxCallLength)
+	}
+	if len(res.InformedPerRound) != 2 || res.InformedPerRound[0] != 2 || res.InformedPerRound[1] != 4 {
+		t.Errorf("informed per round = %v", res.InformedPerRound)
+	}
+	if res.Err() != nil {
+		t.Errorf("Err() should be nil")
+	}
+}
+
+func TestCallAccessors(t *testing.T) {
+	c := Call{Path: []uint64{3, 1, 0, 2}}
+	if c.From() != 3 || c.To() != 2 || c.Length() != 3 {
+		t.Error("Call accessors wrong")
+	}
+	s := starSchedule()
+	if s.TotalCalls() != 3 || s.MaxCallLength() != 2 {
+		t.Error("Schedule accessors wrong")
+	}
+}
+
+func wantKinds(t *testing.T, res *Result, kinds ...ViolationKind) {
+	t.Helper()
+	found := map[ViolationKind]bool{}
+	for _, v := range res.Violations {
+		found[v.Kind] = true
+	}
+	for _, k := range kinds {
+		if !found[k] {
+			t.Errorf("expected violation %v, got %v", k, res.Violations)
+		}
+	}
+}
+
+func TestCallerUninformed(t *testing.T) {
+	s := &Schedule{Source: 0, Rounds: []Round{
+		{{Path: []uint64{1, 2}}}, // 1 is not informed yet
+	}}
+	wantKinds(t, Validate(starNet(), 2, s), CallerUninformed)
+}
+
+func TestCallerDuplicate(t *testing.T) {
+	s := &Schedule{Source: 0, Rounds: []Round{
+		{{Path: []uint64{0, 1}}, {Path: []uint64{0, 2}}},
+	}}
+	wantKinds(t, Validate(starNet(), 2, s), CallerDuplicate)
+}
+
+func TestPathTooLong(t *testing.T) {
+	s := &Schedule{Source: 0, Rounds: []Round{
+		{{Path: []uint64{0, 1}}},
+		{{Path: []uint64{1, 0, 2}}},
+	}}
+	// Valid under k = 2 but too long under k = 1.
+	if !Validate(starNet(), 2, s).Valid() {
+		t.Fatal("schedule should be valid at k=2")
+	}
+	wantKinds(t, Validate(starNet(), 1, s), PathTooLong)
+}
+
+func TestPathInvalid(t *testing.T) {
+	// Non-edge hop.
+	s := &Schedule{Source: 0, Rounds: []Round{{{Path: []uint64{0, 1}}}, {{Path: []uint64{1, 2}}}}}
+	wantKinds(t, Validate(starNet(), 2, s), PathInvalid)
+	// Repeated vertex.
+	s2 := &Schedule{Source: 0, Rounds: []Round{{{Path: []uint64{0, 1, 0}}}}}
+	wantKinds(t, Validate(starNet(), 2, s2), PathInvalid)
+	// Single-vertex path.
+	s3 := &Schedule{Source: 0, Rounds: []Round{{{Path: []uint64{0}}}}}
+	wantKinds(t, Validate(starNet(), 2, s3), PathInvalid)
+}
+
+func TestEdgeConflict(t *testing.T) {
+	// On C_4 (0-1-2-3-0): the long call 0->3->2->1 and the short call 2->3
+	// share edge {2,3} while having distinct receivers.
+	c4 := GraphNetwork{topo.Cycle(4)}
+	s := &Schedule{Source: 0, Rounds: []Round{
+		{{Path: []uint64{0, 1, 2}}},
+		{{Path: []uint64{0, 3, 2, 1}}, {Path: []uint64{2, 3}}},
+	}}
+	res := Validate(c4, 3, s)
+	wantKinds(t, res, EdgeConflict)
+}
+
+func TestReceiverConflictAndInformed(t *testing.T) {
+	s := &Schedule{Source: 0, Rounds: []Round{
+		{{Path: []uint64{0, 1}}},
+		{{Path: []uint64{0, 2}}, {Path: []uint64{1, 0, 2}}},
+	}}
+	// 1->0->2 reuses edge {0,2} too; look only for receiver conflict here.
+	wantKinds(t, Validate(starNet(), 2, s), ReceiverConflict)
+
+	s2 := &Schedule{Source: 0, Rounds: []Round{
+		{{Path: []uint64{0, 1}}},
+		{{Path: []uint64{0, 1}}},
+	}}
+	wantKinds(t, Validate(starNet(), 2, s2), ReceiverInformed)
+}
+
+func TestVertexOutOfRange(t *testing.T) {
+	s := &Schedule{Source: 0, Rounds: []Round{{{Path: []uint64{0, 9}}}}}
+	wantKinds(t, Validate(starNet(), 2, s), VertexOutOfRange)
+	s2 := &Schedule{Source: 9}
+	wantKinds(t, Validate(starNet(), 2, s2), VertexOutOfRange)
+}
+
+func TestIncompleteSchedule(t *testing.T) {
+	s := &Schedule{Source: 0, Rounds: []Round{{{Path: []uint64{0, 1}}}}}
+	res := Validate(starNet(), 2, s)
+	if !res.Valid() {
+		t.Fatalf("unexpected violations: %v", res.Err())
+	}
+	if res.Complete || res.MinimumTime {
+		t.Error("schedule informs only 2 of 4 vertices")
+	}
+	if res.Informed != 2 {
+		t.Errorf("informed = %d", res.Informed)
+	}
+}
+
+func TestMinimumRounds(t *testing.T) {
+	cases := map[uint64]int{1: 0, 2: 1, 4: 2, 5: 3, 22: 5, 1 << 15: 15}
+	for order, want := range cases {
+		if got := MinimumRounds(order); got != want {
+			t.Errorf("MinimumRounds(%d) = %d, want %d", order, got, want)
+		}
+	}
+}
+
+func TestEdgeLoadsAndCongestion(t *testing.T) {
+	// Star broadcast uses edge {0,1} twice across rounds in this variant:
+	s := &Schedule{Source: 0, Rounds: []Round{
+		{{Path: []uint64{0, 1}}},
+		{{Path: []uint64{0, 2}}, {Path: []uint64{1, 0, 3}}},
+	}}
+	loads := EdgeLoads(s)
+	if len(loads) != 3 {
+		t.Fatalf("edges used = %d, want 3", len(loads))
+	}
+	byEdge := map[[2]uint64]int{}
+	for _, l := range loads {
+		byEdge[[2]uint64{l.U, l.V}] = l.Load
+	}
+	if byEdge[[2]uint64{0, 1}] != 2 {
+		t.Errorf("edge {0,1} load = %d, want 2", byEdge[[2]uint64{0, 1}])
+	}
+	// Sorted by decreasing load: the busiest edge comes first.
+	if loads[0].Load != 2 {
+		t.Errorf("loads not sorted: %v", loads)
+	}
+	st := Congestion(s)
+	if st.MaxEdgeLoad != 2 || st.EdgesUsed != 3 || st.TotalEdgeTime != 4 {
+		t.Errorf("congestion stats = %+v", st)
+	}
+	if st.MeanEdgeLoad <= 1 || st.MeanEdgeLoad >= 2 {
+		t.Errorf("mean edge load = %f", st.MeanEdgeLoad)
+	}
+	h := PathLengthHistogram(s)
+	if h[1] != 2 || h[2] != 1 {
+		t.Errorf("length histogram = %v", h)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out := starSchedule().Format(2)
+	for _, want := range []string{"broadcast from 00 in 2 rounds", "round 1 (1 calls):", "01 -> 00 -> 11 (length 2)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestViolationStrings(t *testing.T) {
+	kinds := []ViolationKind{CallerUninformed, CallerDuplicate, PathInvalid, PathTooLong,
+		EdgeConflict, ReceiverConflict, ReceiverInformed, VertexOutOfRange, ViolationKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Error("empty violation string")
+		}
+	}
+	v := Violation{Round: 0, Call: 1, Kind: EdgeConflict, Msg: "x"}
+	if !strings.Contains(v.String(), "edge-conflict") {
+		t.Error("violation String missing kind")
+	}
+}

@@ -1,0 +1,108 @@
+package linecomm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EdgeLoad aggregates how often each edge is occupied across the whole
+// schedule. Within a valid round every edge is used at most once, so the
+// load measures reuse across rounds — the congestion dimension the paper's
+// §5 flags for future work.
+type EdgeLoad struct {
+	U, V uint64
+	Load int
+}
+
+// EdgeLoads returns per-edge total occupancy, sorted by decreasing load
+// then by endpoints.
+func EdgeLoads(s *Schedule) []EdgeLoad {
+	loads := make(map[edgeKey]int)
+	for _, round := range s.Rounds {
+		for _, call := range round {
+			for i := 1; i < len(call.Path); i++ {
+				loads[mkEdge(call.Path[i-1], call.Path[i])]++
+			}
+		}
+	}
+	out := make([]EdgeLoad, 0, len(loads))
+	for e, l := range loads {
+		out = append(out, EdgeLoad{e.u, e.v, l})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Load != out[j].Load {
+			return out[i].Load > out[j].Load
+		}
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// CongestionStats summarises edge usage of a schedule.
+type CongestionStats struct {
+	EdgesUsed     int     // distinct edges occupied at least once
+	MaxEdgeLoad   int     // busiest edge's total occupancy
+	TotalEdgeTime int     // sum of loads = sum of call lengths
+	MeanEdgeLoad  float64 // TotalEdgeTime / EdgesUsed
+}
+
+// Congestion computes CongestionStats for s.
+func Congestion(s *Schedule) CongestionStats {
+	loads := EdgeLoads(s)
+	st := CongestionStats{EdgesUsed: len(loads)}
+	for _, l := range loads {
+		st.TotalEdgeTime += l.Load
+		if l.Load > st.MaxEdgeLoad {
+			st.MaxEdgeLoad = l.Load
+		}
+	}
+	if st.EdgesUsed > 0 {
+		st.MeanEdgeLoad = float64(st.TotalEdgeTime) / float64(st.EdgesUsed)
+	}
+	return st
+}
+
+// PathLengthHistogram returns call-length -> count over the schedule.
+func PathLengthHistogram(s *Schedule) map[int]int {
+	h := make(map[int]int)
+	for _, round := range s.Rounds {
+		for _, call := range round {
+			h[call.Length()]++
+		}
+	}
+	return h
+}
+
+// Format renders the schedule with vertices as width-n bit strings, one
+// round per block — the shape of the paper's Example 4 walkthrough.
+func (s *Schedule) Format(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "broadcast from %s in %d rounds\n", bitString(s.Source, n), len(s.Rounds))
+	for ri, round := range s.Rounds {
+		fmt.Fprintf(&b, "round %d (%d calls):\n", ri+1, len(round))
+		for _, call := range round {
+			parts := make([]string, len(call.Path))
+			for i, v := range call.Path {
+				parts[i] = bitString(v, n)
+			}
+			fmt.Fprintf(&b, "  %s (length %d)\n", strings.Join(parts, " -> "), call.Length())
+		}
+	}
+	return b.String()
+}
+
+func bitString(v uint64, n int) string {
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		if v&(1<<uint(n-1-i)) != 0 {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}

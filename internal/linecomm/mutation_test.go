@@ -1,0 +1,176 @@
+package linecomm
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparsehypercube/internal/topo"
+)
+
+// Mutation testing of the validator: start from a known-valid schedule on
+// Q_n (the binomial broadcast) and apply random structural corruptions.
+// Every mutation below breaks a model rule, so the validator must reject
+// all of them — silence on any is a validator bug.
+
+// binomialSchedule builds the classic valid Q_n broadcast from 0.
+func binomialSchedule(n int) *Schedule {
+	s := &Schedule{Source: 0}
+	informed := []uint64{0}
+	for d := n; d >= 1; d-- {
+		var round Round
+		bit := uint64(1) << uint(d-1)
+		for _, w := range informed {
+			round = append(round, Call{Path: []uint64{w, w ^ bit}})
+		}
+		for _, c := range round {
+			informed = append(informed, c.To())
+		}
+		s.Rounds = append(s.Rounds, round)
+	}
+	return s
+}
+
+func cloneSchedule(s *Schedule) *Schedule {
+	out := &Schedule{Source: s.Source, Rounds: make([]Round, len(s.Rounds))}
+	for i, r := range s.Rounds {
+		out.Rounds[i] = make(Round, len(r))
+		for j, c := range r {
+			out.Rounds[i][j] = Call{Path: append([]uint64(nil), c.Path...)}
+		}
+	}
+	return out
+}
+
+func TestMutationsAlwaysCaught(t *testing.T) {
+	const n = 6
+	net := GraphNetwork{G: topo.Hypercube(n)}
+	base := binomialSchedule(n)
+	if res := Validate(net, 1, base); !res.Valid() || !res.MinimumTime {
+		t.Fatalf("base schedule must be valid: %v", res.Err())
+	}
+
+	mutations := []struct {
+		name string
+		mut  func(rng *rand.Rand, s *Schedule) bool // returns false if inapplicable
+	}{
+		{"retarget-receiver-to-duplicate", func(rng *rand.Rand, s *Schedule) bool {
+			// Make two calls in one round share a receiver.
+			for _, r := range s.Rounds {
+				if len(r) >= 2 {
+					r[1].Path[len(r[1].Path)-1] = r[0].To()
+					return true
+				}
+			}
+			return false
+		}},
+		{"uninformed-caller", func(rng *rand.Rand, s *Schedule) bool {
+			// Round 1 gains a call from a vertex that cannot know yet.
+			v := uint64(rng.Intn(1<<n-2) + 1)
+			if v == s.Source {
+				v++
+			}
+			s.Rounds[0] = append(s.Rounds[0], Call{Path: []uint64{v, v ^ 1}})
+			return true
+		}},
+		{"duplicate-caller", func(rng *rand.Rand, s *Schedule) bool {
+			c := s.Rounds[0][0]
+			s.Rounds[0] = append(s.Rounds[0], Call{Path: []uint64{c.From(), c.From() ^ 2}})
+			return true
+		}},
+		{"non-edge-hop", func(rng *rand.Rand, s *Schedule) bool {
+			// Replace a target with a vertex at Hamming distance 2.
+			ri := rng.Intn(len(s.Rounds))
+			ci := rng.Intn(len(s.Rounds[ri]))
+			p := s.Rounds[ri][ci].Path
+			p[len(p)-1] = p[0] ^ 3
+			return true
+		}},
+		{"repeated-vertex", func(rng *rand.Rand, s *Schedule) bool {
+			ri := rng.Intn(len(s.Rounds))
+			ci := rng.Intn(len(s.Rounds[ri]))
+			c := &s.Rounds[ri][ci]
+			c.Path = append(c.Path, c.Path[len(c.Path)-2], c.Path[len(c.Path)-1])
+			return true
+		}},
+		{"overlong-call", func(rng *rand.Rand, s *Schedule) bool {
+			ri := rng.Intn(len(s.Rounds))
+			ci := rng.Intn(len(s.Rounds[ri]))
+			c := &s.Rounds[ri][ci]
+			last := c.Path[len(c.Path)-1]
+			c.Path = append(c.Path, last^1, last^1^2) // two extra hops: length 3 > k = 1
+			return true
+		}},
+		{"shared-edge", func(rng *rand.Rand, s *Schedule) bool {
+			// Extend one call's path through another call's edge.
+			for _, r := range s.Rounds {
+				if len(r) >= 2 {
+					victim := r[0]
+					c := &r[1]
+					// Reroute call 1 to traverse victim's edge: from ->
+					// victim.From -> victim.To (may also break adjacency,
+					// but the edge clash is what we plant; either finding
+					// counts as caught).
+					c.Path = []uint64{c.From(), victim.From(), victim.To()}
+					return true
+				}
+			}
+			return false
+		}},
+		{"out-of-range-vertex", func(rng *rand.Rand, s *Schedule) bool {
+			s.Rounds[0][0].Path[1] = 1 << n
+			return true
+		}},
+		{"empty-path", func(rng *rand.Rand, s *Schedule) bool {
+			s.Rounds[0][0].Path = s.Rounds[0][0].Path[:1]
+			return true
+		}},
+		{"re-inform", func(rng *rand.Rand, s *Schedule) bool {
+			// A later round re-targets the source.
+			last := s.Rounds[len(s.Rounds)-1]
+			last[0].Path[len(last[0].Path)-1] = s.Source
+			// Keep adjacency: source's neighbor calls it.
+			last[0].Path[0] = s.Source ^ 1<<uint(n-1)
+			last[0].Path = last[0].Path[:2]
+			last[0].Path[1] = s.Source
+			return true
+		}},
+	}
+
+	for _, m := range mutations {
+		rng := rand.New(rand.NewSource(42))
+		applied := false
+		for trial := 0; trial < 20; trial++ {
+			s := cloneSchedule(base)
+			if !m.mut(rng, s) {
+				continue
+			}
+			applied = true
+			res := Validate(net, 1, s)
+			ok := res.Valid() && res.Complete && res.MinimumTime
+			if ok {
+				t.Fatalf("mutation %q went undetected", m.name)
+			}
+		}
+		if !applied {
+			t.Fatalf("mutation %q never applicable", m.name)
+		}
+	}
+}
+
+// Property-style sweep: random single-call deletions must always break
+// completeness (every call in a minimum-time schedule is load-bearing).
+func TestEveryCallIsLoadBearing(t *testing.T) {
+	const n = 5
+	net := GraphNetwork{G: topo.Hypercube(n)}
+	base := binomialSchedule(n)
+	for ri := range base.Rounds {
+		for ci := range base.Rounds[ri] {
+			s := cloneSchedule(base)
+			s.Rounds[ri] = append(s.Rounds[ri][:ci], s.Rounds[ri][ci+1:]...)
+			res := Validate(net, 1, s)
+			if res.Complete {
+				t.Fatalf("dropping round %d call %d left schedule complete", ri, ci)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package linecomm
+
+import "fmt"
+
+// Options generalises the validator along the two dimensions the paper's
+// §5 marks as future work: edges that carry several calls at once
+// (dilated/fat links) and vertices that accept several calls at once
+// (multi-port reception). The classic k-line model of Definition 1 is
+// EdgeCapacity = 1, ReceiverCapacity = 1.
+type Options struct {
+	// EdgeCapacity is the number of simultaneous calls an edge carries.
+	EdgeCapacity int
+	// ReceiverCapacity is the number of simultaneous calls a vertex can
+	// receive.
+	ReceiverCapacity int
+	// AllowInformedReceiver suppresses the ReceiverInformed finding
+	// (legal in the model, wasteful in minimum-time schemes).
+	AllowInformedReceiver bool
+}
+
+// DefaultOptions returns Definition 1's model.
+func DefaultOptions() Options {
+	return Options{EdgeCapacity: 1, ReceiverCapacity: 1}
+}
+
+// ValidateOpts checks s against the generalised model. Validate is
+// equivalent to ValidateOpts with DefaultOptions.
+func ValidateOpts(net Network, k int, s *Schedule, opts Options) *Result {
+	if opts.EdgeCapacity < 1 || opts.ReceiverCapacity < 1 {
+		panic("linecomm: capacities must be >= 1")
+	}
+	res := &Result{}
+	order := net.Order()
+	if s.Source >= order {
+		res.Violations = append(res.Violations, Violation{
+			Round: -1, Call: -1, Kind: VertexOutOfRange,
+			Msg: fmt.Sprintf("source %d outside [0,%d)", s.Source, order),
+		})
+		return res
+	}
+	informed := make(map[uint64]bool, 64)
+	informed[s.Source] = true
+
+	for ri, round := range s.Rounds {
+		edgeUse := make(map[edgeKey]int, len(round)*2)
+		recvUse := make(map[uint64]int, len(round))
+		callers := make(map[uint64]int, len(round))
+		var newly []uint64
+
+		for ci, call := range round {
+			bad := false
+			if len(call.Path) < 2 {
+				res.Violations = append(res.Violations, Violation{ri, ci, PathInvalid,
+					fmt.Sprintf("path has %d vertices", len(call.Path))})
+				continue
+			}
+			for _, v := range call.Path {
+				if v >= order {
+					res.Violations = append(res.Violations, Violation{ri, ci, VertexOutOfRange,
+						fmt.Sprintf("vertex %d outside [0,%d)", v, order)})
+					bad = true
+				}
+			}
+			if bad {
+				continue
+			}
+			seen := make(map[uint64]bool, len(call.Path))
+			for _, v := range call.Path {
+				if seen[v] {
+					res.Violations = append(res.Violations, Violation{ri, ci, PathInvalid,
+						fmt.Sprintf("vertex %d repeated on path", v)})
+					bad = true
+				}
+				seen[v] = true
+			}
+			for i := 1; i < len(call.Path); i++ {
+				if !net.HasEdge(call.Path[i-1], call.Path[i]) {
+					res.Violations = append(res.Violations, Violation{ri, ci, PathInvalid,
+						fmt.Sprintf("no edge {%d,%d}", call.Path[i-1], call.Path[i])})
+					bad = true
+				}
+			}
+			if call.Length() > k {
+				res.Violations = append(res.Violations, Violation{ri, ci, PathTooLong,
+					fmt.Sprintf("length %d > k = %d", call.Length(), k)})
+			}
+			if call.Length() > res.MaxCallLength {
+				res.MaxCallLength = call.Length()
+			}
+			if !informed[call.From()] {
+				res.Violations = append(res.Violations, Violation{ri, ci, CallerUninformed,
+					fmt.Sprintf("caller %d not informed", call.From())})
+			}
+			if prev, dup := callers[call.From()]; dup {
+				res.Violations = append(res.Violations, Violation{ri, ci, CallerDuplicate,
+					fmt.Sprintf("caller %d already placed call %d", call.From(), prev)})
+			} else {
+				callers[call.From()] = ci
+			}
+			if bad {
+				continue
+			}
+			for i := 1; i < len(call.Path); i++ {
+				e := mkEdge(call.Path[i-1], call.Path[i])
+				edgeUse[e]++
+				if edgeUse[e] == opts.EdgeCapacity+1 {
+					res.Violations = append(res.Violations, Violation{ri, ci, EdgeConflict,
+						fmt.Sprintf("edge {%d,%d} used %d times, capacity %d",
+							e.u, e.v, edgeUse[e], opts.EdgeCapacity)})
+				}
+			}
+			to := call.To()
+			recvUse[to]++
+			if recvUse[to] == opts.ReceiverCapacity+1 {
+				res.Violations = append(res.Violations, Violation{ri, ci, ReceiverConflict,
+					fmt.Sprintf("receiver %d targeted %d times, capacity %d",
+						to, recvUse[to], opts.ReceiverCapacity)})
+			}
+			if informed[to] && !opts.AllowInformedReceiver {
+				res.Violations = append(res.Violations, Violation{ri, ci, ReceiverInformed,
+					fmt.Sprintf("receiver %d already informed", to)})
+			}
+			newly = append(newly, to)
+		}
+		for _, v := range newly {
+			informed[v] = true
+		}
+		res.InformedPerRound = append(res.InformedPerRound, uint64(len(informed)))
+	}
+	res.Informed = uint64(len(informed))
+	res.Complete = res.Informed == order
+	res.MinimumTime = res.Complete && len(s.Rounds) == MinimumRounds(order)
+	return res
+}
+
+// MinEdgeCapacity returns the smallest edge capacity under which the
+// schedule has no edge conflicts (its per-round peak edge multiplicity),
+// quantifying how much link dilation a schedule would need.
+func MinEdgeCapacity(s *Schedule) int {
+	max := 0
+	for _, round := range s.Rounds {
+		use := make(map[edgeKey]int)
+		for _, call := range round {
+			for i := 1; i < len(call.Path); i++ {
+				e := mkEdge(call.Path[i-1], call.Path[i])
+				use[e]++
+				if use[e] > max {
+					max = use[e]
+				}
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,140 @@
+package linecomm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sparsehypercube/internal/topo"
+)
+
+// Two calls sharing an edge are illegal at capacity 1 but legal at 2 —
+// the dilated-link variant of the paper's §5.
+func TestEdgeCapacityRelaxation(t *testing.T) {
+	c4 := GraphNetwork{topo.Cycle(4)}
+	s := &Schedule{Source: 0, Rounds: []Round{
+		{{Path: []uint64{0, 1, 2}}},
+		{{Path: []uint64{0, 3, 2, 1}}, {Path: []uint64{2, 3}}}, // share edge {2,3}
+	}}
+	strict := ValidateOpts(c4, 3, s, DefaultOptions())
+	if strict.Valid() {
+		t.Fatal("capacity-1 validation should reject the shared edge")
+	}
+	relaxed := ValidateOpts(c4, 3, s, Options{EdgeCapacity: 2, ReceiverCapacity: 1})
+	if !relaxed.Valid() {
+		t.Fatalf("capacity-2 validation should accept: %v", relaxed.Err())
+	}
+	if !relaxed.Complete || !relaxed.MinimumTime {
+		t.Fatal("relaxed schedule should be complete and minimal")
+	}
+}
+
+// Multi-port reception: on C_4, vertices 0 and 2 both call vertex 1 over
+// its two distinct edges — illegal at receiver capacity 1, legal at 2
+// (though pointless for broadcast).
+func TestReceiverCapacityRelaxation(t *testing.T) {
+	c4 := GraphNetwork{topo.Cycle(4)}
+	s := &Schedule{Source: 0, Rounds: []Round{
+		{{Path: []uint64{0, 1, 2}}},
+		{{Path: []uint64{0, 1}}, {Path: []uint64{2, 1}}},
+	}}
+	strict := Validate(c4, 2, s)
+	if strict.Valid() {
+		t.Fatal("duplicate receiver should fail at capacity 1")
+	}
+	relaxed := ValidateOpts(c4, 2, s, Options{
+		EdgeCapacity: 1, ReceiverCapacity: 2,
+	})
+	if !relaxed.Valid() {
+		t.Fatalf("receiver capacity 2 should accept: %v", relaxed.Err())
+	}
+}
+
+func TestAllowInformedReceiver(t *testing.T) {
+	star := GraphNetwork{topo.Star(4)}
+	s := &Schedule{Source: 0, Rounds: []Round{
+		{{Path: []uint64{0, 1}}},
+		{{Path: []uint64{0, 1}}},
+	}}
+	if Validate(star, 2, s).Valid() {
+		t.Fatal("re-informing should be flagged by default")
+	}
+	res := ValidateOpts(star, 2, s, Options{EdgeCapacity: 1, ReceiverCapacity: 1, AllowInformedReceiver: true})
+	if !res.Valid() {
+		t.Fatalf("AllowInformedReceiver should accept: %v", res.Err())
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero capacity")
+		}
+	}()
+	ValidateOpts(GraphNetwork{topo.Star(4)}, 2, &Schedule{}, Options{})
+}
+
+func TestMinEdgeCapacity(t *testing.T) {
+	s := &Schedule{Source: 0, Rounds: []Round{
+		{{Path: []uint64{0, 1, 2}}},
+		{{Path: []uint64{0, 3, 2, 1}}, {Path: []uint64{2, 3}}},
+	}}
+	if got := MinEdgeCapacity(s); got != 2 {
+		t.Fatalf("MinEdgeCapacity = %d, want 2 (edge {2,3} shared)", got)
+	}
+	disjoint := &Schedule{Source: 0, Rounds: []Round{
+		{{Path: []uint64{0, 1}}},
+		{{Path: []uint64{0, 2}}, {Path: []uint64{1, 0, 3}}},
+	}}
+	if got := MinEdgeCapacity(disjoint); got != 1 {
+		t.Fatalf("MinEdgeCapacity = %d, want 1", got)
+	}
+	if got := MinEdgeCapacity(&Schedule{}); got != 0 {
+		t.Fatalf("MinEdgeCapacity(empty) = %d", got)
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	orig := starSchedule()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Source != orig.Source || len(back.Rounds) != len(orig.Rounds) {
+		t.Fatal("round trip changed shape")
+	}
+	for i := range orig.Rounds {
+		if len(back.Rounds[i]) != len(orig.Rounds[i]) {
+			t.Fatal("round trip changed round size")
+		}
+		for j := range orig.Rounds[i] {
+			a, b := orig.Rounds[i][j].Path, back.Rounds[i][j].Path
+			if len(a) != len(b) {
+				t.Fatal("round trip changed path")
+			}
+			for x := range a {
+				if a[x] != b[x] {
+					t.Fatal("round trip changed path content")
+				}
+			}
+		}
+	}
+	// The deserialised schedule still validates.
+	res := Validate(starNet(), 2, back)
+	if !res.Valid() || !res.MinimumTime {
+		t.Fatalf("deserialised schedule invalid: %v", res.Err())
+	}
+}
+
+func TestReadJSONRejectsBrokenPaths(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"source":0,"rounds":[[[0]]]}`)); err == nil {
+		t.Fatal("expected error for single-vertex path")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

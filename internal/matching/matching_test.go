@@ -1,0 +1,127 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPerfectMatching(t *testing.T) {
+	// K_{3,3}: perfect matching of size 3.
+	adj := [][]int{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}}
+	matchL, size := Bipartite(3, 3, adj)
+	if size != 3 {
+		t.Fatalf("size = %d, want 3", size)
+	}
+	seen := map[int]bool{}
+	for u, v := range matchL {
+		if v < 0 || seen[v] {
+			t.Fatalf("invalid matching %v", matchL)
+		}
+		seen[v] = true
+		_ = u
+	}
+}
+
+func TestAugmentingRequired(t *testing.T) {
+	// Greedy would match L0-R0 and block L1; augmenting fixes it.
+	adj := [][]int{{0}, {0, 1}}
+	_, size := Bipartite(2, 2, adj)
+	if size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+}
+
+func TestNoEdges(t *testing.T) {
+	matchL, size := Bipartite(3, 3, [][]int{{}, {}, {}})
+	if size != 0 {
+		t.Fatalf("size = %d, want 0", size)
+	}
+	for _, v := range matchL {
+		if v != -1 {
+			t.Fatal("unmatched vertex should be -1")
+		}
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	// All left vertices compete for one right vertex.
+	adj := [][]int{{0}, {0}, {0}}
+	_, size := Bipartite(3, 1, adj)
+	if size != 1 {
+		t.Fatalf("size = %d, want 1", size)
+	}
+}
+
+func TestKnownMaximum(t *testing.T) {
+	// A bipartite graph whose maximum matching (3) is smaller than both
+	// sides: L0-{R0}, L1-{R0,R1}, L2-{R1}, L3-{R2}.
+	adj := [][]int{{0}, {0, 1}, {1}, {2}}
+	_, size := Bipartite(4, 3, adj)
+	if size != 3 {
+		t.Fatalf("size = %d, want 3", size)
+	}
+}
+
+// bruteMaxMatching finds the maximum matching size by exhaustive search.
+func bruteMaxMatching(nLeft, nRight int, adj [][]int) int {
+	best := 0
+	usedR := make([]bool, nRight)
+	var rec func(u, size int)
+	rec = func(u, size int) {
+		if size > best {
+			best = size
+		}
+		if u == nLeft {
+			return
+		}
+		rec(u+1, size) // skip u
+		for _, v := range adj[u] {
+			if !usedR[v] {
+				usedR[v] = true
+				rec(u+1, size+1)
+				usedR[v] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// Property: Kuhn's result equals brute force on random small graphs.
+func TestMatchingOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nL, nR := rng.Intn(6)+1, rng.Intn(6)+1
+		adj := make([][]int, nL)
+		for u := range adj {
+			for v := 0; v < nR; v++ {
+				if rng.Intn(3) == 0 {
+					adj[u] = append(adj[u], v)
+				}
+			}
+		}
+		matchL, size := Bipartite(nL, nR, adj)
+		// Validity: matched pairs are edges, right side distinct.
+		seen := map[int]bool{}
+		for u, v := range matchL {
+			if v == -1 {
+				continue
+			}
+			ok := false
+			for _, w := range adj[u] {
+				if w == v {
+					ok = true
+				}
+			}
+			if !ok || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return size == bruteMaxMatching(nL, nR, adj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

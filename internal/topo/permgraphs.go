@@ -1,0 +1,107 @@
+package topo
+
+import (
+	"fmt"
+
+	"sparsehypercube/internal/graph"
+)
+
+// Permutation-based interconnection networks cited in the paper's
+// introduction as alternative low-degree topologies: the star graph
+// (Akers-Krishnamurthy) and the pancake graph. Vertices are the n!
+// permutations of {0,..,n-1}, identified by their factorial-number-system
+// rank; PermOfRank/RankOfPerm expose the numbering.
+
+// factorials up to 12! (beyond any constructible size here).
+var factorial = [...]int{1, 1, 2, 6, 24, 120, 720, 5040, 40320, 362880, 3628800, 39916800, 479001600}
+
+// PermOfRank returns the rank-th permutation of {0..n-1} in Lehmer-code
+// order (rank 0 is the identity).
+func PermOfRank(n, rank int) []uint8 {
+	if n < 1 || n > 10 {
+		panic("topo: permutation size out of [1,10]")
+	}
+	if rank < 0 || rank >= factorial[n] {
+		panic(fmt.Sprintf("topo: rank %d out of [0,%d)", rank, factorial[n]))
+	}
+	avail := make([]uint8, n)
+	for i := range avail {
+		avail[i] = uint8(i)
+	}
+	perm := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		f := factorial[n-1-i]
+		idx := rank / f
+		rank %= f
+		perm[i] = avail[idx]
+		avail = append(avail[:idx], avail[idx+1:]...)
+	}
+	return perm
+}
+
+// RankOfPerm inverts PermOfRank.
+func RankOfPerm(perm []uint8) int {
+	n := len(perm)
+	rank := 0
+	for i := 0; i < n; i++ {
+		smaller := 0
+		for j := i + 1; j < n; j++ {
+			if perm[j] < perm[i] {
+				smaller++
+			}
+		}
+		rank += smaller * factorial[n-1-i]
+	}
+	return rank
+}
+
+// StarGraph returns the star graph S_n: permutations of {0..n-1}, with an
+// edge when one results from the other by swapping positions 0 and i for
+// some i >= 1. Regular of degree n-1, order n!, diameter
+// floor(3(n-1)/2). n in [2, 7] (7! = 5040 vertices).
+func StarGraph(n int) *graph.Graph {
+	if n < 2 || n > 7 {
+		panic("topo: star graph size out of [2,7]")
+	}
+	order := factorial[n]
+	b := graph.NewBuilder(order)
+	buf := make([]uint8, n)
+	for r := 0; r < order; r++ {
+		perm := PermOfRank(n, r)
+		for i := 1; i < n; i++ {
+			copy(buf, perm)
+			buf[0], buf[i] = buf[i], buf[0]
+			r2 := RankOfPerm(buf)
+			if r < r2 {
+				b.AddEdge(r, r2)
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// Pancake returns the pancake graph P_n: permutations of {0..n-1}, with
+// an edge when one results from the other by reversing a prefix of length
+// 2..n. Regular of degree n-1, order n!. n in [2, 7].
+func Pancake(n int) *graph.Graph {
+	if n < 2 || n > 7 {
+		panic("topo: pancake graph size out of [2,7]")
+	}
+	order := factorial[n]
+	b := graph.NewBuilder(order)
+	buf := make([]uint8, n)
+	for r := 0; r < order; r++ {
+		perm := PermOfRank(n, r)
+		for l := 2; l <= n; l++ {
+			copy(buf, perm)
+			for i, j := 0, l-1; i < j; i, j = i+1, j-1 {
+				buf[i], buf[j] = buf[j], buf[i]
+			}
+			r2 := RankOfPerm(buf)
+			if r < r2 {
+				b.AddEdge(r, r2)
+			}
+		}
+	}
+	return b.Finish()
+}

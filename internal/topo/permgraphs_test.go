@@ -1,0 +1,127 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sparsehypercube/internal/graph"
+)
+
+func TestPermRankRoundTrip(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		seen := map[string]bool{}
+		for r := 0; r < factorial[n]; r++ {
+			p := PermOfRank(n, r)
+			if RankOfPerm(p) != r {
+				t.Fatalf("n=%d rank %d: round trip gave %d", n, r, RankOfPerm(p))
+			}
+			key := string(p)
+			if seen[key] {
+				t.Fatalf("n=%d: permutation %v repeated", n, p)
+			}
+			seen[key] = true
+			// Must be a permutation.
+			mask := 0
+			for _, x := range p {
+				mask |= 1 << x
+			}
+			if mask != 1<<uint(n)-1 {
+				t.Fatalf("n=%d rank %d: not a permutation: %v", n, r, p)
+			}
+		}
+	}
+	if p := PermOfRank(4, 0); p[0] != 0 || p[3] != 3 {
+		t.Errorf("rank 0 should be the identity, got %v", p)
+	}
+}
+
+func TestPermOfRankPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PermOfRank(0, 0) },
+		func() { PermOfRank(3, 6) },
+		func() { PermOfRank(3, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStarGraphInvariants(t *testing.T) {
+	// Known diameters: floor(3(n-1)/2).
+	wantDiam := map[int]int{2: 1, 3: 3, 4: 4, 5: 6}
+	for n := 2; n <= 5; n++ {
+		g := StarGraph(n)
+		if g.NumVertices() != factorial[n] {
+			t.Fatalf("S_%d order %d", n, g.NumVertices())
+		}
+		if g.MaxDegree() != n-1 || g.MinDegree() != n-1 {
+			t.Fatalf("S_%d not (n-1)-regular", n)
+		}
+		if g.NumEdges() != factorial[n]*(n-1)/2 {
+			t.Fatalf("S_%d edges %d", n, g.NumEdges())
+		}
+		if !graph.IsConnected(g) {
+			t.Fatalf("S_%d disconnected", n)
+		}
+		if d := graph.Diameter(g); d != wantDiam[n] {
+			t.Fatalf("diam(S_%d) = %d, want %d", n, d, wantDiam[n])
+		}
+		if !graph.IsBipartite(g) {
+			t.Fatalf("S_%d must be bipartite (transpositions change parity)", n)
+		}
+	}
+}
+
+func TestPancakeInvariants(t *testing.T) {
+	// Known pancake-graph diameters.
+	wantDiam := map[int]int{2: 1, 3: 3, 4: 4, 5: 5}
+	for n := 2; n <= 5; n++ {
+		g := Pancake(n)
+		if g.NumVertices() != factorial[n] {
+			t.Fatalf("P_%d order %d", n, g.NumVertices())
+		}
+		if g.MaxDegree() != n-1 || g.MinDegree() != n-1 {
+			t.Fatalf("P_%d not (n-1)-regular", n)
+		}
+		if !graph.IsConnected(g) {
+			t.Fatalf("P_%d disconnected", n)
+		}
+		if d := graph.Diameter(g); d != wantDiam[n] {
+			t.Fatalf("diam(P_%d) = %d, want %d", n, d, wantDiam[n])
+		}
+	}
+}
+
+// S_3 is the 6-cycle — a nice cross-check of the generator.
+func TestStarGraph3IsC6(t *testing.T) {
+	g := StarGraph(3)
+	if g.NumVertices() != 6 || g.NumEdges() != 6 || g.MaxDegree() != 2 {
+		t.Fatal("S_3 should be C_6")
+	}
+	if graph.Diameter(g) != 3 {
+		t.Fatal("diam(C_6) = 3")
+	}
+}
+
+// Property: star-graph adjacency is an involution (swapping back returns).
+func TestStarAdjacencyInvolution(t *testing.T) {
+	f := func(rankRaw uint16, iRaw uint8) bool {
+		n := 5
+		r := int(rankRaw) % factorial[n]
+		i := int(iRaw)%(n-1) + 1
+		p := PermOfRank(n, r)
+		p[0], p[i] = p[i], p[0]
+		r2 := RankOfPerm(p)
+		p[0], p[i] = p[i], p[0]
+		return RankOfPerm(p) == r && r2 != r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package topo generates the interconnection topologies the paper builds
+// on or cites as context: binary hypercubes and their degree- or
+// diameter-oriented variants, rings, trees, and the degree-3 broadcast tree
+// of Theorem 1. All generators return immutable graph.Graph values with a
+// documented vertex numbering so experiments can address vertices
+// symbolically (bit strings, (cycle, position) pairs, ...).
+package topo
+
+import (
+	"fmt"
+
+	"sparsehypercube/internal/graph"
+)
+
+// Hypercube returns the binary n-cube Q_n: vertices are the integers
+// 0..2^n-1 read as bit strings; u ~ v iff they differ in exactly one bit.
+// Degree n, diameter n, 2^(n-1)*n edges.
+func Hypercube(n int) *graph.Graph {
+	checkCubeDim(n, 26)
+	order := 1 << uint(n)
+	b := graph.NewBuilder(order)
+	for u := 0; u < order; u++ {
+		for i := 0; i < n; i++ {
+			v := u ^ (1 << uint(i))
+			if u < v {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// FoldedHypercube returns FQ_n: Q_n plus the complementary "fold" edges
+// {u, ^u}. Degree n+1, diameter ceil(n/2).
+func FoldedHypercube(n int) *graph.Graph {
+	checkCubeDim(n, 26)
+	order := 1 << uint(n)
+	b := graph.NewBuilder(order)
+	mask := order - 1
+	for u := 0; u < order; u++ {
+		for i := 0; i < n; i++ {
+			v := u ^ (1 << uint(i))
+			if u < v {
+				b.AddEdge(u, v)
+			}
+		}
+		if v := u ^ mask; u < v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Finish()
+}
+
+// CrossedCube returns CQ_n (Efe 1991), a diameter-halving twist of Q_n.
+// For each vertex u and each "leading" bit l there is exactly one neighbor:
+// flip bit l; keep bit l-1 when l is odd; and replace every full 2-bit
+// block strictly below l's block by its pair-related partner
+// (00<->00, 10<->10, 01<->11). Degree n, diameter ceil((n+1)/2).
+func CrossedCube(n int) *graph.Graph {
+	checkCubeDim(n, 20)
+	order := 1 << uint(n)
+	b := graph.NewBuilder(order)
+	for u := 0; u < order; u++ {
+		for l := 0; l < n; l++ {
+			v := crossedNeighbor(u, l)
+			if u < v {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// crossedNeighbor returns the unique CQ_n neighbor of u across leading
+// bit l. The pair-relation partner of block b1b0 flips b1 iff b0 == 1.
+func crossedNeighbor(u, l int) int {
+	v := u ^ (1 << uint(l))
+	for blk := 0; blk < l/2; blk++ {
+		if v&(1<<uint(2*blk)) != 0 { // low bit of block set: flip high bit
+			v ^= 1 << uint(2*blk+1)
+		}
+	}
+	return v
+}
+
+// CubeConnectedCycles returns CCC_n (Preparata–Vuillemin): each hypercube
+// vertex is replaced by an n-cycle; vertex id is cube*n + pos, with cycle
+// edges (cube, pos)~(cube, pos±1 mod n) and cube edges
+// (cube, pos)~(cube xor 2^pos, pos). Degree 3 (for n >= 3), n*2^n vertices.
+func CubeConnectedCycles(n int) *graph.Graph {
+	checkCubeDim(n, 20)
+	if n < 3 {
+		panic("topo: CCC requires n >= 3")
+	}
+	order := n << uint(n)
+	b := graph.NewBuilder(order)
+	id := func(cube, pos int) int { return cube*n + pos }
+	for cube := 0; cube < 1<<uint(n); cube++ {
+		for pos := 0; pos < n; pos++ {
+			b.AddEdge(id(cube, pos), id(cube, (pos+1)%n))
+			other := cube ^ (1 << uint(pos))
+			if cube < other {
+				b.AddEdge(id(cube, pos), id(other, pos))
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// DeBruijn returns the undirected binary de Bruijn graph UB(2, n):
+// vertices 0..2^n-1, u adjacent to (2u mod 2^n) and (2u+1 mod 2^n)
+// (shift-in edges), undirected, self-loops dropped. Max degree 4.
+func DeBruijn(n int) *graph.Graph {
+	checkCubeDim(n, 24)
+	order := 1 << uint(n)
+	mask := order - 1
+	b := graph.NewBuilder(order)
+	for u := 0; u < order; u++ {
+		for _, v := range []int{(u << 1) & mask, ((u << 1) | 1) & mask} {
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// Cycle returns the cycle C_n (n >= 3).
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic("topo: cycle requires n >= 3")
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Finish()
+}
+
+// Path returns the path P_n on n vertices (n >= 1).
+func Path(n int) *graph.Graph {
+	if n < 1 {
+		panic("topo: path requires n >= 1")
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Finish()
+}
+
+// Complete returns K_n.
+func Complete(n int) *graph.Graph {
+	if n < 1 {
+		panic("topo: complete graph requires n >= 1")
+	}
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Finish()
+}
+
+// Star returns the star K_{1,n-1}: vertex 0 is the center. The paper notes
+// this is the fewest-edge member of G_k for every k >= 2.
+func Star(n int) *graph.Graph {
+	if n < 2 {
+		panic("topo: star requires n >= 2")
+	}
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.Finish()
+}
+
+// Torus returns the rows x cols wraparound grid (each dimension >= 3 to
+// avoid multi-edges).
+func Torus(rows, cols int) *graph.Graph {
+	if rows < 3 || cols < 3 {
+		panic("topo: torus requires rows, cols >= 3")
+	}
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id((r+1)%rows, c))
+			b.AddEdge(id(r, c), id(r, (c+1)%cols))
+		}
+	}
+	return b.Finish()
+}
+
+// Mesh returns the rows x cols grid without wraparound.
+func Mesh(rows, cols int) *graph.Graph {
+	if rows < 1 || cols < 1 {
+		panic("topo: mesh requires rows, cols >= 1")
+	}
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+		}
+	}
+	return b.Finish()
+}
+
+func checkCubeDim(n, max int) {
+	if n < 1 || n > max {
+		panic(fmt.Sprintf("topo: dimension %d out of supported range [1,%d]", n, max))
+	}
+}

@@ -1,0 +1,265 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sparsehypercube/internal/graph"
+)
+
+func TestHypercubeInvariants(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		g := Hypercube(n)
+		order := 1 << uint(n)
+		if g.NumVertices() != order {
+			t.Fatalf("Q_%d order %d", n, g.NumVertices())
+		}
+		if g.NumEdges() != n*order/2 {
+			t.Fatalf("Q_%d edges %d, want %d", n, g.NumEdges(), n*order/2)
+		}
+		if g.MaxDegree() != n || g.MinDegree() != n {
+			t.Fatalf("Q_%d not %d-regular", n, n)
+		}
+		if n <= 8 {
+			if d := graph.Diameter(g); d != n {
+				t.Fatalf("diam(Q_%d) = %d", n, d)
+			}
+			if !graph.IsBipartite(g) {
+				t.Fatalf("Q_%d not bipartite", n)
+			}
+		}
+	}
+}
+
+func TestHypercubeDistanceIsHamming(t *testing.T) {
+	g := Hypercube(6)
+	d := graph.BFS(g, 0)
+	for v := 0; v < g.NumVertices(); v++ {
+		pop := 0
+		for x := v; x != 0; x &= x - 1 {
+			pop++
+		}
+		if int(d[v]) != pop {
+			t.Fatalf("dist(0,%06b) = %d, want popcount %d", v, d[v], pop)
+		}
+	}
+}
+
+func TestFoldedHypercube(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		g := FoldedHypercube(n)
+		order := 1 << uint(n)
+		if g.NumEdges() != n*order/2+order/2 {
+			t.Fatalf("FQ_%d edges %d", n, g.NumEdges())
+		}
+		if g.MaxDegree() != n+1 || g.MinDegree() != n+1 {
+			t.Fatalf("FQ_%d not (n+1)-regular", n)
+		}
+		if d := graph.Diameter(g); d != (n+1)/2 {
+			t.Fatalf("diam(FQ_%d) = %d, want %d", n, d, (n+1)/2)
+		}
+	}
+}
+
+func TestCrossedCube(t *testing.T) {
+	// CQ_1 = K_2, CQ_2 = C_4.
+	if g := CrossedCube(1); g.NumEdges() != 1 {
+		t.Fatal("CQ_1 wrong")
+	}
+	if g := CrossedCube(2); g.NumEdges() != 4 || graph.Diameter(g) != 2 {
+		t.Fatal("CQ_2 should be C_4")
+	}
+	for n := 1; n <= 9; n++ {
+		g := CrossedCube(n)
+		order := 1 << uint(n)
+		if g.NumEdges() != n*order/2 {
+			t.Fatalf("CQ_%d edges %d, want %d", n, g.NumEdges(), n*order/2)
+		}
+		if g.MaxDegree() != n || g.MinDegree() != n {
+			t.Fatalf("CQ_%d not %d-regular", n, n)
+		}
+		if !graph.IsConnected(g) {
+			t.Fatalf("CQ_%d disconnected", n)
+		}
+		// Known diameter ceil((n+1)/2).
+		if d := graph.Diameter(g); d != (n+2)/2 {
+			t.Fatalf("diam(CQ_%d) = %d, want %d", n, d, (n+2)/2)
+		}
+	}
+}
+
+func TestCubeConnectedCycles(t *testing.T) {
+	for n := 3; n <= 6; n++ {
+		g := CubeConnectedCycles(n)
+		order := n << uint(n)
+		if g.NumVertices() != order {
+			t.Fatalf("CCC_%d order %d", n, g.NumVertices())
+		}
+		// 3-regular: each vertex has 2 cycle edges + 1 cube edge.
+		if g.MaxDegree() != 3 || g.MinDegree() != 3 {
+			t.Fatalf("CCC_%d not 3-regular (max %d min %d)", n, g.MaxDegree(), g.MinDegree())
+		}
+		if g.NumEdges() != 3*order/2 {
+			t.Fatalf("CCC_%d edges %d", n, g.NumEdges())
+		}
+		if !graph.IsConnected(g) {
+			t.Fatalf("CCC_%d disconnected", n)
+		}
+	}
+}
+
+func TestDeBruijn(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		g := DeBruijn(n)
+		if g.NumVertices() != 1<<uint(n) {
+			t.Fatalf("UB_%d order", n)
+		}
+		if g.MaxDegree() > 4 {
+			t.Fatalf("UB_%d max degree %d > 4", n, g.MaxDegree())
+		}
+		if !graph.IsConnected(g) {
+			t.Fatalf("UB_%d disconnected", n)
+		}
+		if n <= 8 {
+			// de Bruijn diameter is n.
+			if d := graph.Diameter(g); d > n {
+				t.Fatalf("diam(UB_%d) = %d > n", n, d)
+			}
+		}
+	}
+}
+
+func TestElementaryGraphs(t *testing.T) {
+	if g := Cycle(7); g.NumEdges() != 7 || graph.Diameter(g) != 3 {
+		t.Error("C_7 wrong")
+	}
+	if g := Path(5); g.NumEdges() != 4 || graph.Diameter(g) != 4 {
+		t.Error("P_5 wrong")
+	}
+	if g := Complete(6); g.NumEdges() != 15 || graph.Diameter(g) != 1 {
+		t.Error("K_6 wrong")
+	}
+	if g := Star(8); g.NumEdges() != 7 || g.Degree(0) != 7 || graph.Diameter(g) != 2 {
+		t.Error("K_{1,7} wrong")
+	}
+	if g := Torus(3, 4); g.NumVertices() != 12 || g.MaxDegree() != 4 || g.MinDegree() != 4 {
+		t.Error("torus wrong")
+	}
+	if g := Mesh(3, 4); g.NumEdges() != 3*3+2*4 {
+		t.Errorf("mesh edges %d", g.NumEdges())
+	}
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	for h := 0; h <= 8; h++ {
+		g := CompleteBinaryTree(h)
+		if g.NumVertices() != 1<<uint(h+1)-1 {
+			t.Fatalf("CBT(%d) order %d", h, g.NumVertices())
+		}
+		if !graph.IsTree(g) {
+			t.Fatalf("CBT(%d) not a tree", h)
+		}
+		if h >= 1 && g.MaxDegree() != 3 && h != 1 {
+			t.Fatalf("CBT(%d) max degree %d", h, g.MaxDegree())
+		}
+		if e := graph.Eccentricity(g, 0); e != h {
+			t.Fatalf("CBT(%d) root ecc %d", h, e)
+		}
+	}
+}
+
+// Theorem 1's three conditions: Delta = 3, max distance <= 2h, order 3*2^h-2.
+func TestTriTreeTheorem1Conditions(t *testing.T) {
+	for h := 1; h <= 9; h++ {
+		g := TriTree(h)
+		if g.NumVertices() != TriTreeOrder(h) {
+			t.Fatalf("T_%d order %d, want %d", h, g.NumVertices(), TriTreeOrder(h))
+		}
+		if !graph.IsTree(g) {
+			t.Fatalf("T_%d not a tree", h)
+		}
+		if g.MaxDegree() != 3 {
+			t.Fatalf("T_%d max degree %d, want 3", h, g.MaxDegree())
+		}
+		if h <= 7 {
+			if d := graph.Diameter(g); d != 2*h {
+				t.Fatalf("diam(T_%d) = %d, want %d", h, d, 2*h)
+			}
+		}
+		if g.Degree(TriTreeCenter) != 3 {
+			t.Fatalf("T_%d center degree %d", h, g.Degree(TriTreeCenter))
+		}
+		for br := 0; br < 3; br++ {
+			r := TriTreeBranchRoot(h, br)
+			if !g.HasEdge(TriTreeCenter, r) {
+				t.Fatalf("T_%d center not adjacent to branch root %d", h, r)
+			}
+		}
+	}
+}
+
+func TestBinomialTree(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		g := BinomialTree(n)
+		if g.NumVertices() != 1<<uint(n) || !graph.IsTree(g) {
+			t.Fatalf("B_%d wrong", n)
+		}
+		if g.Degree(0) != n {
+			t.Fatalf("B_%d root degree %d", n, g.Degree(0))
+		}
+		// The binomial tree is a spanning tree of the hypercube.
+		q := Hypercube(n)
+		bad := false
+		g.Edges(func(u, v int) {
+			if !q.HasEdge(u, v) {
+				bad = true
+			}
+		})
+		if bad {
+			t.Fatalf("B_%d has non-hypercube edge", n)
+		}
+	}
+}
+
+func TestBitStringRoundTrip(t *testing.T) {
+	if s := BitString(0b1010, 4); s != "1010" {
+		t.Errorf("BitString = %q", s)
+	}
+	if s := BitString(3, 5); s != "00011" {
+		t.Errorf("BitString = %q", s)
+	}
+	v, err := ParseBitString("01101")
+	if err != nil || v != 13 {
+		t.Errorf("ParseBitString = %d, %v", v, err)
+	}
+	if _, err := ParseBitString("01x"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := ParseBitString(""); err == nil {
+		t.Error("expected error on empty string")
+	}
+	f := func(vRaw uint32, nRaw uint8) bool {
+		n := int(nRaw)%32 + 1
+		v := uint64(vRaw) & (1<<uint(n) - 1)
+		got, err := ParseBitString(BitString(v, n))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: crossed cube neighbor relation is an involution across each
+// leading bit.
+func TestCrossedNeighborInvolution(t *testing.T) {
+	f := func(uRaw uint16, lRaw uint8) bool {
+		n := 10
+		u := int(uRaw) & (1<<uint(n) - 1)
+		l := int(lRaw) % n
+		v := crossedNeighbor(u, l)
+		return v != u && crossedNeighbor(v, l) == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

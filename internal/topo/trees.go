@@ -1,0 +1,117 @@
+package topo
+
+import (
+	"fmt"
+
+	"sparsehypercube/internal/graph"
+)
+
+// CompleteBinaryTree returns the complete binary tree of height h in heap
+// numbering: vertex 0 is the root, children of v are 2v+1 and 2v+2.
+// Order 2^(h+1)-1; height 0 is the single vertex.
+func CompleteBinaryTree(h int) *graph.Graph {
+	if h < 0 || h > 24 {
+		panic("topo: complete binary tree height out of range [0,24]")
+	}
+	order := 1<<uint(h+1) - 1
+	b := graph.NewBuilder(order)
+	for v := 1; v < order; v++ {
+		b.AddEdge(v, (v-1)/2)
+	}
+	return b.Finish()
+}
+
+// TriTreeOrder returns |V(T_h)| = 3*2^h - 2.
+func TriTreeOrder(h int) int { return 3<<uint(h) - 2 }
+
+// TriTree returns the Theorem-1 graph T_h: a center vertex joined to the
+// roots of three complete binary trees of height h-1. It satisfies
+// Delta = 3 (for h >= 1... the center has degree 3; internal tree vertices
+// have degree 3; leaves degree 1), max pairwise distance exactly 2h, and
+// order 3*2^h - 2.
+//
+// Numbering: vertex 0 is the center; branch b in {0,1,2} occupies the
+// contiguous range [1 + b*s, 1 + (b+1)*s) where s = 2^h - 1, in heap order
+// within the branch (the branch root is the first vertex of the range).
+func TriTree(h int) *graph.Graph {
+	if h < 1 || h > 24 {
+		panic("topo: tri-tree height out of range [1,24]")
+	}
+	s := 1<<uint(h) - 1 // size of each branch
+	order := 1 + 3*s
+	b := graph.NewBuilder(order)
+	for branch := 0; branch < 3; branch++ {
+		base := 1 + branch*s
+		b.AddEdge(0, base)
+		for v := 1; v < s; v++ {
+			b.AddEdge(base+v, base+(v-1)/2)
+		}
+	}
+	return b.Finish()
+}
+
+// TriTreeCenter is the center vertex of TriTree numbering.
+const TriTreeCenter = 0
+
+// TriTreeBranchRoot returns the root vertex of branch b (0..2) of T_h.
+func TriTreeBranchRoot(h, branch int) int {
+	if branch < 0 || branch > 2 {
+		panic("topo: branch out of range")
+	}
+	return 1 + branch*(1<<uint(h)-1)
+}
+
+// BinomialTree returns the binomial tree B_n on 2^n vertices: the spanning
+// tree of Q_n traced by the classic store-and-forward broadcast. Vertex
+// labels are the hypercube labels; v's parent clears v's highest set bit.
+func BinomialTree(n int) *graph.Graph {
+	checkCubeDim(n, 26)
+	order := 1 << uint(n)
+	b := graph.NewBuilder(order)
+	for v := 1; v < order; v++ {
+		b.AddEdge(v, v&^highestBit(v))
+	}
+	return b.Finish()
+}
+
+func highestBit(x int) int {
+	h := 1
+	for h<<1 <= x {
+		h <<= 1
+	}
+	return h
+}
+
+// BitString renders vertex v of a 2^n-vertex cube-like graph as an n-bit
+// string, most significant bit first (dimension n down to dimension 1 in
+// the paper's numbering).
+func BitString(v uint64, n int) string {
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		if v&(1<<uint(n-1-i)) != 0 {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}
+
+// ParseBitString parses an MSB-first bit string into a vertex id.
+func ParseBitString(s string) (uint64, error) {
+	var v uint64
+	if len(s) == 0 || len(s) > 64 {
+		return 0, fmt.Errorf("topo: bit string length %d out of range", len(s))
+	}
+	for _, c := range s {
+		switch c {
+		case '0':
+			v <<= 1
+		case '1':
+			v = v<<1 | 1
+		default:
+			return 0, fmt.Errorf("topo: invalid bit %q in %q", c, s)
+		}
+	}
+	return v, nil
+}

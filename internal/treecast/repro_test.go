@@ -1,0 +1,40 @@
+package treecast
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparsehypercube/internal/graph"
+	"sparsehypercube/internal/intmath"
+	"sparsehypercube/internal/linecomm"
+)
+
+func TestReproExactInput(t *testing.T) {
+	seed := int64(2428545632637465169)
+	nRaw := uint8(0x1c)
+	n := int(nRaw)%30 + 2
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, rng.Intn(v))
+	}
+	g := b.Finish()
+	p, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.Intn(n)
+	sched, err := p.Schedule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := linecomm.Validate(linecomm.GraphNetwork{G: g}, n-1, sched)
+	want := intmath.CeilLog2(uint64(n))
+	t.Logf("n=%d src=%d rounds=%d want=%d valid=%v complete=%v", n, src, len(sched.Rounds), want, res.Valid(), res.Complete)
+	if !res.Valid() || !res.Complete {
+		t.Fatal("invalid")
+	}
+	if len(sched.Rounds) > want+1 {
+		t.Fatal("too slow")
+	}
+}

@@ -1,0 +1,200 @@
+// Package sparsehypercube is the public API of a full reproduction of
+//
+//	S. Fujita, A. M. Farley, "Sparse Hypercube — a minimal k-line
+//	broadcast graph", IPPS/SPDP'99; Discrete Applied Mathematics 127
+//	(2003) 431–446.
+//
+// A sparse hypercube is a spanning subgraph of the binary n-cube that is
+// still a minimal k-line broadcast graph: from any originator, a broadcast
+// completes in the information-theoretic minimum ceil(log2 N) = n rounds
+// under the k-line communication model (per round, each informed vertex
+// may call one vertex over a path of at most k edges; simultaneous calls
+// must be edge-disjoint and receiver-disjoint), while the maximum degree
+// drops from n to at most (2k-1)*ceil(n^(1/k)) - k.
+//
+// Quick start:
+//
+//	cube, err := sparsehypercube.New(2, 15) // k = 2, N = 2^15
+//	sched := cube.Broadcast(0)
+//	report := cube.Verify(sched)            // report.MinimumTime == true
+//
+// The heavy lifting lives in internal packages (construction, labelings,
+// communication model, baselines, experiment harness); this package keeps
+// the downstream surface small and stable.
+package sparsehypercube
+
+import (
+	"fmt"
+
+	"sparsehypercube/internal/core"
+	"sparsehypercube/internal/linecomm"
+)
+
+// Cube is a sparse hypercube: an implicit graph on 2^n vertices.
+type Cube struct {
+	inner *core.SparseHypercube
+}
+
+// New constructs a k-mlbg on 2^n vertices with automatically chosen
+// parameters (the paper's Theorem 5/7 choices refined by local search).
+// k = 1 yields the full hypercube Q_n.
+func New(k, n int) (*Cube, error) {
+	inner, err := core.NewAuto(k, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Cube{inner: inner}, nil
+}
+
+// NewWithDims constructs Construct(k, (n, n_{k-1}, ..., n_1)) with an
+// explicit parameter vector dims = [n_1 < ... < n_{k-1} < n] of length k.
+func NewWithDims(k int, dims []int) (*Cube, error) {
+	inner, err := core.New(core.Params{K: k, Dims: append([]int(nil), dims...)})
+	if err != nil {
+		return nil, err
+	}
+	return &Cube{inner: inner}, nil
+}
+
+// K returns the call-length bound the cube was built for.
+func (c *Cube) K() int { return c.inner.K() }
+
+// N returns the cube dimension n (order 2^n).
+func (c *Cube) N() int { return c.inner.N() }
+
+// Order returns the number of vertices, 2^n.
+func (c *Cube) Order() uint64 { return c.inner.Order() }
+
+// Dims returns a copy of the parameter vector [n_1, ..., n_{k-1}, n].
+func (c *Cube) Dims() []int {
+	return append([]int(nil), c.inner.Params().Dims...)
+}
+
+// MaxDegree returns the exact maximum vertex degree.
+func (c *Cube) MaxDegree() int { return c.inner.MaxDegree() }
+
+// MinDegree returns the exact minimum vertex degree.
+func (c *Cube) MinDegree() int { return c.inner.MinDegree() }
+
+// NumEdges returns the exact number of edges.
+func (c *Cube) NumEdges() uint64 { return c.inner.NumEdges() }
+
+// Degree returns the degree of vertex u.
+func (c *Cube) Degree(u uint64) int { return c.inner.DegreeOf(u) }
+
+// HasEdge reports whether {u, v} is an edge.
+func (c *Cube) HasEdge(u, v uint64) bool { return c.inner.HasEdge(u, v) }
+
+// Neighbors returns the sorted adjacency of u.
+func (c *Cube) Neighbors(u uint64) []uint64 { return c.inner.Neighbors(u) }
+
+// Describe renders the level structure (windows, labelings, partitions).
+func (c *Cube) Describe() string { return c.inner.Describe() }
+
+// Call is one circuit-switched call: Path[0] is the caller, the last
+// element the receiver, and the path occupies len(Path)-1 <= k edges.
+type Call struct {
+	Path []uint64
+}
+
+// From returns the calling vertex.
+func (c Call) From() uint64 { return c.Path[0] }
+
+// To returns the receiving vertex.
+func (c Call) To() uint64 { return c.Path[len(c.Path)-1] }
+
+// Schedule is a round-by-round broadcast plan.
+type Schedule struct {
+	Source uint64
+	Rounds [][]Call
+}
+
+// Broadcast generates the paper's minimum-time k-line broadcast scheme
+// from source: exactly n rounds, calls of length at most k.
+func (c *Cube) Broadcast(source uint64) *Schedule {
+	inner := c.inner.BroadcastSchedule(source)
+	out := &Schedule{Source: inner.Source, Rounds: make([][]Call, len(inner.Rounds))}
+	for i, round := range inner.Rounds {
+		calls := make([]Call, len(round))
+		for j, call := range round {
+			calls[j] = Call{Path: call.Path}
+		}
+		out.Rounds[i] = calls
+	}
+	return out
+}
+
+// Report summarises schedule verification against the k-line model.
+type Report struct {
+	Valid         bool
+	Complete      bool
+	MinimumTime   bool
+	Rounds        int
+	MaxCallLength int
+	Violations    []string
+}
+
+// Verify checks a schedule against this cube under the k-line model
+// (edge existence, call lengths, per-round edge- and receiver-
+// disjointness, caller knowledge, completion, minimality).
+func (c *Cube) Verify(s *Schedule) Report {
+	inner := &linecomm.Schedule{Source: s.Source, Rounds: make([]linecomm.Round, len(s.Rounds))}
+	for i, round := range s.Rounds {
+		calls := make(linecomm.Round, len(round))
+		for j, call := range round {
+			calls[j] = linecomm.Call{Path: call.Path}
+		}
+		inner.Rounds[i] = calls
+	}
+	res := linecomm.Validate(c.inner, c.K(), inner)
+	rep := Report{
+		Valid:         res.Valid(),
+		Complete:      res.Complete,
+		MinimumTime:   res.MinimumTime,
+		Rounds:        len(s.Rounds),
+		MaxCallLength: res.MaxCallLength,
+	}
+	for _, v := range res.Violations {
+		rep.Violations = append(rep.Violations, v.String())
+	}
+	return rep
+}
+
+// FormatSchedule renders a schedule with n-bit vertex labels.
+func (c *Cube) FormatSchedule(s *Schedule) string {
+	inner := &linecomm.Schedule{Source: s.Source, Rounds: make([]linecomm.Round, len(s.Rounds))}
+	for i, round := range s.Rounds {
+		calls := make(linecomm.Round, len(round))
+		for j, call := range round {
+			calls[j] = linecomm.Call{Path: call.Path}
+		}
+		inner.Rounds[i] = calls
+	}
+	return inner.Format(c.N())
+}
+
+// MinimumRounds returns ceil(log2 N), the broadcast time lower bound for
+// any N-vertex network.
+func MinimumRounds(order uint64) int { return linecomm.MinimumRounds(order) }
+
+// LowerBoundDegree returns the paper's degree lower bound for k-mlbgs on
+// 2^n vertices (Theorems 2 and 3).
+func LowerBoundDegree(k, n int) int { return core.LowerBoundDegree(k, n) }
+
+// UpperBoundDegree returns the paper's constructive degree guarantee for
+// a k-mlbg on 2^n vertices: Theorem 5 for k = 2, Theorem 7 for k >= 3,
+// and n for k = 1 (the hypercube itself).
+func UpperBoundDegree(k, n int) (int, error) {
+	switch {
+	case k < 1 || n < 1:
+		return 0, fmt.Errorf("sparsehypercube: k, n must be >= 1")
+	case k == 1:
+		return n, nil
+	case k == 2:
+		return core.UpperBoundTheorem5(n), nil
+	case n <= k:
+		return 0, fmt.Errorf("sparsehypercube: Theorem 7 requires n > k (got k=%d, n=%d)", k, n)
+	default:
+		return core.UpperBoundTheorem7(k, n), nil
+	}
+}
