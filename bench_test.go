@@ -124,6 +124,101 @@ func BenchmarkThm4Validate(b *testing.B) {
 	}
 }
 
+// EXP-THM4 at production scale: materialised schedule generation for
+// 2^20 vertices, the baseline the streaming engine is measured against.
+func BenchmarkThm4ScheduleGenN20(b *testing.B) {
+	s, err := core.NewAuto(2, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched := s.BroadcastSchedule(0)
+		if len(sched.Rounds) != 20 {
+			b.Fatal("wrong round count")
+		}
+	}
+}
+
+// EXP-THM4 streaming half: the same 2^20-vertex scheme through
+// ScheduleRounds — round-at-a-time, arena-backed, parallel call paths.
+func BenchmarkThm4StreamGenN20(b *testing.B) {
+	s, err := core.NewAuto(2, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		calls := 0
+		for round := range s.ScheduleRounds(0) {
+			calls += len(round)
+		}
+		if calls != 1<<20-1 {
+			b.Fatal("wrong call count")
+		}
+	}
+}
+
+// EXP-THM4 validator at production scale: map-based Validate on a fixed
+// 2^20-vertex materialised schedule.
+func BenchmarkThm4ValidateN20(b *testing.B) {
+	s, err := core.NewAuto(2, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := s.BroadcastSchedule(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !linecomm.Validate(s, 2, sched).MinimumTime {
+			b.Fatal("invalid")
+		}
+	}
+}
+
+// EXP-THM4 streaming validator: the same fixed schedule through
+// ValidateStream's bit-set engine.
+func BenchmarkThm4StreamValidateN20(b *testing.B) {
+	s, err := core.NewAuto(2, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := s.BroadcastSchedule(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !linecomm.ValidateStream(s, 2, sched.Source, sched.Stream()).MinimumTime {
+			b.Fatal("invalid")
+		}
+	}
+}
+
+// EXP-STREAM: the fully streamed generate-and-validate pipeline at sizes
+// where the schedule is never materialised (peak heap stays at the
+// frontier, not the call total). Run with -benchtime=1x for a quick
+// certification of the 4M- and 16M-vertex regimes.
+func benchmarkStreamPipeline(b *testing.B, k, n int) {
+	s, err := core.NewAuto(k, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := linecomm.ValidateStream(s, k, 0, s.ScheduleRounds(0))
+		if !res.MinimumTime {
+			b.Fatal("invalid")
+		}
+	}
+	b.ReportMetric(float64(uint64(1)<<n-1), "calls")
+}
+
+func BenchmarkStreamPipelineN20(b *testing.B) { benchmarkStreamPipeline(b, 2, 20) }
+func BenchmarkStreamPipelineN22(b *testing.B) { benchmarkStreamPipeline(b, 3, 22) }
+func BenchmarkStreamPipelineN24(b *testing.B) { benchmarkStreamPipeline(b, 3, 24) }
+
 // EXP-THM5: the k = 2 degree series over n <= 64 (parameter selection +
 // exact degree formula; the numbers behind the Theorem-5 table).
 func BenchmarkThm5Sweep(b *testing.B) {

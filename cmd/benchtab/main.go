@@ -6,7 +6,7 @@
 //	benchtab           # run every experiment
 //	benchtab -exp thm5 # run one experiment (fig1..fig5, ex1, ex3, ex6,
 //	                   # thm1, lower, thm4, thm5, thm6, thm7, cor1, cor2,
-//	                   # lem2, zoo, ablation, congestion)
+//	                   # lem2, zoo, ablation, congestion, stream, ...)
 //	benchtab -tsv      # tab-separated output instead of markdown
 //
 // Experiment ids match DESIGN.md's per-experiment index.
@@ -60,6 +60,7 @@ func main() {
 		{"diameter", func(t bool) { emit(analysis.RunDiameter(), t) }},
 		{"gossip", func(t bool) { emit(analysis.RunGossip(), t) }},
 		{"tree", func(t bool) { emit(analysis.RunTreecast(), t) }},
+		{"stream", func(t bool) { emit(analysis.RunStream(16), t) }},
 		{"mbg", func(t bool) { emit(analysis.RunMbg(), t) }},
 	}
 

@@ -1,0 +1,3 @@
+module sparsehypercube
+
+go 1.24

@@ -45,6 +45,17 @@ func (s *Set) Set(i int) {
 	s.words[i>>6] |= 1 << uint(i&63)
 }
 
+// TestAndSet sets bit i and reports whether it was already set. It is the
+// one-bit analogue of a map insert-and-check, used by the streaming
+// validator's disjointness sets.
+func (s *Set) TestAndSet(i int) bool {
+	s.check(i)
+	mask := uint64(1) << uint(i&63)
+	old := s.words[i>>6]&mask != 0
+	s.words[i>>6] |= mask
+	return old
+}
+
 // Clear clears bit i.
 func (s *Set) Clear(i int) {
 	s.check(i)

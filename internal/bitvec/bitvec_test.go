@@ -213,3 +213,27 @@ func randSet(seed int64, n int) *Set {
 	}
 	return s
 }
+
+func TestTestAndSet(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		if s.TestAndSet(i) {
+			t.Fatalf("TestAndSet(%d) on clear bit reported set", i)
+		}
+		if !s.Get(i) {
+			t.Fatalf("TestAndSet(%d) did not set the bit", i)
+		}
+		if !s.TestAndSet(i) {
+			t.Fatalf("second TestAndSet(%d) reported clear", i)
+		}
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count() = %d, want 4", s.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TestAndSet out of range did not panic")
+		}
+	}()
+	s.TestAndSet(130)
+}

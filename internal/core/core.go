@@ -208,6 +208,12 @@ func (s *SparseHypercube) LabelAt(l int, u uint64) int {
 func (s *SparseHypercube) HasEdgeDim(u uint64, d int) bool {
 	s.checkDim(d)
 	s.checkVertex(u)
+	return s.hasEdgeDim(u, d)
+}
+
+// hasEdgeDim is HasEdgeDim without range checks, for validated-input hot
+// paths (schedule generation evaluates it once per call-path hop).
+func (s *SparseHypercube) hasEdgeDim(u uint64, d int) bool {
 	l := s.dimLevel[d]
 	if l == 1 {
 		return true

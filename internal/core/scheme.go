@@ -28,7 +28,7 @@ func (s *SparseHypercube) CallPath(u uint64, d int) []uint64 {
 // appending every hop.
 func (s *SparseHypercube) extendPath(path []uint64, d int) []uint64 {
 	u := path[len(path)-1]
-	if s.HasEdgeDim(u, d) {
+	if s.hasEdgeDim(u, d) {
 		return append(path, u^(1<<uint(d-1)))
 	}
 	// No direct edge: d sits at some level l >= 2 and g_l(u) is not the

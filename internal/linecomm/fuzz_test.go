@@ -25,6 +25,16 @@ func FuzzValidate(f *testing.F) {
 		if res.Valid() != (len(res.Violations) == 0) {
 			t.Fatal("Valid() inconsistent with Violations")
 		}
+		// The streaming engines must classify identically, whatever the
+		// input: map engine via the plain GraphNetwork, bit-set engine
+		// via the dimensioned wrapper.
+		for _, streamNet := range []Network{net, dimNet{net, 4}} {
+			sres := ValidateStream(streamNet, k, s.Source, s.Stream())
+			if sres.Valid() != res.Valid() || sres.Informed != res.Informed ||
+				len(sres.Violations) != len(res.Violations) {
+				t.Fatalf("stream/serial divergence: serial %+v stream %+v", res, sres)
+			}
+		}
 	})
 }
 

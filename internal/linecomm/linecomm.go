@@ -9,6 +9,7 @@ package linecomm
 
 import (
 	"fmt"
+	"iter"
 	"strings"
 
 	"sparsehypercube/internal/graph"
@@ -21,22 +22,78 @@ type Call struct {
 	Path []uint64
 }
 
-// From returns the calling vertex.
-func (c Call) From() uint64 { return c.Path[0] }
+// From returns the calling vertex, or 0 for a call with an empty path.
+// An empty path is never valid — Validate reports it as PathInvalid — but
+// the accessor must not panic on the zero value. Use Endpoints to
+// distinguish vertex 0 from a missing path.
+func (c Call) From() uint64 {
+	if len(c.Path) == 0 {
+		return 0
+	}
+	return c.Path[0]
+}
 
-// To returns the receiving vertex.
-func (c Call) To() uint64 { return c.Path[len(c.Path)-1] }
+// To returns the receiving vertex, or 0 for a call with an empty path.
+func (c Call) To() uint64 {
+	if len(c.Path) == 0 {
+		return 0
+	}
+	return c.Path[len(c.Path)-1]
+}
 
-// Length returns the number of edges occupied.
-func (c Call) Length() int { return len(c.Path) - 1 }
+// Endpoints returns the caller and receiver; ok is false when the path is
+// empty and both endpoints are meaningless.
+func (c Call) Endpoints() (from, to uint64, ok bool) {
+	if len(c.Path) == 0 {
+		return 0, 0, false
+	}
+	return c.Path[0], c.Path[len(c.Path)-1], true
+}
+
+// Length returns the number of edges occupied (0 for an empty path).
+func (c Call) Length() int {
+	if len(c.Path) == 0 {
+		return 0
+	}
+	return len(c.Path) - 1
+}
 
 // Round is the set of calls placed in one time unit.
 type Round []Call
+
+// CloneRound deep-copies a round into freshly allocated storage (one
+// backing array for all paths). Use it to retain a round obtained from a
+// streaming iterator, whose yielded storage is reused between rounds.
+func CloneRound(r Round) Round {
+	total := 0
+	for _, c := range r {
+		total += len(c.Path)
+	}
+	buf := make([]uint64, 0, total)
+	out := make(Round, len(r))
+	for i, c := range r {
+		buf = append(buf, c.Path...)
+		out[i] = Call{Path: buf[len(buf)-len(c.Path) : len(buf) : len(buf)]}
+	}
+	return out
+}
 
 // Schedule is a broadcast schedule from Source.
 type Schedule struct {
 	Source uint64
 	Rounds []Round
+}
+
+// Stream returns the schedule's rounds as an iterator, the form consumed
+// by ValidateStream. Yielded rounds alias the schedule's storage.
+func (s *Schedule) Stream() iter.Seq[Round] {
+	return func(yield func(Round) bool) {
+		for _, r := range s.Rounds {
+			if !yield(r) {
+				return
+			}
+		}
+	}
 }
 
 // TotalCalls returns the number of calls across all rounds.

@@ -41,18 +41,17 @@ func cloneSchedule(s *Schedule) *Schedule {
 	return out
 }
 
-func TestMutationsAlwaysCaught(t *testing.T) {
-	const n = 6
-	net := GraphNetwork{G: topo.Hypercube(n)}
-	base := binomialSchedule(n)
-	if res := Validate(net, 1, base); !res.Valid() || !res.MinimumTime {
-		t.Fatalf("base schedule must be valid: %v", res.Err())
-	}
+// scheduleMutation is one structural corruption of a schedule on Q_n;
+// mut returns false when inapplicable. Shared between the serial
+// validator's mutation tests and the ValidateStream crosschecks.
+type scheduleMutation struct {
+	name string
+	mut  func(rng *rand.Rand, s *Schedule) bool
+}
 
-	mutations := []struct {
-		name string
-		mut  func(rng *rand.Rand, s *Schedule) bool // returns false if inapplicable
-	}{
+// mutationsForQn returns the corruption catalogue for binomialSchedule(n).
+func mutationsForQn(n int) []scheduleMutation {
+	return []scheduleMutation{
 		{"retarget-receiver-to-duplicate", func(rng *rand.Rand, s *Schedule) bool {
 			// Make two calls in one round share a receiver.
 			for _, r := range s.Rounds {
@@ -135,8 +134,17 @@ func TestMutationsAlwaysCaught(t *testing.T) {
 			return true
 		}},
 	}
+}
 
-	for _, m := range mutations {
+func TestMutationsAlwaysCaught(t *testing.T) {
+	const n = 6
+	net := GraphNetwork{G: topo.Hypercube(n)}
+	base := binomialSchedule(n)
+	if res := Validate(net, 1, base); !res.Valid() || !res.MinimumTime {
+		t.Fatalf("base schedule must be valid: %v", res.Err())
+	}
+
+	for _, m := range mutationsForQn(n) {
 		rng := rand.New(rand.NewSource(42))
 		applied := false
 		for trial := 0; trial < 20; trial++ {

@@ -1,0 +1,500 @@
+package linecomm
+
+import (
+	"fmt"
+	"iter"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"sparsehypercube/internal/bitvec"
+)
+
+// This file is the streaming half of the validator: ValidateStream
+// consumes rounds as a producer (core.ScheduleRounds, a network feed, a
+// decoder) emits them, so a schedule never has to be materialised to be
+// checked. Per round it runs in two phases:
+//
+//  1. fill — the structural checks that are independent between calls
+//     (path shape, vertex range, edge existence, length bound, caller
+//     knowledge) are sharded across a pool of goroutines;
+//  2. merge — the cross-call disjointness checks (duplicate callers,
+//     edge conflicts, receiver conflicts) run serially over the phase-1
+//     records, in call order, so the produced Result is byte-for-byte
+//     identical to the sequential Validate.
+//
+// On hypercube-family networks (DimensionedNetwork) with Definition 1
+// capacities the merge phase replaces the per-round map[edgeKey]/receiver
+// maps with flat bitvec-backed disjointness sets: edge slots indexed by
+// vertex*n + dim, receivers and callers by vertex. Everything else —
+// generalised capacities, arbitrary Network implementations, huge vertex
+// spaces — falls back to the same per-round maps the sequential validator
+// uses, still streamed and still sharded in phase 1.
+
+// DimensionedNetwork is a Network whose vertices are n-bit addresses and
+// whose edges each connect vertices differing in exactly one bit:
+// hypercubes and their spanning subgraphs (the sparse hypercube, Q_n
+// itself). The property lets the validator index edge slots as
+// vertex*n + dimension instead of hashing edge keys.
+type DimensionedNetwork interface {
+	Network
+	// N returns the address width in bits; Order() <= 1 << N().
+	N() int
+}
+
+const (
+	// maxStreamBits caps the size of the bit-set engine's edge-slot
+	// universe (order * n bits); larger instances use the map engine.
+	maxStreamBits = 1 << 31
+	// streamShardChunk is the minimum number of calls worth handing to a
+	// structural-check goroutine.
+	streamShardChunk = 1024
+)
+
+// streamBlock is the number of calls checked per fill/merge cycle. It
+// bounds the validator's extra memory at O(streamBlock) records
+// regardless of round width. A variable so tests can shrink it to cover
+// the multi-block merge path with narrow rounds.
+var streamBlock = 1 << 16
+
+// call stages decided by the fill phase, mirroring the sequential
+// validator's early-continue points.
+const (
+	stageSkip   uint8 = iota // too short or out of range: no further checks
+	stageCaller              // structurally bad: duplicate-caller check only
+	stageFull                // all cross-call checks apply
+)
+
+// ValidateStream checks a streamed schedule from source against the
+// classic k-line model (Definition 1) on net. It consumes rounds as they
+// are produced — yielded rounds may reuse storage between iterations —
+// and returns the same Result, violation for violation, that Validate
+// returns on the materialised schedule.
+func ValidateStream(net Network, k int, source uint64, rounds iter.Seq[Round]) *Result {
+	return ValidateStreamOpts(net, k, source, rounds, DefaultOptions())
+}
+
+// ValidateStreamOpts is ValidateStream under the generalised model of
+// ValidateOpts.
+func ValidateStreamOpts(net Network, k int, source uint64, rounds iter.Seq[Round], opts Options) *Result {
+	if opts.EdgeCapacity < 1 || opts.ReceiverCapacity < 1 {
+		panic("linecomm: capacities must be >= 1")
+	}
+	res := &Result{}
+	order := net.Order()
+	if source >= order {
+		res.Violations = append(res.Violations, Violation{
+			Round: -1, Call: -1, Kind: VertexOutOfRange,
+			Msg: fmt.Sprintf("source %d outside [0,%d)", source, order),
+		})
+		return res
+	}
+	var st roundState
+	if dn, ok := net.(DimensionedNetwork); ok &&
+		opts.EdgeCapacity == 1 && opts.ReceiverCapacity == 1 &&
+		dn.N() >= 1 && order <= maxStreamBits/uint64(dn.N()) &&
+		// Reject inconsistent implementations (Order beyond the address
+		// width would alias edge slots): fall back to the map engine.
+		order <= uint64(1)<<uint(dn.N()) {
+		st = newBitvecState(order, dn.N(), source)
+	} else {
+		st = newMapState(source, opts)
+	}
+	v := &streamValidator{net: net, k: k, order: order, opts: opts, st: st, res: res}
+	nRounds := 0
+	for round := range rounds {
+		v.validateRound(nRounds, round)
+		nRounds++
+	}
+	res.Informed = st.informedCount()
+	res.Complete = res.Informed == order
+	res.MinimumTime = res.Complete && nRounds == MinimumRounds(order)
+	return res
+}
+
+// roundState tracks the informed set and the per-round disjointness
+// constraints. All methods are called from the serial merge phase except
+// isInformed, which the fill phase reads concurrently; implementations
+// must not mutate state visible to isInformed between beginRound and
+// endRound.
+type roundState interface {
+	isInformed(v uint64) bool
+	// beginRound resets per-round tracking; r is retained until endRound
+	// (the bit-set engine scans it to recover duplicate-caller indices).
+	beginRound(r Round)
+	// callerClaim registers call ci as placed by v. When v already placed
+	// a call this round it reports that call's index instead.
+	callerClaim(v uint64, ci int) (prev int, dup bool)
+	// edgeUse registers one use of edge {u,v} and reports whether this
+	// use is the first beyond capacity (true exactly once per edge).
+	edgeUse(u, v uint64) bool
+	// recvUse registers one call targeting v, same contract as edgeUse.
+	recvUse(v uint64) bool
+	// inform buffers v as newly informed; applied at endRound, matching
+	// the model's end-of-round knowledge update.
+	inform(v uint64)
+	// endRound applies buffered informs, clears round state and returns
+	// the informed count.
+	endRound() uint64
+	informedCount() uint64
+}
+
+// streamValidator drives the fill/merge cycle and owns the reusable
+// buffers, so steady-state validation of a valid schedule allocates
+// (amortised) nothing per call.
+type streamValidator struct {
+	net   Network
+	k     int
+	order uint64
+	opts  Options
+	st    roundState
+	res   *Result
+
+	stages     []uint8
+	shardViols [][]Violation
+	violBuf    []Violation
+}
+
+func (v *streamValidator) validateRound(ri int, round Round) {
+	v.st.beginRound(round)
+	for base := 0; base < len(round); base += streamBlock {
+		blk := round[base:min(base+streamBlock, len(round))]
+		stages, viols := v.fillBlock(ri, base, blk)
+		v.mergeBlock(ri, base, blk, stages, viols)
+	}
+	v.res.InformedPerRound = append(v.res.InformedPerRound, v.st.endRound())
+}
+
+// fillBlock runs the structural checks for one block of calls, sharded
+// across goroutines. It returns the per-call stages and the structural
+// violations sorted by call index (workers own contiguous ascending
+// chunks, so concatenating their buffers in worker order is sorted).
+func (v *streamValidator) fillBlock(ri, base int, blk Round) ([]uint8, []Violation) {
+	if cap(v.stages) < len(blk) {
+		v.stages = make([]uint8, len(blk))
+	}
+	stages := v.stages[:len(blk)]
+
+	workers := runtime.GOMAXPROCS(0)
+	if w := (len(blk) + streamShardChunk - 1) / streamShardChunk; w < workers {
+		workers = w
+	}
+	for len(v.shardViols) < max(workers, 1) {
+		v.shardViols = append(v.shardViols, nil)
+	}
+	if workers <= 1 {
+		v.shardViols[0] = v.checkCalls(ri, base, blk, 0, len(blk), stages, v.shardViols[0][:0])
+		return stages, v.shardViols[0]
+	}
+
+	chunk := (len(blk) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(blk))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			v.shardViols[w] = v.checkCalls(ri, base, blk, lo, hi, stages, v.shardViols[w][:0])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	v.violBuf = v.violBuf[:0]
+	for w := 0; w < workers; w++ {
+		v.violBuf = append(v.violBuf, v.shardViols[w]...)
+	}
+	return stages, v.violBuf
+}
+
+// checkCalls is the fill-phase worker body for calls [lo, hi) of blk.
+func (v *streamValidator) checkCalls(ri, base int, blk Round, lo, hi int, stages []uint8, out []Violation) []Violation {
+	for i := lo; i < hi; i++ {
+		stages[i], out = v.checkCall(ri, base+i, blk[i], out)
+	}
+	return out
+}
+
+// checkCall mirrors the sequential validator's per-call structural
+// section, including its violation order and early-exit points.
+func (v *streamValidator) checkCall(ri, ci int, call Call, out []Violation) (uint8, []Violation) {
+	if len(call.Path) < 2 {
+		return stageSkip, append(out, Violation{ri, ci, PathInvalid,
+			fmt.Sprintf("path has %d vertices", len(call.Path))})
+	}
+	bad := false
+	for _, u := range call.Path {
+		if u >= v.order {
+			out = append(out, Violation{ri, ci, VertexOutOfRange,
+				fmt.Sprintf("vertex %d outside [0,%d)", u, v.order)})
+			bad = true
+		}
+	}
+	if bad {
+		return stageSkip, out
+	}
+	out, bad = appendRepeatViolations(out, ri, ci, call.Path)
+	for i := 1; i < len(call.Path); i++ {
+		if !v.net.HasEdge(call.Path[i-1], call.Path[i]) {
+			out = append(out, Violation{ri, ci, PathInvalid,
+				fmt.Sprintf("no edge {%d,%d}", call.Path[i-1], call.Path[i])})
+			bad = true
+		}
+	}
+	if call.Length() > v.k {
+		out = append(out, Violation{ri, ci, PathTooLong,
+			fmt.Sprintf("length %d > k = %d", call.Length(), v.k)})
+	}
+	if !v.st.isInformed(call.Path[0]) {
+		out = append(out, Violation{ri, ci, CallerUninformed,
+			fmt.Sprintf("caller %d not informed", call.Path[0])})
+	}
+	if bad {
+		return stageCaller, out
+	}
+	return stageFull, out
+}
+
+// appendRepeatViolations reports every path vertex equal to an earlier
+// one. Paths are short (<= k+1 hops in real schedules), so a quadratic
+// scan beats a hash map; pathological inputs fall back to a map.
+func appendRepeatViolations(out []Violation, ri, ci int, path []uint64) ([]Violation, bool) {
+	bad := false
+	if len(path) <= 32 {
+		for i, u := range path {
+			for _, w := range path[:i] {
+				if w == u {
+					out = append(out, Violation{ri, ci, PathInvalid,
+						fmt.Sprintf("vertex %d repeated on path", u)})
+					bad = true
+					break
+				}
+			}
+		}
+		return out, bad
+	}
+	seen := make(map[uint64]bool, len(path))
+	for _, u := range path {
+		if seen[u] {
+			out = append(out, Violation{ri, ci, PathInvalid,
+				fmt.Sprintf("vertex %d repeated on path", u)})
+			bad = true
+		}
+		seen[u] = true
+	}
+	return out, bad
+}
+
+// mergeBlock interleaves the fill-phase violations with the cross-call
+// disjointness checks, in call order, reproducing Validate's sequence.
+func (v *streamValidator) mergeBlock(ri, base int, blk Round, stages []uint8, viols []Violation) {
+	vi := 0
+	for i, call := range blk {
+		ci := base + i
+		for vi < len(viols) && viols[vi].Call == ci {
+			v.res.Violations = append(v.res.Violations, viols[vi])
+			vi++
+		}
+		if stages[i] == stageSkip {
+			continue
+		}
+		if l := call.Length(); l > v.res.MaxCallLength {
+			v.res.MaxCallLength = l
+		}
+		if prev, dup := v.st.callerClaim(call.Path[0], ci); dup {
+			v.res.Violations = append(v.res.Violations, Violation{ri, ci, CallerDuplicate,
+				fmt.Sprintf("caller %d already placed call %d", call.Path[0], prev)})
+		}
+		if stages[i] != stageFull {
+			continue
+		}
+		for h := 1; h < len(call.Path); h++ {
+			if v.st.edgeUse(call.Path[h-1], call.Path[h]) {
+				e := mkEdge(call.Path[h-1], call.Path[h])
+				v.res.Violations = append(v.res.Violations, Violation{ri, ci, EdgeConflict,
+					fmt.Sprintf("edge {%d,%d} used %d times, capacity %d",
+						e.u, e.v, v.opts.EdgeCapacity+1, v.opts.EdgeCapacity)})
+			}
+		}
+		to := call.Path[len(call.Path)-1]
+		if v.st.recvUse(to) {
+			v.res.Violations = append(v.res.Violations, Violation{ri, ci, ReceiverConflict,
+				fmt.Sprintf("receiver %d targeted %d times, capacity %d",
+					to, v.opts.ReceiverCapacity+1, v.opts.ReceiverCapacity)})
+		}
+		if v.st.isInformed(to) && !v.opts.AllowInformedReceiver {
+			v.res.Violations = append(v.res.Violations, Violation{ri, ci, ReceiverInformed,
+				fmt.Sprintf("receiver %d already informed", to)})
+		}
+		v.st.inform(to)
+	}
+}
+
+// mapState is the general-purpose round state: the same per-round hash
+// maps the sequential validator uses, for arbitrary networks and
+// generalised capacities.
+type mapState struct {
+	opts     Options
+	informed map[uint64]bool
+	edges    map[edgeKey]int
+	recvs    map[uint64]int
+	callers  map[uint64]int
+	newly    []uint64
+}
+
+func newMapState(source uint64, opts Options) *mapState {
+	return &mapState{opts: opts, informed: map[uint64]bool{source: true}}
+}
+
+func (m *mapState) isInformed(v uint64) bool { return m.informed[v] }
+
+func (m *mapState) beginRound(r Round) {
+	m.edges = make(map[edgeKey]int, len(r)*2)
+	m.recvs = make(map[uint64]int, len(r))
+	m.callers = make(map[uint64]int, len(r))
+	m.newly = m.newly[:0]
+}
+
+func (m *mapState) callerClaim(v uint64, ci int) (int, bool) {
+	if prev, dup := m.callers[v]; dup {
+		return prev, true
+	}
+	m.callers[v] = ci
+	return 0, false
+}
+
+func (m *mapState) edgeUse(u, v uint64) bool {
+	e := mkEdge(u, v)
+	m.edges[e]++
+	return m.edges[e] == m.opts.EdgeCapacity+1
+}
+
+func (m *mapState) recvUse(v uint64) bool {
+	m.recvs[v]++
+	return m.recvs[v] == m.opts.ReceiverCapacity+1
+}
+
+func (m *mapState) inform(v uint64) { m.newly = append(m.newly, v) }
+
+func (m *mapState) endRound() uint64 {
+	for _, v := range m.newly {
+		m.informed[v] = true
+	}
+	m.edges, m.recvs, m.callers = nil, nil, nil
+	return uint64(len(m.informed))
+}
+
+func (m *mapState) informedCount() uint64 { return uint64(len(m.informed)) }
+
+// bitvecState is the Definition 1 fast path for dimensioned networks:
+// every disjointness constraint becomes a bit test in a flat set. Edge
+// slots are indexed vertex*n + dim (dim the 0-based flipped bit at the
+// lower endpoint), receivers and callers by vertex. The *Dup shadows
+// reproduce the sequential validator's report-once-per-slot behaviour.
+// Touched slots are recorded and cleared between rounds, so the sets are
+// allocated once per validation run.
+type bitvecState struct {
+	n     int
+	count uint64
+
+	informed   *bitvec.Set // order bits
+	edgeUsed   *bitvec.Set // order*n bits
+	edgeDup    *bitvec.Set
+	recvUsed   *bitvec.Set // order bits
+	recvDup    *bitvec.Set
+	callerUsed *bitvec.Set // order bits
+
+	round          Round
+	claimed        []int // call indices that registered a caller, in order
+	touchedEdges   []int
+	touchedRecvs   []int
+	touchedCallers []int
+	newly          []uint64
+}
+
+func newBitvecState(order uint64, n int, source uint64) *bitvecState {
+	st := &bitvecState{
+		n:          n,
+		count:      1,
+		informed:   bitvec.New(int(order)),
+		edgeUsed:   bitvec.New(int(order) * n),
+		edgeDup:    bitvec.New(int(order) * n),
+		recvUsed:   bitvec.New(int(order)),
+		recvDup:    bitvec.New(int(order)),
+		callerUsed: bitvec.New(int(order)),
+	}
+	st.informed.Set(int(source))
+	return st
+}
+
+func (b *bitvecState) isInformed(v uint64) bool { return b.informed.Get(int(v)) }
+
+func (b *bitvecState) beginRound(r Round) { b.round = r }
+
+func (b *bitvecState) callerClaim(v uint64, ci int) (int, bool) {
+	if !b.callerUsed.TestAndSet(int(v)) {
+		b.touchedCallers = append(b.touchedCallers, int(v))
+		b.claimed = append(b.claimed, ci)
+		return 0, false
+	}
+	// Duplicate: recover the first claiming call's index by scanning the
+	// registered claims (rare — only on an actual violation).
+	for _, idx := range b.claimed {
+		if b.round[idx].Path[0] == v {
+			return idx, true
+		}
+	}
+	return 0, true // unreachable: a set caller bit implies a claim
+}
+
+func (b *bitvecState) edgeUse(u, v uint64) bool {
+	if u > v {
+		u, v = v, u
+	}
+	slot := int(u)*b.n + bits.TrailingZeros64(u^v)
+	if !b.edgeUsed.TestAndSet(slot) {
+		b.touchedEdges = append(b.touchedEdges, slot)
+		return false
+	}
+	return !b.edgeDup.TestAndSet(slot)
+}
+
+func (b *bitvecState) recvUse(v uint64) bool {
+	if !b.recvUsed.TestAndSet(int(v)) {
+		b.touchedRecvs = append(b.touchedRecvs, int(v))
+		return false
+	}
+	return !b.recvDup.TestAndSet(int(v))
+}
+
+func (b *bitvecState) inform(v uint64) { b.newly = append(b.newly, v) }
+
+func (b *bitvecState) endRound() uint64 {
+	for _, v := range b.newly {
+		if !b.informed.TestAndSet(int(v)) {
+			b.count++
+		}
+	}
+	for _, s := range b.touchedEdges {
+		b.edgeUsed.Clear(s)
+		b.edgeDup.Clear(s)
+	}
+	for _, s := range b.touchedRecvs {
+		b.recvUsed.Clear(s)
+		b.recvDup.Clear(s)
+	}
+	for _, s := range b.touchedCallers {
+		b.callerUsed.Clear(s)
+	}
+	b.newly = b.newly[:0]
+	b.touchedEdges = b.touchedEdges[:0]
+	b.touchedRecvs = b.touchedRecvs[:0]
+	b.touchedCallers = b.touchedCallers[:0]
+	b.claimed = b.claimed[:0]
+	b.round = nil
+	return b.count
+}
+
+func (b *bitvecState) informedCount() uint64 { return b.count }

@@ -18,6 +18,25 @@
 //	sched := cube.Broadcast(0)
 //	report := cube.Verify(sched)            // report.MinimumTime == true
 //
+// # Streaming at scale
+//
+// Broadcast materialises the whole schedule — fine up to a few hundred
+// thousand vertices, wasteful beyond. For the millions-of-vertices
+// regime the package exposes a streaming engine: BroadcastRounds yields
+// the schedule one round at a time straight off the informed-set
+// frontier (call paths built in parallel across a worker pool), and
+// VerifyBroadcast pipes that stream through a round-at-a-time validator
+// whose per-round disjointness checks run on flat bit sets instead of
+// hash maps. Peak memory is O(frontier) — the widest single round —
+// instead of the full schedule's O(N·n·k) words, and nothing is retained
+// between rounds:
+//
+//	cube, err := sparsehypercube.New(3, 24)   // 16.7M vertices
+//	report := cube.VerifyBroadcast(0)         // report.MinimumTime == true
+//	for round := range cube.BroadcastRounds(0) {
+//		emit(round) // valid until the next iteration step
+//	}
+//
 // The heavy lifting lives in internal packages (construction, labelings,
 // communication model, baselines, experiment harness); this package keeps
 // the downstream surface small and stable.
@@ -25,6 +44,7 @@ package sparsehypercube
 
 import (
 	"fmt"
+	"iter"
 
 	"sparsehypercube/internal/core"
 	"sparsehypercube/internal/linecomm"
@@ -97,11 +117,31 @@ type Call struct {
 	Path []uint64
 }
 
-// From returns the calling vertex.
-func (c Call) From() uint64 { return c.Path[0] }
+// From returns the calling vertex, or 0 for a call with an empty path
+// (never produced by Broadcast; Verify reports such calls as invalid).
+func (c Call) From() uint64 {
+	if len(c.Path) == 0 {
+		return 0
+	}
+	return c.Path[0]
+}
 
-// To returns the receiving vertex.
-func (c Call) To() uint64 { return c.Path[len(c.Path)-1] }
+// To returns the receiving vertex, or 0 for a call with an empty path.
+func (c Call) To() uint64 {
+	if len(c.Path) == 0 {
+		return 0
+	}
+	return c.Path[len(c.Path)-1]
+}
+
+// Endpoints returns the caller and receiver; ok is false when the path
+// is empty and both endpoints are meaningless.
+func (c Call) Endpoints() (from, to uint64, ok bool) {
+	if len(c.Path) == 0 {
+		return 0, 0, false
+	}
+	return c.Path[0], c.Path[len(c.Path)-1], true
+}
 
 // Schedule is a round-by-round broadcast plan.
 type Schedule struct {
@@ -124,6 +164,39 @@ func (c *Cube) Broadcast(source uint64) *Schedule {
 	return out
 }
 
+// BroadcastRounds is the streaming variant of Broadcast: it yields the
+// scheme one round at a time, built from the informed-set frontier with
+// call paths constructed in parallel. Peak memory is O(frontier) rather
+// than the full schedule's O(N·n·k) words, which is what makes
+// million-vertex (n >= 20) broadcasts practical.
+//
+// The yielded slice and the paths inside it are reused between
+// iterations; copy anything that must outlive the step.
+func (c *Cube) BroadcastRounds(source uint64) iter.Seq[[]Call] {
+	return convertRounds(c.inner.ScheduleRounds(source),
+		func(call linecomm.Call) Call { return Call{Path: call.Path} })
+}
+
+// convertRounds adapts a round stream between call representations,
+// reusing one output buffer across iterations (paths are aliased).
+func convertRounds[R ~[]T, T, U any](rounds iter.Seq[R], conv func(T) U) iter.Seq[[]U] {
+	return func(yield func([]U) bool) {
+		var buf []U
+		for round := range rounds {
+			if cap(buf) < len(round) {
+				buf = make([]U, len(round))
+			}
+			buf = buf[:len(round)]
+			for i, call := range round {
+				buf[i] = conv(call)
+			}
+			if !yield(buf) {
+				return
+			}
+		}
+	}
+}
+
 // Report summarises schedule verification against the k-line model.
 type Report struct {
 	Valid         bool
@@ -134,10 +207,9 @@ type Report struct {
 	Violations    []string
 }
 
-// Verify checks a schedule against this cube under the k-line model
-// (edge existence, call lengths, per-round edge- and receiver-
-// disjointness, caller knowledge, completion, minimality).
-func (c *Cube) Verify(s *Schedule) Report {
+// toInner converts a public schedule to the internal representation.
+// Paths are aliased, not copied.
+func toInner(s *Schedule) *linecomm.Schedule {
 	inner := &linecomm.Schedule{Source: s.Source, Rounds: make([]linecomm.Round, len(s.Rounds))}
 	for i, round := range s.Rounds {
 		calls := make(linecomm.Round, len(round))
@@ -146,12 +218,16 @@ func (c *Cube) Verify(s *Schedule) Report {
 		}
 		inner.Rounds[i] = calls
 	}
-	res := linecomm.Validate(c.inner, c.K(), inner)
+	return inner
+}
+
+// reportFrom converts a validation result to the public report.
+func reportFrom(res *linecomm.Result, rounds int) Report {
 	rep := Report{
 		Valid:         res.Valid(),
 		Complete:      res.Complete,
 		MinimumTime:   res.MinimumTime,
-		Rounds:        len(s.Rounds),
+		Rounds:        rounds,
 		MaxCallLength: res.MaxCallLength,
 	}
 	for _, v := range res.Violations {
@@ -160,17 +236,47 @@ func (c *Cube) Verify(s *Schedule) Report {
 	return rep
 }
 
+// Verify checks a schedule against this cube under the k-line model
+// (edge existence, call lengths, per-round edge- and receiver-
+// disjointness, caller knowledge, completion, minimality).
+func (c *Cube) Verify(s *Schedule) Report {
+	res := linecomm.Validate(c.inner, c.K(), toInner(s))
+	return reportFrom(res, len(s.Rounds))
+}
+
+// VerifyRounds is the streaming variant of Verify: it consumes a round
+// stream (for example BroadcastRounds, or rounds decoded off the wire)
+// and validates each round as it arrives, using flat bit-set
+// disjointness tracking instead of per-round hash maps. Yielded rounds
+// may reuse storage — nothing is retained across iteration steps.
+// Report.Rounds counts the rounds actually validated: 0 when source is
+// rejected up front, in which case the stream is never consumed.
+func (c *Cube) VerifyRounds(source uint64, rounds iter.Seq[[]Call]) Report {
+	seq := convertRounds(rounds,
+		func(call Call) linecomm.Call { return linecomm.Call{Path: call.Path} })
+	res := linecomm.ValidateStream(c.inner, c.K(), source,
+		func(yield func(linecomm.Round) bool) {
+			for r := range seq {
+				if !yield(linecomm.Round(r)) {
+					return
+				}
+			}
+		})
+	return reportFrom(res, len(res.InformedPerRound))
+}
+
+// VerifyBroadcast generates and validates the broadcast from source in
+// one streamed pass — the machine-checked form of Theorems 4 and 6 at
+// O(frontier) memory. It is the way to certify million-vertex cubes
+// where materialising the schedule is not an option.
+func (c *Cube) VerifyBroadcast(source uint64) Report {
+	res := linecomm.ValidateStream(c.inner, c.K(), source, c.inner.ScheduleRounds(source))
+	return reportFrom(res, len(res.InformedPerRound))
+}
+
 // FormatSchedule renders a schedule with n-bit vertex labels.
 func (c *Cube) FormatSchedule(s *Schedule) string {
-	inner := &linecomm.Schedule{Source: s.Source, Rounds: make([]linecomm.Round, len(s.Rounds))}
-	for i, round := range s.Rounds {
-		calls := make(linecomm.Round, len(round))
-		for j, call := range round {
-			calls[j] = linecomm.Call{Path: call.Path}
-		}
-		inner.Rounds[i] = calls
-	}
-	return inner.Format(c.N())
+	return toInner(s).Format(c.N())
 }
 
 // MinimumRounds returns ceil(log2 N), the broadcast time lower bound for
