@@ -6,8 +6,13 @@
 //	benchtab           # run every experiment
 //	benchtab -exp thm5 # run one experiment (fig1..fig5, ex1, ex3, ex6,
 //	                   # thm1, lower, thm4, thm5, thm6, thm7, cor1, cor2,
-//	                   # lem2, zoo, ablation, congestion, stream, ...)
+//	                   # lem2, zoo, ablation, congestion, stream, replay,
+//	                   # multicore, ...)
 //	benchtab -tsv      # tab-separated output instead of markdown
+//
+//	benchtab -exp multicore -procs 1,4,8 -json BENCH_multicore.json
+//	                   # worker-pool scaling curves; -json also writes
+//	                   # the machine-readable trajectory file
 //
 // Experiment ids match DESIGN.md's per-experiment index.
 package main
@@ -16,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"sparsehypercube/internal/analysis"
@@ -29,7 +35,16 @@ type experiment struct {
 func main() {
 	exp := flag.String("exp", "all", "experiment id (or 'all')")
 	tsv := flag.Bool("tsv", false, "emit TSV instead of markdown")
+	procs := flag.String("procs", "1,4,8", "GOMAXPROCS settings for -exp multicore")
+	mcN := flag.Int("multicore-n", 20, "cube dimension for -exp multicore")
+	jsonOut := flag.String("json", "", "also write the multicore trajectory as JSON to this file")
 	flag.Parse()
+
+	procList, err := parseProcs(*procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(2)
+	}
 
 	experiments := []experiment{
 		{"fig1", func(t bool) { emit(analysis.RunFig1(8), t) }},
@@ -61,12 +76,29 @@ func main() {
 		{"gossip", func(t bool) { emit(analysis.RunGossip(), t) }},
 		{"tree", func(t bool) { emit(analysis.RunTreecast(), t) }},
 		{"stream", func(t bool) { emit(analysis.RunStream(16), t) }},
+		{"replay", func(t bool) { emit(analysis.RunReplay(16), t) }},
+		{"multicore", func(t bool) {
+			tb, res := analysis.RunMulticore(*mcN, procList, 3)
+			emit(tb, t)
+			if *jsonOut != "" {
+				if err := writeMulticoreJSON(*jsonOut, res); err != nil {
+					fmt.Fprintln(os.Stderr, "benchtab:", err)
+					os.Exit(1)
+				}
+			}
+		}},
 		{"mbg", func(t bool) { emit(analysis.RunMbg(), t) }},
 	}
 
 	want := strings.ToLower(*exp)
 	found := false
 	for _, e := range experiments {
+		// multicore is a timing experiment (GOMAXPROCS churn, repeated
+		// million-vertex runs): meaningful only in isolation, so it
+		// never rides along with -exp all.
+		if want == "all" && e.id == "multicore" {
+			continue
+		}
 		if want == "all" || want == e.id || "exp-"+e.id == want {
 			e.run(*tsv)
 			found = true
@@ -88,4 +120,28 @@ func emit(t *analysis.Table, tsv bool) {
 	} else {
 		fmt.Println(t.Markdown())
 	}
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("bad -procs entry %q", part)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func writeMulticoreJSON(path string, res *analysis.MulticoreResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -10,6 +10,13 @@
 //	sparsecube neighbors -k 2 -n 8 -vertex 5
 //	sparsecube export    -k 2 -n 6 [-format dot|edges]
 //	sparsecube bounds    -n 20
+//	sparsecube plan      -k 3 -n 20 -source 0 [-scheme broadcast|gossip] -o plan.shcp
+//	sparsecube replay    -in plan.shcp [-quiet]
+//
+// plan streams a scheme to disk in the compact binary round format
+// without materialising it; replay decodes the file and re-verifies it
+// against the cube reconstructed from the stored parameters — the
+// write-once/verify-many pair.
 //
 // Vertices print as n-bit strings (dimension n first), as in the paper.
 package main
@@ -17,10 +24,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"sparsehypercube"
 	"sparsehypercube/internal/core"
 	"sparsehypercube/internal/graph"
 	"sparsehypercube/internal/linecomm"
@@ -41,8 +50,28 @@ func main() {
 	sources := fs.Int("sources", 8, "number of sources to verify")
 	format := fs.String("format", "dot", "export format: dot or edges")
 	quiet := fs.Bool("quiet", false, "suppress per-call output")
+	scheme := fs.String("scheme", "broadcast", "plan scheme: broadcast or gossip")
+	out := fs.String("o", "plan.shcp", "plan output file")
+	in := fs.String("in", "", "plan file to replay")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+
+	switch cmd {
+	case "replay":
+		if err := runReplay(os.Stdout, *in, *quiet); err != nil {
+			fatal(err)
+		}
+		return
+	case "plan":
+		cube, err := buildCube(*k, *n, *dims)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runPlan(os.Stdout, cube, *scheme, *source, *out); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	s, err := build(*k, *n, *dims)
@@ -132,6 +161,27 @@ func build(k, n int, dims string) (*core.SparseHypercube, error) {
 	if dims == "" {
 		return core.NewAuto(k, n)
 	}
+	vec, err := parseDims(dims)
+	if err != nil {
+		return nil, err
+	}
+	return core.New(core.Params{K: len(vec), Dims: vec})
+}
+
+// buildCube is build for the public facade (the plan subcommand speaks
+// Scheme/Plan, not internal/core).
+func buildCube(k, n int, dims string) (*sparsehypercube.Cube, error) {
+	if dims == "" {
+		return sparsehypercube.New(k, n)
+	}
+	vec, err := parseDims(dims)
+	if err != nil {
+		return nil, err
+	}
+	return sparsehypercube.NewWithDims(len(vec), vec)
+}
+
+func parseDims(dims string) ([]int, error) {
 	parts := strings.Split(dims, ",")
 	vec := make([]int, 0, len(parts))
 	for _, p := range parts {
@@ -141,7 +191,76 @@ func build(k, n int, dims string) (*core.SparseHypercube, error) {
 		}
 		vec = append(vec, v)
 	}
-	return core.New(core.Params{K: len(vec), Dims: vec})
+	return vec, nil
+}
+
+// runPlan streams the chosen scheme to out in the binary round format,
+// never materialising the schedule.
+func runPlan(w io.Writer, cube *sparsehypercube.Cube, schemeName string, source uint64, out string) error {
+	if source >= cube.Order() {
+		return fmt.Errorf("source %d outside [0,%d)", source, cube.Order())
+	}
+	var scheme sparsehypercube.Scheme
+	switch schemeName {
+	case "broadcast":
+		scheme = sparsehypercube.BroadcastScheme{Source: source}
+	case "gossip":
+		scheme = sparsehypercube.GossipScheme{Root: source}
+		if cube.Order() > 1<<14 {
+			fmt.Fprintf(os.Stderr, "sparsecube: warning: gossip verification simulates tokens and is capped at 2^14 vertices; this 2^%d-vertex plan will write (and stream) fine but `replay` verification of it will fail\n", cube.N())
+		}
+	default:
+		return fmt.Errorf("unknown scheme %q (want broadcast or gossip)", schemeName)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	n, err := cube.Plan(scheme).WriteTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		// Don't leave a truncated, CRC-less file where a good plan may
+		// have been.
+		os.Remove(out)
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s: %s scheme from %d, k = %d, dims = %v, %d bytes\n",
+		out, scheme.Name(), scheme.Origin(), cube.K(), cube.Dims(), n)
+	return nil
+}
+
+// runReplay decodes a plan file and re-verifies it against the cube
+// reconstructed from the stored parameters.
+func runReplay(w io.Writer, in string, quiet bool) error {
+	if in == "" {
+		return fmt.Errorf("replay needs -in <plan file>")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	plan, err := sparsehypercube.ReadPlan(f)
+	if err != nil {
+		return err
+	}
+	cube := plan.Cube()
+	fmt.Fprintf(w, "plan: %s scheme from %d, k = %d, dims = %v, order = %d\n",
+		plan.Scheme().Name(), plan.Scheme().Origin(), cube.K(), cube.Dims(), cube.Order())
+	rep := plan.Verify()
+	fmt.Fprintf(w, "rounds: %d, max length: %d, valid: %v, complete: %v, minimum time: %v\n",
+		rep.Rounds, rep.MaxCallLength, rep.Valid, rep.Complete, rep.MinimumTime)
+	if !rep.Valid {
+		if !quiet {
+			for _, v := range rep.Violations {
+				fmt.Fprintln(w, " ", v)
+			}
+		}
+		return fmt.Errorf("plan failed verification (%d violations)", len(rep.Violations))
+	}
+	return nil
 }
 
 func fatal(err error) {
@@ -150,6 +269,6 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sparsecube <describe|stats|schedule|verify|neighbors|export|bounds> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sparsecube <describe|stats|schedule|verify|neighbors|export|bounds|plan|replay> [flags]")
 	os.Exit(2)
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -34,5 +37,49 @@ func TestBuildExplicitDims(t *testing.T) {
 	// Whitespace tolerated.
 	if _, err := build(0, 0, " 3 , 9 "); err != nil {
 		t.Errorf("whitespace dims rejected: %v", err)
+	}
+}
+
+// TestPlanReplayRoundTrip drives the write-once/verify-many subcommand
+// pair end to end through a temp file.
+func TestPlanReplayRoundTrip(t *testing.T) {
+	cube, err := buildCube(2, 10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.shcp")
+	var out strings.Builder
+	if err := runPlan(&out, cube, "broadcast", 3, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "broadcast scheme from 3") {
+		t.Errorf("plan output: %q", out.String())
+	}
+	out.Reset()
+	if err := runReplay(&out, path, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "minimum time: true") {
+		t.Errorf("replay output: %q", out.String())
+	}
+
+	// A truncated file must fail replay, not pass quietly.
+	enc, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.shcp")
+	if err := os.WriteFile(trunc, enc[:len(enc)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runReplay(&out, trunc, true); err == nil {
+		t.Fatal("truncated plan replayed successfully")
+	}
+
+	if err := runPlan(&out, cube, "nonesuch", 0, path); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if err := runReplay(&out, "", true); err == nil {
+		t.Fatal("missing -in accepted")
 	}
 }

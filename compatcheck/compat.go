@@ -1,0 +1,44 @@
+// Package compatcheck is a compile-time pin on the deprecated pre-Plan
+// facade: a separate tiny module that uses ONLY the old sextet
+// (Broadcast, BroadcastRounds, Verify, VerifyRounds, VerifyBroadcast,
+// Gossip) plus their report types. CI runs `go vet ./...` here, so the
+// compatibility surface cannot silently lose a method or change a
+// signature without breaking the build. It is intentionally not part of
+// the main module (it sits behind its own go.mod), so `go build ./...`
+// at the repository root does not touch it.
+package compatcheck
+
+import (
+	"iter"
+
+	"sparsehypercube"
+)
+
+// OldSextet exercises every deprecated facade method with its historic
+// signature. It exists to be compiled, not called.
+func OldSextet(cube *sparsehypercube.Cube) ([]sparsehypercube.Report, error) {
+	var sched *sparsehypercube.Schedule = cube.Broadcast(0)
+	var rounds iter.Seq[[]sparsehypercube.Call] = cube.BroadcastRounds(0)
+	reports := []sparsehypercube.Report{
+		cube.Verify(sched),
+		cube.VerifyRounds(sched.Source, rounds),
+		cube.VerifyBroadcast(0),
+	}
+	var gsched *sparsehypercube.Schedule = cube.Gossip(0)
+	var grep sparsehypercube.GossipReport
+	grep, err := cube.VerifyGossip(gsched)
+	if err != nil {
+		return nil, err
+	}
+	_ = grep.MinKnown
+	return reports, nil
+}
+
+// OldHelpers pins the package-level functions the sextet era exposed.
+func OldHelpers(order uint64, k, n int) (int, int, int, error) {
+	ub, err := sparsehypercube.UpperBoundDegree(k, n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return sparsehypercube.MinimumRounds(order), sparsehypercube.GossipMinimumRounds(order), ub, nil
+}

@@ -1,0 +1,7 @@
+module sparsehypercube-compatcheck
+
+go 1.24
+
+require sparsehypercube v0.0.0
+
+replace sparsehypercube => ../

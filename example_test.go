@@ -1,6 +1,7 @@
 package sparsehypercube_test
 
 import (
+	"bytes"
 	"fmt"
 
 	"sparsehypercube"
@@ -20,7 +21,49 @@ func ExampleNew() {
 	// order: 32768
 }
 
-// Broadcasting and verifying against the k-line model.
+// Broadcasting and verifying against the k-line model through the
+// Scheme/Plan engine.
+func ExampleCube_Plan() {
+	cube, err := sparsehypercube.New(2, 10)
+	if err != nil {
+		panic(err)
+	}
+	plan := cube.Plan(sparsehypercube.BroadcastScheme{Source: 0})
+	report := plan.Verify()
+	fmt.Println("rounds:", report.Rounds)
+	fmt.Println("minimum time:", report.MinimumTime)
+	fmt.Println("max call length:", report.MaxCallLength)
+	// Output:
+	// rounds: 10
+	// minimum time: true
+	// max call length: 2
+}
+
+// Write a plan once, replay and re-verify it from the serialised form.
+func ExampleReadPlan() {
+	cube, err := sparsehypercube.New(2, 10)
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if _, err := cube.Plan(sparsehypercube.BroadcastScheme{Source: 7}).WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	replay, err := sparsehypercube.ReadPlan(&buf)
+	if err != nil {
+		panic(err)
+	}
+	report := replay.Verify()
+	fmt.Println("scheme:", replay.Scheme().Name())
+	fmt.Println("valid:", report.Valid)
+	fmt.Println("minimum time:", report.MinimumTime)
+	// Output:
+	// scheme: broadcast
+	// valid: true
+	// minimum time: true
+}
+
+// The deprecated pre-Plan entry points remain as wrappers.
 func ExampleCube_Broadcast() {
 	cube, err := sparsehypercube.New(2, 10)
 	if err != nil {
@@ -30,11 +73,9 @@ func ExampleCube_Broadcast() {
 	report := cube.Verify(sched)
 	fmt.Println("rounds:", report.Rounds)
 	fmt.Println("minimum time:", report.MinimumTime)
-	fmt.Println("max call length:", report.MaxCallLength)
 	// Output:
 	// rounds: 10
 	// minimum time: true
-	// max call length: 2
 }
 
 // Explicit paper parameters: Construct_BASE(15, 3) is the paper's

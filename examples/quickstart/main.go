@@ -29,9 +29,11 @@ func main() {
 	fmt.Printf("  paper bounds:     %d <= Delta <= %d\n\n", lb, ub)
 
 	source := uint64(0b101010101010101)
-	sched := cube.Broadcast(source)
-	report := cube.Verify(sched)
-	fmt.Printf("broadcast from vertex %d:\n", source)
+	plan := cube.Plan(sparsehypercube.BroadcastScheme{Source: source})
+	sched := plan.Materialize() // snapshot; plan.Rounds() would stream
+	report := plan.Verify()
+	fmt.Printf("broadcast from vertex %d (%d rounds materialised):\n",
+		source, len(sched.Rounds))
 	fmt.Printf("  rounds:          %d (minimum possible: %d)\n",
 		report.Rounds, sparsehypercube.MinimumRounds(cube.Order()))
 	fmt.Printf("  max call length: %d (bound k = %d)\n", report.MaxCallLength, k)

@@ -2,30 +2,95 @@ package sparsehypercube
 
 import (
 	"fmt"
+	"iter"
 
 	"sparsehypercube/internal/gossip"
 	"sparsehypercube/internal/linecomm"
 )
 
-// Gossip generates an all-to-all schedule on the cube (every vertex
-// starts with a token; at the end every vertex knows every token) using
-// the gather-scatter scheme: the broadcast tree of root run in reverse to
-// concentrate all tokens at root in n rounds, then the paper's
-// Broadcast_k to disseminate them in n more. 2n rounds total, calls of
-// length at most k — a factor 2 from the gossip lower bound
-// ceil(log2 N); closing that factor at low degree is the open problem the
-// paper's §5 poses.
-func (c *Cube) Gossip(root uint64) *Schedule {
-	inner := gossip.GatherScatter(c.inner, root)
-	out := &Schedule{Source: inner.Source, Rounds: make([][]Call, len(inner.Rounds))}
-	for i, round := range inner.Rounds {
-		calls := make([]Call, len(round))
-		for j, call := range round {
-			calls[j] = Call{Path: call.Path}
-		}
-		out.Rounds[i] = calls
+// GossipScheme is the all-to-all gather-scatter scheme rooted at Root:
+// the broadcast tree of Root run in reverse to concentrate every token
+// at the root in n rounds, then the paper's Broadcast_k to disseminate
+// them in n more. 2n rounds total, calls of length at most k — a factor
+// 2 from the gossip lower bound ceil(log2 N); closing that factor at low
+// degree is the open problem the paper's §5 poses.
+//
+// Its Plan verifies under the k-line gossip model (telephone exchanges
+// over paths of at most k edges, per-round edge-disjointness, one call
+// per vertex per round) with full token-propagation simulation, which is
+// limited to cubes of at most 2^14 vertices; beyond the cap Verify
+// reports a violation rather than guessing.
+type GossipScheme struct {
+	Root uint64
+}
+
+// Name implements Scheme.
+func (s GossipScheme) Name() string { return "gossip" }
+
+// Origin implements Scheme.
+func (s GossipScheme) Origin() uint64 { return s.Root }
+
+// Rounds implements Scheme. The gather phase replays the broadcast tree
+// backwards, so one broadcast schedule is materialised internally
+// before streaming — but never the doubled gossip schedule, so a gossip
+// plan peaks at half the memory of Materialize. An out-of-range Root
+// yields no rounds (and Plan.Verify reports it as a violation) rather
+// than panicking.
+func (s GossipScheme) Rounds(cube *Cube) iter.Seq[[]Call] {
+	return fromInnerRounds(s.innerRounds(cube))
+}
+
+func (s GossipScheme) innerRounds(cube *Cube) iter.Seq[linecomm.Round] {
+	if s.Root >= cube.Order() {
+		return func(yield func(linecomm.Round) bool) {}
 	}
-	return out
+	return gossip.StreamGatherScatter(cube.inner, s.Root)
+}
+
+// VerifyPlan implements PlanVerifier: gossip correctness is checked by
+// the telephone-model validator and token simulation, not the broadcast
+// validator. MinimumTime reports completion in ceil(log2 N) rounds —
+// false for the 2n-round gather-scatter scheme, honestly.
+func (s GossipScheme) VerifyPlan(cube *Cube, rounds iter.Seq[[]Call]) Report {
+	if s.Root >= cube.Order() {
+		// gossip.Validate ignores the originator (gossip has none), so
+		// a bad root must be rejected here or an empty plan would pass
+		// the model checks with Complete == false only.
+		v := linecomm.Violation{Round: -1, Call: -1, Kind: linecomm.VertexOutOfRange,
+			Msg: fmt.Sprintf("root %d outside [0,%d)", s.Root, cube.Order())}
+		return Report{Violations: []string{v.String()}}
+	}
+	inner := &linecomm.Schedule{Source: s.Root}
+	if cube.Order() <= gossip.MaxSimulateOrder {
+		for round := range rounds {
+			inner.Rounds = append(inner.Rounds, linecomm.CloneRound(toInnerRound(round)))
+		}
+	}
+	// Beyond the simulation cap the stream is never consumed:
+	// gossip.Validate reports the cap violation up front, and
+	// materialising millions of calls first would only waste the memory
+	// the Plan engine exists to save.
+	res := gossip.Validate(cube.inner, cube.K(), inner)
+	rep := Report{
+		Valid:         res.Valid(),
+		Complete:      res.Complete,
+		MinimumTime:   res.MinimumTime,
+		Rounds:        res.Rounds,
+		MaxCallLength: inner.MaxCallLength(),
+	}
+	for _, v := range res.Violations {
+		rep.Violations = append(rep.Violations, v.String())
+	}
+	return rep
+}
+
+// Gossip generates the gather-scatter all-to-all schedule rooted at
+// root.
+//
+// Deprecated: use the Plan engine —
+// c.Plan(GossipScheme{Root: root}).Materialize().
+func (c *Cube) Gossip(root uint64) *Schedule {
+	return c.Plan(GossipScheme{Root: root}).Materialize()
 }
 
 // GossipReport summarises gossip verification.
@@ -37,24 +102,16 @@ type GossipReport struct {
 	Violations []string
 }
 
-// VerifyGossip checks a schedule under the k-line gossip model (telephone
-// exchanges over paths of at most k edges, per-round edge-disjointness,
-// one call per vertex per round) and simulates token propagation. Only
-// cubes with at most 2^14 vertices can be fully simulated.
+// VerifyGossip checks a schedule under the k-line gossip model and
+// simulates token propagation; see GossipScheme for the model. Only
+// cubes with at most 2^14 vertices can be fully simulated. For the
+// unified Report form, use c.Plan(GossipScheme{...}).Verify().
 func (c *Cube) VerifyGossip(s *Schedule) (GossipReport, error) {
 	if c.Order() > gossip.MaxSimulateOrder {
 		return GossipReport{}, fmt.Errorf(
 			"sparsehypercube: gossip simulation limited to 2^14 vertices, cube has 2^%d", c.N())
 	}
-	inner := &linecomm.Schedule{Source: s.Source, Rounds: make([]linecomm.Round, len(s.Rounds))}
-	for i, round := range s.Rounds {
-		calls := make(linecomm.Round, len(round))
-		for j, call := range round {
-			calls[j] = linecomm.Call{Path: call.Path}
-		}
-		inner.Rounds[i] = calls
-	}
-	res := gossip.Validate(c.inner, c.K(), inner)
+	res := gossip.Validate(c.inner, c.K(), toInner(s))
 	rep := GossipReport{
 		Valid:    res.Valid(),
 		Complete: res.Complete,

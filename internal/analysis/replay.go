@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"sparsehypercube/internal/core"
+	"sparsehypercube/internal/linecomm"
+	"sparsehypercube/internal/schedio"
+)
+
+// RunReplay exercises the write-once/verify-many story end to end: per
+// (k, n) it streams the broadcast scheme through the schedio encoder,
+// replays the encoding into the streaming validator, and checks the
+// replayed Result is identical to direct generate+validate. The table
+// records the encoded size (and bytes/call — the XOR-delta varint
+// format's compactness) and both wall times.
+func RunReplay(nMax int) *Table {
+	t := &Table{
+		ID:    "EXP-REPLAY",
+		Title: "Round codec: encode once, replay + re-verify (schedio)",
+		Headers: []string{"k", "n", "N", "calls", "bytes", "B/call",
+			"enc ms", "replay ms", "match"},
+	}
+	for n := 8; n <= nMax; n += 2 {
+		for _, k := range []int{2, 3} {
+			p, err := core.AutoParams(k, n)
+			if err != nil {
+				continue
+			}
+			s, err := core.New(p)
+			if err != nil {
+				continue
+			}
+			direct := linecomm.ValidateStream(s, k, 0, s.ScheduleRounds(0))
+
+			calls := uint64(1)<<uint(n) - 1
+			var buf bytes.Buffer
+			h := schedio.Header{K: p.K, Dims: p.Dims, Scheme: "broadcast", Source: 0}
+			start := time.Now()
+			nBytes, err := schedio.Write(&buf, h, s.ScheduleRounds(0))
+			encMs := time.Since(start).Seconds() * 1e3
+			if err != nil {
+				// A codec failure is the regression this table exists to
+				// catch: surface it as a non-matching row, never drop it.
+				t.AddRow(k, n, s.Order(), calls, nBytes, 0.0, encMs, 0.0, false)
+				t.Note("k=%d n=%d: encode failed: %v", k, n, err)
+				continue
+			}
+
+			start = time.Now()
+			dec, err := schedio.NewDecoder(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.AddRow(k, n, s.Order(), calls, nBytes,
+					float64(nBytes)/float64(calls), encMs, 0.0, false)
+				t.Note("k=%d n=%d: decode failed: %v", k, n, err)
+				continue
+			}
+			replayed := linecomm.ValidateStream(s, k, dec.Header().Source, dec.Rounds())
+			replayMs := time.Since(start).Seconds() * 1e3
+			match := dec.Err() == nil && reflect.DeepEqual(direct, replayed)
+
+			t.AddRow(k, n, s.Order(), calls, nBytes,
+				float64(nBytes)/float64(calls), encMs, replayMs, match)
+		}
+	}
+	t.Note("Encode streams straight off ScheduleRounds (never materialised); replay feeds the decoder into ValidateStream and must reproduce the direct Result byte for byte.")
+	return t
+}
+
+// MulticoreResult is the machine-readable form of RunMulticore, written
+// as BENCH_multicore.json to track the worker pools' scaling trajectory.
+type MulticoreResult struct {
+	Experiment string         `json:"experiment"`
+	HostCPUs   int            `json:"host_cpus"`
+	GoVersion  string         `json:"go_version"`
+	K          int            `json:"k"`
+	N          int            `json:"n"`
+	Runs       []MulticoreRun `json:"runs"`
+}
+
+// MulticoreRun is one GOMAXPROCS setting's measurements (best of the
+// repeats, milliseconds).
+type MulticoreRun struct {
+	Procs      int     `json:"gomaxprocs"`
+	GenMs      float64 `json:"generate_ms"`
+	ValidateMs float64 `json:"validate_ms"`
+	PipelineMs float64 `json:"pipeline_ms"`
+}
+
+// RunMulticore measures the PR 1 worker pools — parallel call-path
+// construction (core.ScheduleRounds) and sharded structural validation
+// (linecomm.ValidateStream) — at each GOMAXPROCS setting: generation
+// alone, validation alone (over a pre-materialised schedule), and the
+// fused streamed pipeline. Each number is the best of repeats runs.
+// GOMAXPROCS is restored afterwards.
+func RunMulticore(n int, procs []int, repeats int) (*Table, *MulticoreResult) {
+	t := &Table{
+		ID:    "EXP-MULTICORE",
+		Title: fmt.Sprintf("Worker-pool scaling, n = %d (best of %d)", n, repeats),
+		Headers: []string{"GOMAXPROCS", "gen ms", "validate ms", "pipeline ms",
+			"pipeline speedup"},
+	}
+	res := &MulticoreResult{
+		Experiment: "multicore",
+		HostCPUs:   runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		K:          2,
+		N:          n,
+	}
+	s, err := core.NewAuto(res.K, n)
+	if err != nil {
+		t.Note("construction failed: %v", err)
+		return t, res
+	}
+	sched := s.BroadcastSchedule(0)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	best := func(f func()) float64 {
+		b := 0.0
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			f()
+			ms := time.Since(start).Seconds() * 1e3
+			if r == 0 || ms < b {
+				b = ms
+			}
+		}
+		return b
+	}
+	var base float64
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		run := MulticoreRun{Procs: p}
+		run.GenMs = best(func() {
+			for range s.ScheduleRounds(0) {
+			}
+		})
+		run.ValidateMs = best(func() {
+			linecomm.ValidateStream(s, res.K, 0, sched.Stream())
+		})
+		run.PipelineMs = best(func() {
+			linecomm.ValidateStream(s, res.K, 0, s.ScheduleRounds(0))
+		})
+		if base == 0 {
+			base = run.PipelineMs
+		}
+		res.Runs = append(res.Runs, run)
+		t.AddRow(p, run.GenMs, run.ValidateMs, run.PipelineMs,
+			fmt.Sprintf("%.2fx", base/run.PipelineMs))
+	}
+	t.Note("host: %d CPU(s), %s; speedup is relative to the first GOMAXPROCS setting.",
+		res.HostCPUs, res.GoVersion)
+	return t, res
+}
+
+// WriteJSON writes the multicore result as indented JSON.
+func (m *MulticoreResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

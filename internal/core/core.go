@@ -25,6 +25,8 @@ type SparseHypercube struct {
 	dimLevel []uint8
 	// dimClass[d]: partition class owning dimension d (0 for base dims).
 	dimClass []uint8
+	// routes[d]: the flat call-path routing table of dimension d.
+	routes []dimRoute
 }
 
 // levelData holds one level of the recursive construction.
@@ -32,6 +34,20 @@ type levelData struct {
 	wlo, whi  int // label window (wlo, whi], 1-based dimensions
 	lab       *labeling.Labeling
 	classDims [][]int // classDims[c]: dimensions in class S_{c+1}, descending
+}
+
+// dimRoute caches every labeling lookup a dimension's call-path step
+// needs in one flat table indexed by window value: table[x] is 0 when a
+// vertex with window value x owns the dimension's edges directly, else
+// the helper dimension (a window bit, Condition A) whose flip moves the
+// vertex into the owning class. One shifted load replaces the
+// level/class indirection, the label-equality test and the
+// dominator-bit lookup of the call-path hot loop. Base dimensions have a
+// nil table; dimensions of one class share one table.
+type dimRoute struct {
+	shift uint
+	mask  uint64
+	table []uint16
 }
 
 // LevelSpec optionally overrides the nondeterministic choices of one level
@@ -96,7 +112,39 @@ func New(p Params, specs ...LevelSpec) (*SparseHypercube, error) {
 		}
 		s.levels = append(s.levels, ld)
 	}
+	s.routes = buildRoutes(n, s.levels)
 	return s, nil
+}
+
+// buildRoutes flattens the level labelings into per-dimension routing
+// tables (see dimRoute). Dimensions in one partition class share one
+// table, so the total size is sum over levels of 2^w * numLabels
+// uint16s — windows are O(n^(1/k)) bits, a few KB at most.
+func buildRoutes(n int, levels []levelData) []dimRoute {
+	routes := make([]dimRoute, n+1)
+	for li := range levels {
+		ld := &levels[li]
+		w := ld.whi - ld.wlo
+		for c, dims := range ld.classDims {
+			if len(dims) == 0 {
+				continue
+			}
+			table := make([]uint16, 1<<uint(w))
+			for x := uint64(0); x < 1<<uint(w); x++ {
+				if b := ld.lab.DominatorBit(x, c); b >= 0 {
+					// Window bit b is dimension wlo+b+1; 0 stays
+					// "direct", which DominatorBit reports as -1
+					// (label already c).
+					table[x] = uint16(ld.wlo + b + 1)
+				}
+			}
+			r := dimRoute{shift: uint(ld.wlo), mask: 1<<uint(w) - 1, table: table}
+			for _, d := range dims {
+				routes[d] = r
+			}
+		}
+	}
+	return routes
 }
 
 func buildLevel(p Params, l int, spec LevelSpec) (levelData, error) {

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestRouteTableMatchesLabeling re-derives every route entry from the
+// labeling primitives: route[x][c] must be 0 exactly when x's label is c
+// (direct edge), and otherwise name a window dimension whose flip moves
+// the window value into class c (Condition A).
+func TestRouteTableMatchesLabeling(t *testing.T) {
+	for _, p := range []Params{
+		BaseParams(10, 3),
+		BaseParams(15, 3),
+		RecParams(14, 7, 3),
+		{K: 4, Dims: []int{2, 4, 7, 14}},
+	} {
+		s, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := 1; d <= s.n; d++ {
+			r := &s.routes[d]
+			if s.Level(d) == 1 {
+				if r.table != nil {
+					t.Fatalf("%v d=%d: base dimension has a route table", p, d)
+				}
+				continue
+			}
+			ld := s.levelOf(s.Level(d))
+			c := s.DimClass(d)
+			w := ld.whi - ld.wlo
+			if r.table == nil || len(r.table) != 1<<uint(w) ||
+				r.shift != uint(ld.wlo) || r.mask != 1<<uint(w)-1 {
+				t.Fatalf("%v d=%d: route table shape wrong: %+v", p, d, r)
+			}
+			for x := uint64(0); x < 1<<uint(w); x++ {
+				got := int(r.table[x])
+				if ld.lab.Label(x) == c {
+					if got != 0 {
+						t.Fatalf("%v d=%d x=%d: direct case routed via %d", p, d, x, got)
+					}
+					continue
+				}
+				if got <= ld.wlo || got > ld.whi {
+					t.Fatalf("%v d=%d x=%d: helper %d outside window (%d,%d]",
+						p, d, x, got, ld.wlo, ld.whi)
+				}
+				flipped := x ^ (1 << uint(got-ld.wlo-1))
+				if ld.lab.Label(flipped) != c {
+					t.Fatalf("%v d=%d x=%d: flipping dim %d lands in class %d",
+						p, d, x, got, ld.lab.Label(flipped))
+				}
+			}
+		}
+	}
+}
+
+// TestExtendPathAgreesWithHasEdge walks every call path produced for
+// level >= 2 dimensions and checks each hop is a real edge ending at the
+// dimension-d flip of the caller (possibly with extra window flips, as
+// the paper's "w calls +-i(+-j w)" allows).
+func TestExtendPathAgreesWithHasEdge(t *testing.T) {
+	s, err := New(Params{K: 3, Dims: []int{2, 5, 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := uint64(0); u < s.Order(); u += 13 {
+		for d := s.params.Dims[0] + 1; d <= s.n; d++ {
+			path := s.CallPath(u, d)
+			if len(path) < 2 || path[0] != u {
+				t.Fatalf("u=%d d=%d: bad path %v", u, d, path)
+			}
+			for i := 1; i < len(path); i++ {
+				if !s.HasEdge(path[i-1], path[i]) {
+					t.Fatalf("u=%d d=%d: hop {%d,%d} is not an edge", u, d, path[i-1], path[i])
+				}
+			}
+			if got := path[len(path)-1] ^ u; got&(1<<uint(d-1)) == 0 {
+				t.Fatalf("u=%d d=%d: endpoint %d does not flip bit d", u, d, path[len(path)-1])
+			}
+			if got := len(path) - 1; got > s.Level(d) {
+				t.Fatalf("u=%d d=%d: path length %d exceeds level %d", u, d, got, s.Level(d))
+			}
+		}
+	}
+}

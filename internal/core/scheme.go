@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"sparsehypercube/internal/linecomm"
 )
 
@@ -25,24 +23,25 @@ func (s *SparseHypercube) CallPath(u uint64, d int) []uint64 {
 }
 
 // extendPath routes from the last vertex of path across dimension d,
-// appending every hop.
+// appending every hop. The dimension's flat route table answers "direct
+// edge, or which window bit to flip first?" in one shifted load (the
+// level/class indirection, the label-equality test and the Condition-A
+// dominator lookup fused), which is the hot loop of schedule generation
+// for every level >= 2 dimension.
 func (s *SparseHypercube) extendPath(path []uint64, d int) []uint64 {
 	u := path[len(path)-1]
-	if s.hasEdgeDim(u, d) {
+	r := &s.routes[d]
+	if r.table == nil {
+		// Base dimension: the edge is always present.
 		return append(path, u^(1<<uint(d-1)))
 	}
-	// No direct edge: d sits at some level l >= 2 and g_l(u) is not the
-	// class owning d. Find the one-bit window flip reaching that class.
-	l := int(s.dimLevel[d])
-	ld := s.levelOf(l)
-	c := int(s.dimClass[d])
-	b := ld.lab.DominatorBit(ld.windowValue(u), c)
-	if b < 0 {
-		// Impossible: DominatorBit returns -1 only when u already has
-		// label c, which implies a direct edge.
-		panic(fmt.Sprintf("core: inconsistent labeling at u=%d d=%d", u, d))
+	helper := int(r.table[(u>>r.shift)&r.mask])
+	if helper == 0 {
+		// u's label owns d: the dimension-d edge exists at u.
+		return append(path, u^(1<<uint(d-1)))
 	}
-	helper := ld.wlo + b + 1 // window bit b is dimension wlo+b+1
+	// No direct edge: flip the helper dimension (itself routed, one
+	// level down) to reach the class owning d, then cross d.
 	path = s.extendPath(path, helper)
 	v := path[len(path)-1]
 	return append(path, v^(1<<uint(d-1)))

@@ -18,6 +18,7 @@ package gossip
 
 import (
 	"fmt"
+	"iter"
 
 	"sparsehypercube/internal/bitvec"
 	"sparsehypercube/internal/core"
@@ -203,6 +204,28 @@ func HypercubeExchange(n int) (*linecomm.Schedule, error) {
 // reuses the edge sets of single broadcast rounds.
 func GatherScatter(s *core.SparseHypercube, root uint64) *linecomm.Schedule {
 	return FromBroadcast(s.BroadcastSchedule(root))
+}
+
+// StreamGatherScatter yields the same 2n gather-scatter rounds as
+// GatherScatter without ever materialising the doubled schedule: the
+// broadcast schedule is built once, then streamed backward (the gather
+// phase reuses one round buffer) and forward (the scatter phase aliases
+// it directly). Peak memory is one broadcast schedule, half of
+// GatherScatter's. Yielded rounds may reuse storage between iterations.
+func StreamGatherScatter(s *core.SparseHypercube, root uint64) iter.Seq[linecomm.Round] {
+	return func(yield func(linecomm.Round) bool) {
+		bc := s.BroadcastSchedule(root)
+		for r := range bc.StreamBackward() {
+			if !yield(r) {
+				return
+			}
+		}
+		for r := range bc.Stream() {
+			if !yield(r) {
+				return
+			}
+		}
+	}
 }
 
 // FromBroadcast lifts ANY valid broadcast schedule into a gossip schedule

@@ -1,6 +1,7 @@
 package gossip
 
 import (
+	"reflect"
 	"testing"
 
 	"sparsehypercube/internal/broadcast"
@@ -225,5 +226,27 @@ func TestValidateSynchronousRounds(t *testing.T) {
 	// have reached vertex 2.
 	if res.MinKnown != 2 || res.Complete {
 		t.Fatalf("synchronous semantics broken: %+v", res)
+	}
+}
+
+// TestStreamGatherScatterMatchesMaterialised pins the streamed rounds
+// against FromBroadcast's materialised schedule, value for value.
+func TestStreamGatherScatterMatchesMaterialised(t *testing.T) {
+	s, err := core.NewBase(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GatherScatter(s, 5)
+	var got []linecomm.Round
+	for r := range StreamGatherScatter(s, 5) {
+		got = append(got, linecomm.CloneRound(r))
+	}
+	if len(got) != len(want.Rounds) {
+		t.Fatalf("streamed %d rounds, want %d", len(got), len(want.Rounds))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want.Rounds[i]) {
+			t.Fatalf("round %d diverged:\n%v\n%v", i, got[i], want.Rounds[i])
+		}
 	}
 }

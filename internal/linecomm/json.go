@@ -13,7 +13,9 @@ type scheduleJSON struct {
 }
 
 // WriteJSON serialises the schedule. The format is rounds of call paths,
-// so schedules can be archived, diffed, and replayed across runs.
+// so schedules can be archived, diffed, and replayed across runs. It is
+// the human-readable sibling of the compact streamed binary format in
+// internal/schedio (which is what the public Plan.WriteTo speaks).
 func WriteJSON(w io.Writer, s *Schedule) error {
 	out := scheduleJSON{Source: s.Source, Rounds: make([][][]uint64, len(s.Rounds))}
 	for i, round := range s.Rounds {

@@ -96,6 +96,47 @@ func (s *Schedule) Stream() iter.Seq[Round] {
 	}
 }
 
+// StreamBackward returns the schedule's rounds in reverse order with
+// every call path reversed. A valid broadcast streamed backward funnels
+// each vertex's token to the source along the call that informed it —
+// the gather half of gather-scatter gossip. The yielded round and its
+// paths reuse one buffer between iterations; use CloneRound to retain.
+func (s *Schedule) StreamBackward() iter.Seq[Round] {
+	return func(yield func(Round) bool) {
+		var (
+			buf   Round
+			arena []uint64
+		)
+		for ri := len(s.Rounds) - 1; ri >= 0; ri-- {
+			round := s.Rounds[ri]
+			if cap(buf) < len(round) {
+				buf = make(Round, len(round))
+			}
+			buf = buf[:len(round)]
+			total := 0
+			for _, c := range round {
+				total += len(c.Path)
+			}
+			// Pre-size so append never reallocates mid-round: earlier
+			// calls' paths alias the arena.
+			if cap(arena) < total {
+				arena = make([]uint64, 0, total)
+			}
+			arena = arena[:0]
+			for i, c := range round {
+				lo := len(arena)
+				for j := len(c.Path) - 1; j >= 0; j-- {
+					arena = append(arena, c.Path[j])
+				}
+				buf[i] = Call{Path: arena[lo:len(arena):len(arena)]}
+			}
+			if !yield(buf) {
+				return
+			}
+		}
+	}
+}
+
 // TotalCalls returns the number of calls across all rounds.
 func (s *Schedule) TotalCalls() int {
 	n := 0

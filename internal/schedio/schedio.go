@@ -1,0 +1,487 @@
+// Package schedio implements the on-disk round format for k-line call
+// plans: a compact binary encoding of a schedule's header and round
+// stream that can be written straight off a round iterator (never
+// materialising the schedule) and replayed, round by round, into the
+// streaming validator. Produce a million-vertex schedule once, serve and
+// re-verify it many times.
+//
+// # Format
+//
+// All integers are unsigned LEB128 varints in canonical (minimal) form;
+// the decoder rejects non-minimal encodings, so every valid byte stream
+// has exactly one decoding and re-encoding a decoded plan reproduces the
+// input byte for byte.
+//
+//	magic   "SHCP" (4 bytes)
+//	uvarint version (currently 1)
+//	uvarint k                      call-length bound
+//	uvarint len(dims)              parameter vector length (== k)
+//	uvarint dims[i] ...            strictly increasing, dims[last] = n
+//	uvarint len(scheme)            scheme name length (<= 64)
+//	bytes   scheme                 scheme identifier ("broadcast", ...)
+//	uvarint source                 distinguished originator vertex
+//	rounds:
+//	  uvarint numCalls+1           0 terminates the round stream
+//	  per call:
+//	    uvarint pathLen
+//	    uvarint path[0]            (when pathLen > 0)
+//	    uvarint path[i-1]^path[i]  pathLen-1 XOR deltas
+//	uint32  CRC-32 (IEEE), little endian, of every preceding byte
+//
+// The checksum must be the end of the stream: trailing bytes are
+// treated as corruption (an appended-to file), so one plan file holds
+// exactly one plan.
+//
+// Hypercube call paths flip one dimension bit per hop, so the XOR deltas
+// are single powers of two and encode in one or two bytes for the low
+// (wide-round) dimensions — the bulk of any broadcast schedule.
+//
+// The decoder never trusts counts for allocation: storage grows only as
+// call data is actually read, so truncated or hostile headers fail
+// cleanly with an error instead of panicking or over-allocating.
+package schedio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"iter"
+
+	"sparsehypercube/internal/linecomm"
+)
+
+const (
+	// Version is the current format version.
+	Version = 1
+
+	magic = "SHCP"
+
+	// maxDims caps the parameter vector length the codec accepts.
+	maxDims = 64
+	// maxDim caps individual dimension values (core.MaxN is 40).
+	maxDim = 64
+	// maxSchemeName caps the scheme identifier length.
+	maxSchemeName = 64
+	// maxPathLen caps a single call path; the paper's schemes use at most
+	// k+1 vertices, so this is purely a hostile-input bound.
+	maxPathLen = 1 << 20
+)
+
+// Header identifies the plan stored in a file: the construction
+// parameters of the cube the rounds were generated on, the scheme that
+// produced them, and its originator.
+type Header struct {
+	K      int
+	Dims   []int
+	Scheme string
+	Source uint64
+}
+
+func (h Header) validate() error {
+	if h.K < 1 || h.K > maxDims {
+		return fmt.Errorf("schedio: k = %d outside [1,%d]", h.K, maxDims)
+	}
+	if len(h.Dims) != h.K {
+		return fmt.Errorf("schedio: %d dims for k = %d (want exactly k)", len(h.Dims), h.K)
+	}
+	prev := 0
+	for _, d := range h.Dims {
+		if d <= prev || d > maxDim {
+			return fmt.Errorf("schedio: dims %v not strictly increasing in [1,%d]", h.Dims, maxDim)
+		}
+		prev = d
+	}
+	if len(h.Scheme) > maxSchemeName {
+		return fmt.Errorf("schedio: scheme name %d bytes long (max %d)", len(h.Scheme), maxSchemeName)
+	}
+	return nil
+}
+
+// Write encodes h followed by the round stream onto w and returns the
+// number of bytes written. It consumes rounds as they are produced —
+// yielded rounds may reuse storage between iterations — so a schedule
+// never has to be materialised to be stored.
+func Write(w io.Writer, h Header, rounds iter.Seq[linecomm.Round]) (int64, error) {
+	if err := h.validate(); err != nil {
+		return 0, err
+	}
+	e := &encoder{w: w}
+	e.bytes([]byte(magic))
+	e.uvarint(Version)
+	e.uvarint(uint64(h.K))
+	e.uvarint(uint64(len(h.Dims)))
+	for _, d := range h.Dims {
+		e.uvarint(uint64(d))
+	}
+	e.uvarint(uint64(len(h.Scheme)))
+	e.bytes([]byte(h.Scheme))
+	e.uvarint(h.Source)
+	for round := range rounds {
+		e.uvarint(uint64(len(round)) + 1)
+		for _, call := range round {
+			e.uvarint(uint64(len(call.Path)))
+			for i, v := range call.Path {
+				if i == 0 {
+					e.uvarint(v)
+				} else {
+					e.uvarint(call.Path[i-1] ^ v)
+				}
+			}
+		}
+		if e.err != nil {
+			break // stop consuming the producer once the sink is dead
+		}
+	}
+	e.uvarint(0)
+	e.flush()
+	if e.err != nil {
+		return e.n, e.err
+	}
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], e.crc)
+	nf, err := w.Write(foot[:])
+	e.n += int64(nf)
+	if err != nil {
+		return e.n, fmt.Errorf("schedio: writing checksum: %w", err)
+	}
+	return e.n, nil
+}
+
+// Encode is Write over a materialised schedule.
+func Encode(w io.Writer, h Header, s *linecomm.Schedule) (int64, error) {
+	return Write(w, h, s.Stream())
+}
+
+// encoder buffers output and folds the running CRC at flush boundaries.
+type encoder struct {
+	w   io.Writer
+	buf []byte
+	crc uint32
+	n   int64
+	err error
+}
+
+const encoderFlushAt = 32 << 10
+
+func (e *encoder) flush() {
+	if len(e.buf) == 0 || e.err != nil {
+		e.buf = e.buf[:0]
+		return
+	}
+	e.crc = crc32.Update(e.crc, crc32.IEEETable, e.buf)
+	n, err := e.w.Write(e.buf)
+	e.n += int64(n)
+	if err != nil {
+		e.err = fmt.Errorf("schedio: %w", err)
+	}
+	e.buf = e.buf[:0]
+}
+
+func (e *encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+	if len(e.buf) >= encoderFlushAt {
+		e.flush()
+	}
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.buf = append(e.buf, b...)
+	if len(e.buf) >= encoderFlushAt {
+		e.flush()
+	}
+}
+
+// Decoder reads a plan back: the header eagerly (at NewDecoder time), the
+// rounds lazily through a single-use iterator that reuses its buffers
+// between rounds. After the iterator is drained, Err reports whether the
+// stream decoded cleanly and the trailing checksum matched.
+type Decoder struct {
+	src      byteSource
+	h        Header
+	err      error
+	consumed bool
+}
+
+// NewDecoder reads and validates the header from r. The returned decoder
+// reads from r incrementally; r must not be read from concurrently.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	d := &Decoder{src: byteSource{r: r}}
+	var m [4]byte
+	if err := d.src.readFull(m[:]); err != nil {
+		return nil, fmt.Errorf("schedio: reading magic: %w", err)
+	}
+	if string(m[:]) != magic {
+		return nil, fmt.Errorf("schedio: bad magic %q", m[:])
+	}
+	v, err := d.uvarint("version")
+	if err != nil {
+		return nil, err
+	}
+	if v != Version {
+		return nil, fmt.Errorf("schedio: unsupported version %d (have %d)", v, Version)
+	}
+	k, err := d.uvarint("k")
+	if err != nil {
+		return nil, err
+	}
+	nd, err := d.uvarint("dims length")
+	if err != nil {
+		return nil, err
+	}
+	if nd < 1 || nd > maxDims {
+		return nil, fmt.Errorf("schedio: dims length %d outside [1,%d]", nd, maxDims)
+	}
+	dims := make([]int, nd)
+	for i := range dims {
+		dv, err := d.uvarint("dim")
+		if err != nil {
+			return nil, err
+		}
+		if dv < 1 || dv > maxDim {
+			return nil, fmt.Errorf("schedio: dim %d outside [1,%d]", dv, maxDim)
+		}
+		dims[i] = int(dv)
+	}
+	nameLen, err := d.uvarint("scheme name length")
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > maxSchemeName {
+		return nil, fmt.Errorf("schedio: scheme name %d bytes long (max %d)", nameLen, maxSchemeName)
+	}
+	name := make([]byte, nameLen)
+	if err := d.src.readFull(name); err != nil {
+		return nil, fmt.Errorf("schedio: reading scheme name: %w", err)
+	}
+	source, err := d.uvarint("source")
+	if err != nil {
+		return nil, err
+	}
+	d.h = Header{K: int(k), Dims: dims, Scheme: string(name), Source: source}
+	if err := d.h.validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Header returns the decoded header.
+func (d *Decoder) Header() Header { return d.h }
+
+// Consumed returns the number of bytes read off the underlying reader so
+// far (buffered-but-unparsed bytes excluded).
+func (d *Decoder) Consumed() int64 { return d.src.n }
+
+// Err returns the first decode error, or nil when the stream (as far as
+// it has been consumed) decoded cleanly. A fully drained round iterator
+// additionally implies the trailing checksum matched.
+func (d *Decoder) Err() error { return d.err }
+
+// Rounds returns the round stream. It is single use: a second call
+// yields nothing and flags an error. The yielded round and the paths
+// inside it are reused between iterations — use linecomm.CloneRound to
+// retain one. Stopping early leaves the checksum unverified.
+func (d *Decoder) Rounds() iter.Seq[linecomm.Round] {
+	return func(yield func(linecomm.Round) bool) {
+		if d.err != nil {
+			return
+		}
+		if d.consumed {
+			d.err = errors.New("schedio: round stream already consumed")
+			return
+		}
+		d.consumed = true
+		var (
+			round linecomm.Round
+			arena []uint64
+			offs  []int
+		)
+		for {
+			marker, err := d.uvarint("round header")
+			if err != nil {
+				d.err = err
+				return
+			}
+			if marker == 0 {
+				d.err = d.checkFooter()
+				return
+			}
+			numCalls := marker - 1
+			arena = arena[:0]
+			offs = offs[:0]
+			for ci := uint64(0); ci < numCalls; ci++ {
+				plen, err := d.uvarint("path length")
+				if err != nil {
+					d.err = err
+					return
+				}
+				if plen > maxPathLen {
+					d.err = fmt.Errorf("schedio: path length %d exceeds %d", plen, maxPathLen)
+					return
+				}
+				offs = append(offs, len(arena))
+				var prev uint64
+				for i := uint64(0); i < plen; i++ {
+					v, err := d.uvarint("path vertex")
+					if err != nil {
+						d.err = err
+						return
+					}
+					if i > 0 {
+						v ^= prev // stored as XOR delta from the previous hop
+					}
+					arena = append(arena, v)
+					prev = v
+				}
+			}
+			offs = append(offs, len(arena))
+			if cap(round) < len(offs)-1 {
+				round = make(linecomm.Round, len(offs)-1)
+			}
+			round = round[:len(offs)-1]
+			for i := range round {
+				lo, hi := offs[i], offs[i+1]
+				round[i] = linecomm.Call{Path: arena[lo:hi:hi]}
+			}
+			if !yield(round) {
+				return
+			}
+		}
+	}
+}
+
+// checkFooter folds the CRC over everything consumed so far, compares
+// it with the trailing checksum, and requires the stream to end there —
+// trailing bytes are corruption (an appended-to file), not padding.
+func (d *Decoder) checkFooter() error {
+	d.src.stopCRC()
+	var foot [4]byte
+	if err := d.src.readFull(foot[:]); err != nil {
+		return fmt.Errorf("schedio: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(foot[:]); got != d.src.crc {
+		return fmt.Errorf("schedio: checksum mismatch: stored %08x, computed %08x", got, d.src.crc)
+	}
+	switch _, err := d.src.readByte(); err {
+	case io.EOF:
+		return nil
+	case nil:
+		return errors.New("schedio: trailing data after checksum")
+	default:
+		return fmt.Errorf("schedio: after checksum: %w", err)
+	}
+}
+
+// DecodeAll reads a complete plan into a materialised schedule — the
+// convenience (and fuzzing) entry point; use Decoder for streaming.
+func DecodeAll(r io.Reader) (Header, *linecomm.Schedule, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	s := &linecomm.Schedule{Source: d.h.Source}
+	for round := range d.Rounds() {
+		s.Rounds = append(s.Rounds, linecomm.CloneRound(round))
+	}
+	if err := d.Err(); err != nil {
+		return Header{}, nil, err
+	}
+	return d.h, s, nil
+}
+
+// uvarint reads one canonical-form varint, rejecting non-minimal
+// encodings so that decode-then-encode is the identity on valid streams.
+func (d *Decoder) uvarint(what string) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := d.src.readByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, fmt.Errorf("schedio: reading %s: %w", what, err)
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, fmt.Errorf("schedio: reading %s: varint overflows uint64", what)
+			}
+			if i > 0 && b == 0 {
+				return 0, fmt.Errorf("schedio: reading %s: non-canonical varint", what)
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, fmt.Errorf("schedio: reading %s: varint overflows uint64", what)
+}
+
+// byteSource is a buffered reader that tracks the bytes actually
+// consumed and folds them into a running CRC lazily (at refill and stop
+// points), so per-byte reads stay cheap.
+type byteSource struct {
+	r        io.Reader
+	buf      [32 << 10]byte
+	pos, lim int
+	crcdPos  int // buf[crcdPos:pos] has not been folded into crc yet
+	crcDone  bool
+	crc      uint32
+	n        int64
+}
+
+func (s *byteSource) fold() {
+	if !s.crcDone && s.pos > s.crcdPos {
+		s.crc = crc32.Update(s.crc, crc32.IEEETable, s.buf[s.crcdPos:s.pos])
+	}
+	s.crcdPos = s.pos
+}
+
+// stopCRC finalises the CRC over everything consumed so far; bytes
+// consumed afterwards (the footer itself) are excluded.
+func (s *byteSource) stopCRC() {
+	s.fold()
+	s.crcDone = true
+}
+
+func (s *byteSource) fill() error {
+	s.fold()
+	s.pos, s.lim, s.crcdPos = 0, 0, 0
+	for {
+		n, err := s.r.Read(s.buf[:])
+		if n > 0 {
+			s.lim = n
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (s *byteSource) readByte() (byte, error) {
+	if s.pos == s.lim {
+		if err := s.fill(); err != nil {
+			return 0, err
+		}
+	}
+	b := s.buf[s.pos]
+	s.pos++
+	s.n++
+	return b, nil
+}
+
+func (s *byteSource) readFull(p []byte) error {
+	for i := range p {
+		b, err := s.readByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		p[i] = b
+	}
+	return nil
+}

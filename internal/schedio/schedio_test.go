@@ -1,0 +1,224 @@
+package schedio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sparsehypercube/internal/core"
+	"sparsehypercube/internal/linecomm"
+)
+
+// encodeCube materialises the broadcast scheme of a (k, n) cube and
+// encodes it, returning header, schedule, and bytes.
+func encodeCube(t *testing.T, k, n int, source uint64) (Header, *linecomm.Schedule, []byte) {
+	t.Helper()
+	s, err := core.NewAuto(k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := s.BroadcastSchedule(source)
+	h := Header{K: s.Params().K, Dims: s.Params().Dims, Scheme: "broadcast", Source: source}
+	var buf bytes.Buffer
+	wn, err := Encode(&buf, h, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wn != int64(buf.Len()) {
+		t.Fatalf("Write reported %d bytes, wrote %d", wn, buf.Len())
+	}
+	return h, sched, buf.Bytes()
+}
+
+// TestRoundTrip pins the core codec contract: decode recovers the exact
+// header and schedule, and re-encoding is byte-identical.
+func TestRoundTrip(t *testing.T) {
+	for _, kn := range [][2]int{{1, 5}, {2, 9}, {3, 11}} {
+		h, sched, enc := encodeCube(t, kn[0], kn[1], 3)
+		gotH, gotS, err := DecodeAll(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("k=%d n=%d: decode: %v", kn[0], kn[1], err)
+		}
+		if !reflect.DeepEqual(h, gotH) {
+			t.Fatalf("k=%d n=%d: header diverged: %+v != %+v", kn[0], kn[1], h, gotH)
+		}
+		if !reflect.DeepEqual(sched, gotS) {
+			t.Fatalf("k=%d n=%d: schedule diverged", kn[0], kn[1])
+		}
+		var re bytes.Buffer
+		if _, err := Encode(&re, gotH, gotS); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, re.Bytes()) {
+			t.Fatalf("k=%d n=%d: re-encode not byte-identical (%d vs %d bytes)",
+				kn[0], kn[1], len(enc), re.Len())
+		}
+	}
+}
+
+// TestStreamingWriteMatchesMaterialised checks that Write off the round
+// iterator produces the same bytes as Encode of the materialised
+// schedule.
+func TestStreamingWriteMatchesMaterialised(t *testing.T) {
+	s, err := core.NewAuto(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Header{K: 2, Dims: s.Params().Dims, Scheme: "broadcast", Source: 0}
+	var streamed, materialised bytes.Buffer
+	if _, err := Write(&streamed, h, s.ScheduleRounds(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Encode(&materialised, h, s.BroadcastSchedule(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), materialised.Bytes()) {
+		t.Fatal("streamed and materialised encodings differ")
+	}
+}
+
+// TestEmptyAndDegenerateRounds covers rounds with zero calls and calls
+// with empty or single-vertex paths — invalid under the model, but the
+// codec must carry them faithfully for the validator to flag.
+func TestEmptyAndDegenerateRounds(t *testing.T) {
+	h := Header{K: 2, Dims: []int{2, 4}, Scheme: "external", Source: 1}
+	sched := &linecomm.Schedule{Source: 1, Rounds: []linecomm.Round{
+		{},
+		{{Path: nil}, {Path: []uint64{5}}},
+		{{Path: []uint64{0, 1, 3}}},
+	}}
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, h, sched); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := DecodeAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rounds) != 3 || len(got.Rounds[0]) != 0 || len(got.Rounds[1]) != 2 {
+		t.Fatalf("degenerate rounds mangled: %+v", got.Rounds)
+	}
+	if got.Rounds[1][0].Path != nil && len(got.Rounds[1][0].Path) != 0 {
+		t.Fatalf("empty path not preserved: %v", got.Rounds[1][0].Path)
+	}
+	if !reflect.DeepEqual(got.Rounds[2], sched.Rounds[2]) {
+		t.Fatalf("path mangled: %v", got.Rounds[2])
+	}
+}
+
+// TestHeaderValidation exercises Write-side header rejection.
+func TestHeaderValidation(t *testing.T) {
+	bad := []Header{
+		{K: 0, Dims: nil},
+		{K: 2, Dims: []int{3}},
+		{K: 2, Dims: []int{5, 3}},
+		{K: 2, Dims: []int{0, 3}},
+		{K: 2, Dims: []int{3, 100}},
+		{K: 1, Dims: []int{4}, Scheme: string(make([]byte, 100))},
+	}
+	for i, h := range bad {
+		if _, err := Write(io.Discard, h, (&linecomm.Schedule{}).Stream()); err == nil {
+			t.Errorf("header %d accepted: %+v", i, h)
+		}
+	}
+}
+
+// TestTruncationFailsCleanly decodes every prefix of a valid encoding and
+// expects an error (never a panic, never silent success).
+func TestTruncationFailsCleanly(t *testing.T) {
+	_, _, enc := encodeCube(t, 2, 6, 0)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeAll(bytes.NewReader(enc[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded successfully", cut, len(enc))
+		}
+	}
+}
+
+// TestCorruptionFailsCleanly flips each byte of a valid encoding in turn;
+// CRC-32 detects any single-byte corruption, so decode must error.
+func TestCorruptionFailsCleanly(t *testing.T) {
+	_, _, enc := encodeCube(t, 2, 6, 0)
+	rng := rand.New(rand.NewSource(1))
+	for pos := 0; pos < len(enc); pos++ {
+		mut := append([]byte(nil), enc...)
+		flip := byte(1 + rng.Intn(255))
+		mut[pos] ^= flip
+		if _, _, err := DecodeAll(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("corrupting byte %d (xor %#x) decoded successfully", pos, flip)
+		}
+	}
+}
+
+// TestTrailingDataRejected: bytes after the checksum are corruption —
+// an appended-to plan file must not verify clean.
+func TestTrailingDataRejected(t *testing.T) {
+	_, _, enc := encodeCube(t, 2, 6, 0)
+	for _, tail := range [][]byte{{0}, []byte("junk"), enc} {
+		mut := append(append([]byte(nil), enc...), tail...)
+		if _, _, err := DecodeAll(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("decode accepted %d trailing bytes", len(tail))
+		}
+	}
+}
+
+// TestNonCanonicalVarintRejected pins the minimal-form rule the
+// byte-identical re-encode guarantee rests on.
+func TestNonCanonicalVarintRejected(t *testing.T) {
+	_, _, enc := encodeCube(t, 2, 6, 0)
+	// The version varint is the byte right after the 4-byte magic;
+	// version 1 in non-minimal form is 0x81 0x00.
+	mut := append([]byte(nil), enc[:4]...)
+	mut = append(mut, 0x81, 0x00)
+	mut = append(mut, enc[5:]...)
+	if _, _, err := DecodeAll(bytes.NewReader(mut)); err == nil {
+		t.Fatal("non-canonical varint accepted")
+	}
+}
+
+// TestDecoderSingleUse: the round iterator may be consumed once.
+func TestDecoderSingleUse(t *testing.T) {
+	_, _, enc := encodeCube(t, 2, 6, 0)
+	d, err := NewDecoder(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range d.Rounds() {
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("first pass: %v", err)
+	}
+	for range d.Rounds() {
+		t.Fatal("second pass yielded a round")
+	}
+	if d.Err() == nil {
+		t.Fatal("second pass not flagged")
+	}
+}
+
+// TestDecodedRoundsValidate replays a decoded stream through the
+// streaming validator and compares with direct validation.
+func TestDecodedRoundsValidate(t *testing.T) {
+	s, err := core.NewAuto(3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := linecomm.ValidateStream(s, 3, 5, s.ScheduleRounds(5))
+	var buf bytes.Buffer
+	h := Header{K: s.Params().K, Dims: s.Params().Dims, Scheme: "broadcast", Source: 5}
+	if _, err := Write(&buf, h, s.ScheduleRounds(5)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := linecomm.ValidateStream(s, 3, d.Header().Source, d.Rounds())
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, replayed) {
+		t.Fatalf("replayed validation diverged:\n%+v\n%+v", direct, replayed)
+	}
+}

@@ -1,0 +1,294 @@
+package sparsehypercube
+
+import (
+	"fmt"
+	"io"
+	"iter"
+
+	"sparsehypercube/internal/core"
+	"sparsehypercube/internal/linecomm"
+	"sparsehypercube/internal/schedio"
+)
+
+// Scheme is a round-by-round k-line call plan on a cube — the paper's
+// central object. A scheme describes what to send; a Plan binds it to a
+// concrete cube and offers every way of consuming it (streaming,
+// materialising, verifying, serialising) through one engine.
+//
+// BroadcastScheme and GossipScheme cover the paper's workloads; external
+// streams adapt in via RoundScheme. Future treecast or multi-source
+// schemes implement the same three methods (plus PlanVerifier when their
+// correctness model differs from single-source broadcast).
+type Scheme interface {
+	// Name is a short identifier, stored in the plan file header and
+	// used to re-bind a replayed plan to its verification model.
+	Name() string
+	// Origin is the scheme's distinguished vertex: the broadcast source,
+	// the gossip root.
+	Origin() uint64
+	// Rounds generates the scheme's call rounds on cube. Yielded rounds
+	// and the paths inside them may reuse storage between iterations.
+	Rounds(cube *Cube) iter.Seq[[]Call]
+}
+
+// PlanVerifier is implemented by schemes whose correctness model is not
+// single-source broadcast: Plan.Verify dispatches here instead of the
+// streaming k-line broadcast validator. GossipScheme uses it to run the
+// telephone-model gossip validator.
+type PlanVerifier interface {
+	VerifyPlan(cube *Cube, rounds iter.Seq[[]Call]) Report
+}
+
+// innerRoundsScheme is the allocation-free fast path: built-in schemes
+// expose their internal round stream so Verify and WriteTo skip the
+// public []Call conversion layer entirely.
+type innerRoundsScheme interface {
+	innerRounds(cube *Cube) iter.Seq[linecomm.Round]
+}
+
+// BroadcastScheme is the paper's minimum-time k-line broadcast from
+// Source: exactly n rounds, calls of length at most k (Broadcast_2 for
+// k = 2, Broadcast_k generally, binomial broadcast for k = 1).
+type BroadcastScheme struct {
+	Source uint64
+}
+
+// Name implements Scheme.
+func (s BroadcastScheme) Name() string { return "broadcast" }
+
+// Origin implements Scheme.
+func (s BroadcastScheme) Origin() uint64 { return s.Source }
+
+// Rounds implements Scheme: rounds are built from the informed-set
+// frontier with call paths constructed in parallel; peak memory is
+// O(frontier), not the full schedule. An out-of-range Source yields no
+// rounds (and Plan.Verify reports it as a violation) rather than
+// panicking.
+func (s BroadcastScheme) Rounds(cube *Cube) iter.Seq[[]Call] {
+	return fromInnerRounds(s.innerRounds(cube))
+}
+
+func (s BroadcastScheme) innerRounds(cube *Cube) iter.Seq[linecomm.Round] {
+	if s.Source >= cube.Order() {
+		return func(yield func(linecomm.Round) bool) {}
+	}
+	return cube.inner.ScheduleRounds(s.Source)
+}
+
+// RoundScheme adapts an arbitrary round stream — a network feed, a
+// simulator, a materialised schedule's Stream() — into a Scheme, so
+// external schedules flow through the same Plan engine as generated
+// ones. The resulting scheme is as reusable as the underlying iterator
+// (a Schedule's Stream is reusable; a live feed is not).
+func RoundScheme(name string, origin uint64, rounds iter.Seq[[]Call]) Scheme {
+	return roundScheme{name: name, origin: origin, seq: rounds}
+}
+
+type roundScheme struct {
+	name   string
+	origin uint64
+	seq    iter.Seq[[]Call]
+}
+
+func (s roundScheme) Name() string                  { return s.name }
+func (s roundScheme) Origin() uint64                { return s.origin }
+func (s roundScheme) Rounds(*Cube) iter.Seq[[]Call] { return s.seq }
+
+// storedScheme describes a replayed plan whose scheme name has no
+// registered in-process generator; its rounds come from the decoder.
+type storedScheme struct {
+	name   string
+	origin uint64
+}
+
+func (s storedScheme) Name() string   { return s.name }
+func (s storedScheme) Origin() uint64 { return s.origin }
+func (s storedScheme) Rounds(*Cube) iter.Seq[[]Call] {
+	return func(yield func([]Call) bool) {}
+}
+
+// Plan is a lazy handle on a scheme bound to a cube: nothing is computed
+// until one of its methods consumes the round stream.
+//
+//	plan := cube.Plan(sparsehypercube.BroadcastScheme{Source: 0})
+//	plan.Rounds()       // stream, O(frontier) memory
+//	plan.Materialize()  // snapshot into a Schedule
+//	plan.Verify()       // pipe straight into the streaming validator
+//	plan.WriteTo(f)     // serialise without materialising
+//
+// Plans over generative schemes (BroadcastScheme, GossipScheme) are
+// reusable: every method regenerates the rounds. Plans returned by
+// ReadPlan decode a stream and are single-use; check Err after
+// consuming one outside Verify.
+type Plan struct {
+	cube   *Cube
+	scheme Scheme
+	dec    *schedio.Decoder // round source for replayed plans
+	copied bool
+}
+
+// PlanOption configures a Plan.
+type PlanOption func(*Plan)
+
+// WithCopiedRounds makes Rounds yield freshly allocated rounds that are
+// safe to retain across iteration steps, trading the allocation-free
+// default for convenience.
+func WithCopiedRounds() PlanOption {
+	return func(p *Plan) { p.copied = true }
+}
+
+// Plan binds a scheme to this cube.
+func (c *Cube) Plan(scheme Scheme, opts ...PlanOption) *Plan {
+	p := &Plan{cube: c, scheme: scheme}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Cube returns the cube the plan is bound to.
+func (p *Plan) Cube() *Cube { return p.cube }
+
+// Scheme returns the scheme the plan executes.
+func (p *Plan) Scheme() Scheme { return p.scheme }
+
+// innerRounds returns the plan's round stream in the internal
+// representation, skipping the public conversion layer when the scheme
+// allows it.
+func (p *Plan) innerRounds() iter.Seq[linecomm.Round] {
+	if p.dec != nil {
+		return p.dec.Rounds()
+	}
+	if s, ok := p.scheme.(innerRoundsScheme); ok {
+		return s.innerRounds(p.cube)
+	}
+	return toInnerRounds(p.scheme.Rounds(p.cube))
+}
+
+// Rounds streams the plan one round at a time. By default the yielded
+// slice and the paths inside it are reused between iterations — copy
+// anything that must outlive the step, or build the plan with
+// WithCopiedRounds.
+func (p *Plan) Rounds() iter.Seq[[]Call] {
+	seq := fromInnerRounds(p.innerRounds())
+	if !p.copied {
+		return seq
+	}
+	return func(yield func([]Call) bool) {
+		for round := range seq {
+			if !yield(cloneCalls(round)) {
+				return
+			}
+		}
+	}
+}
+
+// Materialize snapshots the plan into a Schedule with freshly allocated
+// storage. For replayed plans, check Err afterwards: a decode failure
+// truncates the snapshot.
+func (p *Plan) Materialize() *Schedule {
+	out := &Schedule{Source: p.scheme.Origin()}
+	for round := range fromInnerRounds(p.innerRounds()) {
+		out.Rounds = append(out.Rounds, cloneCalls(round))
+	}
+	return out
+}
+
+// Verify checks the plan against its scheme's correctness model in one
+// streamed pass: the k-line broadcast validator (edge existence, call
+// lengths, per-round edge- and receiver-disjointness, caller knowledge,
+// completion, minimality) unless the scheme is a PlanVerifier. For
+// replayed plans a decode failure is folded into the report as a
+// violation, so a truncated or corrupted file can never verify.
+func (p *Plan) Verify() Report {
+	var rep Report
+	if pv, ok := p.scheme.(PlanVerifier); ok {
+		rep = pv.VerifyPlan(p.cube, p.Rounds())
+	} else {
+		res := linecomm.ValidateStream(p.cube.inner, p.cube.K(), p.scheme.Origin(), p.innerRounds())
+		rep = reportFrom(res, len(res.InformedPerRound))
+	}
+	if err := p.Err(); err != nil {
+		rep.Valid = false
+		rep.Violations = append(rep.Violations, fmt.Sprintf("replay: %v", err))
+	}
+	return rep
+}
+
+// Err reports the decode status of a replayed plan: nil for generative
+// plans, and nil for replayed plans whose stream (as far as consumed)
+// decoded cleanly with a matching checksum.
+func (p *Plan) Err() error {
+	if p.dec == nil {
+		return nil
+	}
+	return p.dec.Err()
+}
+
+// WriteTo serialises the plan in the compact binary round format of
+// internal/schedio, streaming straight off the round generator — the
+// schedule is never materialised, so million-vertex plans encode at
+// O(frontier) memory. It implements io.WriterTo. The file replays with
+// ReadPlan.
+func (p *Plan) WriteTo(w io.Writer) (int64, error) {
+	h := schedio.Header{
+		K:      p.cube.K(),
+		Dims:   p.cube.Dims(),
+		Scheme: p.scheme.Name(),
+		Source: p.scheme.Origin(),
+	}
+	n, err := schedio.Write(w, h, p.innerRounds())
+	if err == nil {
+		err = p.Err() // re-encoding a broken replay must not silently truncate
+	}
+	return n, err
+}
+
+// ReadPlan opens a plan written by Plan.WriteTo: it decodes the header,
+// reconstructs the cube from the stored parameter vector (default level
+// choices, as New/NewWithDims produce), and returns a single-use Plan
+// whose rounds replay from r one round at a time — nothing is
+// materialised. Known scheme names re-bind to their verification model
+// (a stored gossip plan verifies under the gossip validator); unknown
+// names verify under the broadcast model.
+//
+//	f, _ := os.Open("plan.shcp")
+//	plan, err := sparsehypercube.ReadPlan(f)
+//	report := plan.Verify() // decode failures surface as violations
+func ReadPlan(r io.Reader) (*Plan, error) {
+	dec, err := schedio.NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	h := dec.Header()
+	inner, err := core.New(core.Params{K: h.K, Dims: h.Dims})
+	if err != nil {
+		return nil, fmt.Errorf("sparsehypercube: plan header: %w", err)
+	}
+	var scheme Scheme
+	switch h.Scheme {
+	case "broadcast":
+		scheme = BroadcastScheme{Source: h.Source}
+	case "gossip":
+		scheme = GossipScheme{Root: h.Source}
+	default:
+		scheme = storedScheme{name: h.Scheme, origin: h.Source}
+	}
+	return &Plan{cube: &Cube{inner: inner}, scheme: scheme, dec: dec}, nil
+}
+
+// cloneCalls deep-copies one round into fresh storage (one backing array
+// for all paths), the public-facing sibling of linecomm.CloneRound.
+func cloneCalls(round []Call) []Call {
+	total := 0
+	for _, c := range round {
+		total += len(c.Path)
+	}
+	buf := make([]uint64, 0, total)
+	out := make([]Call, len(round))
+	for i, c := range round {
+		buf = append(buf, c.Path...)
+		out[i] = Call{Path: buf[len(buf)-len(c.Path) : len(buf) : len(buf)]}
+	}
+	return out
+}

@@ -1,0 +1,359 @@
+package sparsehypercube
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestPlanReplayMatchesDirect is the acceptance gate for the round
+// codec: ReadPlan(WriteTo(plan)) replayed into VerifyRounds produces a
+// Report identical to direct VerifyBroadcast, for k in {1, 2, 3}, and
+// the replay re-encodes byte-for-byte.
+func TestPlanReplayMatchesDirect(t *testing.T) {
+	for _, kn := range [][2]int{{1, 6}, {2, 10}, {3, 12}} {
+		k, n := kn[0], kn[1]
+		cube, err := New(k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := cube.Order() / 3
+		direct := cube.VerifyBroadcast(src)
+		if !direct.Valid || !direct.MinimumTime {
+			t.Fatalf("k=%d n=%d: direct verification failed: %+v", k, n, direct)
+		}
+
+		plan := cube.Plan(BroadcastScheme{Source: src})
+		var buf bytes.Buffer
+		wn, err := plan.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wn != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d bytes, wrote %d", wn, buf.Len())
+		}
+
+		// Replay through the deprecated streaming entry point.
+		replay, err := ReadPlan(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaRounds := cube.VerifyRounds(src, replay.Rounds())
+		if err := replay.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(direct, viaRounds) {
+			t.Fatalf("k=%d n=%d: replayed VerifyRounds diverged:\n%+v\n%+v", k, n, direct, viaRounds)
+		}
+
+		// Replay through the plan's own Verify.
+		replay2, err := ReadPlan(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := replay2.Scheme(); got.Name() != "broadcast" || got.Origin() != src {
+			t.Fatalf("k=%d n=%d: replayed scheme %q origin %d", k, n, got.Name(), got.Origin())
+		}
+		if got := replay2.Cube(); got.K() != cube.K() || got.N() != n ||
+			!reflect.DeepEqual(got.Dims(), cube.Dims()) {
+			t.Fatalf("k=%d n=%d: replayed cube params diverged: %v", k, n, got.Dims())
+		}
+		viaVerify := replay2.Verify()
+		if !reflect.DeepEqual(direct, viaVerify) {
+			t.Fatalf("k=%d n=%d: replayed Verify diverged:\n%+v\n%+v", k, n, direct, viaVerify)
+		}
+
+		// Replay re-encodes byte-for-byte.
+		replay3, err := ReadPlan(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var re bytes.Buffer
+		if _, err := replay3.WriteTo(&re); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), re.Bytes()) {
+			t.Fatalf("k=%d n=%d: replay re-encode not byte-identical (%d vs %d bytes)",
+				k, n, buf.Len(), re.Len())
+		}
+	}
+}
+
+// TestPlanReplayStreamedN22 certifies the write-once/verify-many flow in
+// the regime the codec exists for: a 4.2M-vertex schedule streamed to
+// disk and replayed into the validator without ever being materialised.
+func TestPlanReplayStreamedN22(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=22 pipeline in -short mode")
+	}
+	cube, err := New(3, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := cube.Plan(BroadcastScheme{Source: 0})
+
+	path := filepath.Join(t.TempDir(), "n22.shcp")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	direct := cube.VerifyBroadcast(0)
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	replay, err := ReadPlan(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := replay.Verify()
+	if !rep.Valid || !rep.MinimumTime || rep.Rounds != 22 {
+		t.Fatalf("n=22 replay failed: %+v", rep)
+	}
+	if !reflect.DeepEqual(direct, rep) {
+		t.Fatalf("n=22 replay diverged from direct verification:\n%+v\n%+v", direct, rep)
+	}
+}
+
+// TestGossipPlanRoundTrip: gossip plans serialise, re-bind to the gossip
+// validator on replay, and agree with the generative plan.
+func TestGossipPlanRoundTrip(t *testing.T) {
+	cube, err := New(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := cube.Plan(GossipScheme{Root: 5})
+	direct := plan.Verify()
+	if !direct.Valid || !direct.Complete || direct.Rounds != 2*cube.N() {
+		t.Fatalf("gossip plan verification failed: %+v", direct)
+	}
+	if direct.MinimumTime {
+		t.Fatal("2n-round gather-scatter cannot be minimum time")
+	}
+
+	var buf bytes.Buffer
+	if _, err := plan.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReadPlan(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := replay.Scheme().(GossipScheme); !ok {
+		t.Fatalf("replayed scheme %T, want GossipScheme", replay.Scheme())
+	}
+	rep := replay.Verify()
+	if !reflect.DeepEqual(direct, rep) {
+		t.Fatalf("gossip replay diverged:\n%+v\n%+v", direct, rep)
+	}
+
+	// The deprecated wrapper and the plan snapshot agree.
+	if !reflect.DeepEqual(cube.Gossip(5), plan.Materialize()) {
+		t.Fatal("Gossip wrapper diverged from plan.Materialize")
+	}
+}
+
+// TestGossipPlanBeyondSimulationCap: past 2^14 vertices the gossip
+// validator cannot simulate; Verify must report the cap violation
+// without consuming (or materialising) the round stream.
+func TestGossipPlanBeyondSimulationCap(t *testing.T) {
+	cube, err := New(2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumed := false
+	scheme := RoundScheme("gossip-probe", 0, func(yield func([]Call) bool) { consumed = true })
+	rep := GossipScheme{Root: 0}.VerifyPlan(cube, cube.Plan(scheme).Rounds())
+	if rep.Valid || len(rep.Violations) == 0 {
+		t.Fatalf("over-cap gossip verified: %+v", rep)
+	}
+	if consumed {
+		t.Fatal("over-cap gossip consumed the round stream")
+	}
+}
+
+// TestDeprecatedWrappersAgreeWithPlan pins the sextet as exact wrappers.
+func TestDeprecatedWrappersAgreeWithPlan(t *testing.T) {
+	cube, err := New(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := cube.Plan(BroadcastScheme{Source: 9})
+	if !reflect.DeepEqual(cube.Broadcast(9), plan.Materialize()) {
+		t.Fatal("Broadcast diverged from plan.Materialize")
+	}
+	if !reflect.DeepEqual(cube.VerifyBroadcast(9), plan.Verify()) {
+		t.Fatal("VerifyBroadcast diverged from plan.Verify")
+	}
+	sched := plan.Materialize()
+	if !reflect.DeepEqual(cube.Verify(sched),
+		func() Report {
+			rep := cube.Plan(RoundScheme("broadcast", sched.Source, sched.Stream())).Verify()
+			rep.Rounds = len(sched.Rounds)
+			return rep
+		}()) {
+		t.Fatal("Verify diverged from RoundScheme plan")
+	}
+	want := plan.Materialize()
+	got := &Schedule{Source: 9}
+	for round := range plan.Rounds() {
+		got.Rounds = append(got.Rounds, cloneCalls(round))
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("plan.Rounds diverged from plan.Materialize")
+	}
+}
+
+// TestVerifySourceOutOfRange pins the legacy report shapes: Verify
+// counts declared rounds, VerifyRounds counts validated rounds (0 — the
+// stream is never consumed).
+func TestVerifySourceOutOfRange(t *testing.T) {
+	cube, err := New(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := cube.Broadcast(0)
+	sched.Source = cube.Order() + 7
+	rep := cube.Verify(sched)
+	if rep.Valid || rep.Rounds != len(sched.Rounds) {
+		t.Fatalf("Verify with bad source: %+v", rep)
+	}
+	consumed := false
+	rep = cube.VerifyRounds(cube.Order(), func(yield func([]Call) bool) { consumed = true })
+	if rep.Valid || rep.Rounds != 0 || consumed {
+		t.Fatalf("VerifyRounds with bad source: %+v (consumed=%v)", rep, consumed)
+	}
+}
+
+// TestSchemeOriginOutOfRange: a bad Source/Root on a generative scheme
+// surfaces as a violation report, never a panic, on every plan method.
+func TestSchemeOriginOutOfRange(t *testing.T) {
+	cube, err := New(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cube.Order() + 5
+	bplan := cube.Plan(BroadcastScheme{Source: bad})
+	rep := bplan.Verify()
+	if rep.Valid || len(rep.Violations) == 0 || !strings.Contains(rep.Violations[0], "vertex-out-of-range") {
+		t.Fatalf("broadcast bad-source report: %+v", rep)
+	}
+	for range bplan.Rounds() {
+		t.Fatal("bad-source plan yielded a round")
+	}
+	if sched := bplan.Materialize(); len(sched.Rounds) != 0 {
+		t.Fatal("bad-source plan materialised rounds")
+	}
+
+	grep := cube.Plan(GossipScheme{Root: bad}).Verify()
+	if grep.Valid || len(grep.Violations) == 0 || !strings.Contains(grep.Violations[0], "vertex-out-of-range") {
+		t.Fatalf("gossip bad-root report: %+v", grep)
+	}
+}
+
+// TestWithCopiedRounds: rounds yielded under the option survive the
+// iteration and reproduce the materialised schedule.
+func TestWithCopiedRounds(t *testing.T) {
+	cube, err := New(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := cube.Plan(BroadcastScheme{Source: 1}, WithCopiedRounds())
+	var retained [][]Call
+	for round := range plan.Rounds() {
+		retained = append(retained, round) // no copy: the option owns it
+	}
+	want := cube.Plan(BroadcastScheme{Source: 1}).Materialize()
+	if !reflect.DeepEqual(want.Rounds, retained) {
+		t.Fatal("retained copied rounds diverged from materialised schedule")
+	}
+}
+
+// TestReadPlanRejectsBadInput: garbage and corrupted headers error out
+// of ReadPlan; a truncated round stream surfaces as a Verify violation,
+// never a panic or a false pass.
+func TestReadPlanRejectsBadInput(t *testing.T) {
+	if _, err := ReadPlan(bytes.NewReader([]byte("not a plan file"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadPlan(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+
+	cube, err := New(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := cube.Plan(BroadcastScheme{Source: 0}).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	truncated := enc[:len(enc)*2/3]
+	replay, err := ReadPlan(bytes.NewReader(truncated))
+	if err != nil {
+		t.Fatal(err) // header is intact; failure must surface at replay time
+	}
+	rep := replay.Verify()
+	if rep.Valid {
+		t.Fatalf("truncated plan verified: %+v", rep)
+	}
+	if replay.Err() == nil {
+		t.Fatal("truncated plan left Err nil")
+	}
+
+	// A truncated Materialize is flagged through Err, not silence.
+	replay2, err := ReadPlan(bytes.NewReader(truncated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay2.Materialize()
+	if replay2.Err() == nil {
+		t.Fatal("truncated Materialize left Err nil")
+	}
+}
+
+// TestRoundSchemeExternal: an external materialised schedule flows
+// through the Plan engine and agrees with the deprecated Verify.
+func TestRoundSchemeExternal(t *testing.T) {
+	cube, err := New(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := cube.Broadcast(4)
+	scheme := RoundScheme("external", sched.Source, sched.Stream())
+	rep := cube.Plan(scheme).Verify()
+	want := cube.Verify(sched)
+	want.Rounds = rep.Rounds // Verify counts declared rounds; the raw engine counts validated ones
+	if !reflect.DeepEqual(want, rep) {
+		t.Fatalf("RoundScheme verification diverged:\n%+v\n%+v", want, rep)
+	}
+
+	// A plan over an external stream serialises too.
+	var buf bytes.Buffer
+	if _, err := cube.Plan(RoundScheme("external", sched.Source, sched.Stream())).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReadPlan(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Scheme().Name() != "external" {
+		t.Fatalf("stored scheme name %q", replay.Scheme().Name())
+	}
+	got := replay.Verify()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("stored external plan diverged:\n%+v\n%+v", want, got)
+	}
+}

@@ -12,34 +12,48 @@
 // must be edge-disjoint and receiver-disjoint), while the maximum degree
 // drops from n to at most (2k-1)*ceil(n^(1/k)) - k.
 //
-// Quick start:
+// # Schemes and plans
 //
-//	cube, err := sparsehypercube.New(2, 15) // k = 2, N = 2^15
-//	sched := cube.Broadcast(0)
-//	report := cube.Verify(sched)            // report.MinimumTime == true
+// The paper's object is a scheme — a round-by-round k-line call plan —
+// and the API is built around it. A Scheme (BroadcastScheme,
+// GossipScheme, or your own) bound to a cube yields a Plan, the one
+// handle for every way of consuming the scheme:
 //
-// # Streaming at scale
+//	cube, err := sparsehypercube.New(2, 15)     // k = 2, N = 2^15
+//	plan := cube.Plan(sparsehypercube.BroadcastScheme{Source: 0})
 //
-// Broadcast materialises the whole schedule — fine up to a few hundred
-// thousand vertices, wasteful beyond. For the millions-of-vertices
-// regime the package exposes a streaming engine: BroadcastRounds yields
-// the schedule one round at a time straight off the informed-set
-// frontier (call paths built in parallel across a worker pool), and
-// VerifyBroadcast pipes that stream through a round-at-a-time validator
-// whose per-round disjointness checks run on flat bit sets instead of
-// hash maps. Peak memory is O(frontier) — the widest single round —
-// instead of the full schedule's O(N·n·k) words, and nothing is retained
-// between rounds:
-//
-//	cube, err := sparsehypercube.New(3, 24)   // 16.7M vertices
-//	report := cube.VerifyBroadcast(0)         // report.MinimumTime == true
-//	for round := range cube.BroadcastRounds(0) {
-//		emit(round) // valid until the next iteration step
+//	report := plan.Verify()       // streamed validation; MinimumTime == true
+//	sched := plan.Materialize()   // snapshot, for small cubes
+//	for round := range plan.Rounds() {
+//		emit(round)               // streamed, O(frontier) memory
 //	}
 //
+// Rounds and Verify stream: rounds are generated straight off the
+// informed-set frontier (call paths built in parallel across a worker
+// pool) and validated round-at-a-time on flat bit sets, so peak memory
+// is O(frontier) — the widest single round — instead of the full
+// schedule's O(N·n·k) words. That is what makes million-vertex (n >= 20)
+// cubes practical.
+//
+// # Write once, verify many
+//
+// Plans serialise to a compact binary round format, written straight off
+// the generator and replayed without materialising:
+//
+//	n, err := plan.WriteTo(f)                  // stream to disk
+//	replay, err := sparsehypercube.ReadPlan(f2) // lazy, single-use
+//	report := replay.Verify()                  // byte-faithful replay
+//
+// Produce a million-vertex schedule once, serve and re-verify it many
+// times; a truncated or corrupted file can never verify (checksummed,
+// canonical encoding).
+//
 // The heavy lifting lives in internal packages (construction, labelings,
-// communication model, baselines, experiment harness); this package keeps
-// the downstream surface small and stable.
+// communication model, codec, baselines, experiment harness); this
+// package keeps the downstream surface small and stable. The pre-Plan
+// methods (Broadcast, BroadcastRounds, Verify, VerifyRounds,
+// VerifyBroadcast, Gossip) remain as thin deprecated wrappers over the
+// same engine.
 package sparsehypercube
 
 import (
@@ -118,7 +132,7 @@ type Call struct {
 }
 
 // From returns the calling vertex, or 0 for a call with an empty path
-// (never produced by Broadcast; Verify reports such calls as invalid).
+// (never produced by a plan; Verify reports such calls as invalid).
 func (c Call) From() uint64 {
 	if len(c.Path) == 0 {
 		return 0
@@ -143,48 +157,36 @@ func (c Call) Endpoints() (from, to uint64, ok bool) {
 	return c.Path[0], c.Path[len(c.Path)-1], true
 }
 
-// Schedule is a round-by-round broadcast plan.
+// Schedule is a materialised round-by-round call plan.
 type Schedule struct {
 	Source uint64
 	Rounds [][]Call
 }
 
-// Broadcast generates the paper's minimum-time k-line broadcast scheme
-// from source: exactly n rounds, calls of length at most k.
-func (c *Cube) Broadcast(source uint64) *Schedule {
-	inner := c.inner.BroadcastSchedule(source)
-	out := &Schedule{Source: inner.Source, Rounds: make([][]Call, len(inner.Rounds))}
-	for i, round := range inner.Rounds {
-		calls := make([]Call, len(round))
-		for j, call := range round {
-			calls[j] = Call{Path: call.Path}
+// Stream returns the schedule's rounds as an iterator — the form
+// consumed by RoundScheme and the streaming validator. Yielded rounds
+// alias the schedule's storage. Unlike a plan's live round stream, it is
+// reusable.
+func (s *Schedule) Stream() iter.Seq[[]Call] {
+	return func(yield func([]Call) bool) {
+		for _, r := range s.Rounds {
+			if !yield(r) {
+				return
+			}
 		}
-		out.Rounds[i] = calls
 	}
-	return out
-}
-
-// BroadcastRounds is the streaming variant of Broadcast: it yields the
-// scheme one round at a time, built from the informed-set frontier with
-// call paths constructed in parallel. Peak memory is O(frontier) rather
-// than the full schedule's O(N·n·k) words, which is what makes
-// million-vertex (n >= 20) broadcasts practical.
-//
-// The yielded slice and the paths inside it are reused between
-// iterations; copy anything that must outlive the step.
-func (c *Cube) BroadcastRounds(source uint64) iter.Seq[[]Call] {
-	return convertRounds(c.inner.ScheduleRounds(source),
-		func(call linecomm.Call) Call { return Call{Path: call.Path} })
 }
 
 // convertRounds adapts a round stream between call representations,
-// reusing one output buffer across iterations (paths are aliased).
-func convertRounds[R ~[]T, T, U any](rounds iter.Seq[R], conv func(T) U) iter.Seq[[]U] {
-	return func(yield func([]U) bool) {
-		var buf []U
+// reusing one output buffer across iterations (paths are aliased). It is
+// the single conversion point between the public []Call rounds and the
+// internal linecomm.Round ones.
+func convertRounds[R ~[]T, S ~[]U, T, U any](rounds iter.Seq[R], conv func(T) U) iter.Seq[S] {
+	return func(yield func(S) bool) {
+		var buf S
 		for round := range rounds {
 			if cap(buf) < len(round) {
-				buf = make([]U, len(round))
+				buf = make(S, len(round))
 			}
 			buf = buf[:len(round)]
 			for i, call := range round {
@@ -197,6 +199,37 @@ func convertRounds[R ~[]T, T, U any](rounds iter.Seq[R], conv func(T) U) iter.Se
 	}
 }
 
+// toInnerRounds adapts a public round stream for the internal engine.
+func toInnerRounds(rounds iter.Seq[[]Call]) iter.Seq[linecomm.Round] {
+	return convertRounds[[]Call, linecomm.Round](rounds,
+		func(c Call) linecomm.Call { return linecomm.Call{Path: c.Path} })
+}
+
+// fromInnerRounds adapts an internal round stream for public consumers.
+func fromInnerRounds(rounds iter.Seq[linecomm.Round]) iter.Seq[[]Call] {
+	return convertRounds[linecomm.Round, []Call](rounds,
+		func(c linecomm.Call) Call { return Call{Path: c.Path} })
+}
+
+// toInnerRound converts one materialised round (paths aliased).
+func toInnerRound(round []Call) linecomm.Round {
+	out := make(linecomm.Round, len(round))
+	for i, c := range round {
+		out[i] = linecomm.Call{Path: c.Path}
+	}
+	return out
+}
+
+// toInner converts a public schedule to the internal representation.
+// Paths are aliased, not copied.
+func toInner(s *Schedule) *linecomm.Schedule {
+	inner := &linecomm.Schedule{Source: s.Source, Rounds: make([]linecomm.Round, len(s.Rounds))}
+	for i, round := range s.Rounds {
+		inner.Rounds[i] = toInnerRound(round)
+	}
+	return inner
+}
+
 // Report summarises schedule verification against the k-line model.
 type Report struct {
 	Valid         bool
@@ -205,20 +238,6 @@ type Report struct {
 	Rounds        int
 	MaxCallLength int
 	Violations    []string
-}
-
-// toInner converts a public schedule to the internal representation.
-// Paths are aliased, not copied.
-func toInner(s *Schedule) *linecomm.Schedule {
-	inner := &linecomm.Schedule{Source: s.Source, Rounds: make([]linecomm.Round, len(s.Rounds))}
-	for i, round := range s.Rounds {
-		calls := make(linecomm.Round, len(round))
-		for j, call := range round {
-			calls[j] = linecomm.Call{Path: call.Path}
-		}
-		inner.Rounds[i] = calls
-	}
-	return inner
 }
 
 // reportFrom converts a validation result to the public report.
@@ -236,42 +255,58 @@ func reportFrom(res *linecomm.Result, rounds int) Report {
 	return rep
 }
 
-// Verify checks a schedule against this cube under the k-line model
-// (edge existence, call lengths, per-round edge- and receiver-
-// disjointness, caller knowledge, completion, minimality).
-func (c *Cube) Verify(s *Schedule) Report {
-	res := linecomm.Validate(c.inner, c.K(), toInner(s))
-	return reportFrom(res, len(s.Rounds))
+// Broadcast generates the paper's minimum-time k-line broadcast scheme
+// from source: exactly n rounds, calls of length at most k.
+//
+// Deprecated: use the Plan engine —
+// c.Plan(BroadcastScheme{Source: source}).Materialize().
+func (c *Cube) Broadcast(source uint64) *Schedule {
+	return c.Plan(BroadcastScheme{Source: source}).Materialize()
 }
 
-// VerifyRounds is the streaming variant of Verify: it consumes a round
-// stream (for example BroadcastRounds, or rounds decoded off the wire)
-// and validates each round as it arrives, using flat bit-set
-// disjointness tracking instead of per-round hash maps. Yielded rounds
-// may reuse storage — nothing is retained across iteration steps.
-// Report.Rounds counts the rounds actually validated: 0 when source is
-// rejected up front, in which case the stream is never consumed.
+// BroadcastRounds streams the broadcast scheme one round at a time at
+// O(frontier) memory. The yielded slice and the paths inside it are
+// reused between iterations; copy anything that must outlive the step.
+//
+// Deprecated: use the Plan engine —
+// c.Plan(BroadcastScheme{Source: source}).Rounds().
+func (c *Cube) BroadcastRounds(source uint64) iter.Seq[[]Call] {
+	return c.Plan(BroadcastScheme{Source: source}).Rounds()
+}
+
+// Verify checks a materialised schedule against this cube under the
+// k-line model (edge existence, call lengths, per-round edge- and
+// receiver-disjointness, caller knowledge, completion, minimality).
+//
+// Deprecated: use the Plan engine —
+// c.Plan(RoundScheme("broadcast", s.Source, s.Stream())).Verify().
+func (c *Cube) Verify(s *Schedule) Report {
+	rep := c.Plan(RoundScheme("broadcast", s.Source, s.Stream())).Verify()
+	// The materialised validator historically counted the declared
+	// rounds even when the source was rejected up front.
+	rep.Rounds = len(s.Rounds)
+	return rep
+}
+
+// VerifyRounds validates a round stream (for example a plan's Rounds, or
+// rounds decoded off the wire) as it arrives. Report.Rounds counts the
+// rounds actually validated: 0 when source is rejected up front, in
+// which case the stream is never consumed.
+//
+// Deprecated: use the Plan engine —
+// c.Plan(RoundScheme("rounds", source, rounds)).Verify().
 func (c *Cube) VerifyRounds(source uint64, rounds iter.Seq[[]Call]) Report {
-	seq := convertRounds(rounds,
-		func(call Call) linecomm.Call { return linecomm.Call{Path: call.Path} })
-	res := linecomm.ValidateStream(c.inner, c.K(), source,
-		func(yield func(linecomm.Round) bool) {
-			for r := range seq {
-				if !yield(linecomm.Round(r)) {
-					return
-				}
-			}
-		})
-	return reportFrom(res, len(res.InformedPerRound))
+	return c.Plan(RoundScheme("rounds", source, rounds)).Verify()
 }
 
 // VerifyBroadcast generates and validates the broadcast from source in
 // one streamed pass — the machine-checked form of Theorems 4 and 6 at
-// O(frontier) memory. It is the way to certify million-vertex cubes
-// where materialising the schedule is not an option.
+// O(frontier) memory.
+//
+// Deprecated: use the Plan engine —
+// c.Plan(BroadcastScheme{Source: source}).Verify().
 func (c *Cube) VerifyBroadcast(source uint64) Report {
-	res := linecomm.ValidateStream(c.inner, c.K(), source, c.inner.ScheduleRounds(source))
-	return reportFrom(res, len(res.InformedPerRound))
+	return c.Plan(BroadcastScheme{Source: source}).Verify()
 }
 
 // FormatSchedule renders a schedule with n-bit vertex labels.
