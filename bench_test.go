@@ -450,6 +450,53 @@ func BenchmarkGossipGatherScatter(b *testing.B) {
 	b.ReportMetric(float64(2*s.N()), "rounds")
 }
 
+// EXP-GOSSIP-STREAM: streamed gather-scatter generation at n = 20, k = 2
+// — the regime PR 1 established for broadcast. Rounds are rebuilt from
+// the precomputed frontier; the doubled schedule is never materialised.
+func BenchmarkGossipStreamGenN20(b *testing.B) {
+	s, err := core.NewAuto(2, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		calls := 0
+		for r := range s.ScheduleGossipRounds(0) {
+			calls += len(r)
+		}
+		if calls != 2*(int(s.Order())-1) {
+			b.Fatalf("generated %d calls", calls)
+		}
+	}
+	b.ReportMetric(float64(2*s.N()), "rounds")
+}
+
+// benchmarkGossipStreamPipeline generates and validates the streamed
+// gossip scheme in one pass, tracking 1024 sampled source tokens exactly
+// (the all-source n = 20 simulation is the one-shot acceptance run of
+// benchtab -exp gossip — too slow per benchmark iteration).
+func benchmarkGossipStreamPipeline(b *testing.B, k, n int) {
+	s, err := core.NewAuto(k, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sources := make([]uint64, 1024)
+	for i := range sources {
+		sources[i] = uint64(i) * (s.Order() / 1024)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := linecomm.ValidateMultiSourceStream(s, k, sources, s.ScheduleGossipRounds(0))
+		if !res.Valid() || !res.Complete {
+			b.Fatalf("streamed gossip pipeline failed: %+v", res)
+		}
+	}
+	b.ReportMetric(float64(2*n), "rounds")
+}
+
+func BenchmarkGossipStreamPipelineN20(b *testing.B) { benchmarkGossipStreamPipeline(b, 2, 20) }
+func BenchmarkGossipStreamPipelineN22(b *testing.B) { benchmarkGossipStreamPipeline(b, 2, 22) }
+
 // EXP-DIAM: diameter of a materialised 2^12-vertex construction
 // (footnote 1's quantity).
 func BenchmarkDiameter(b *testing.B) {

@@ -14,6 +14,11 @@
 //	                   # worker-pool scaling curves; -json also writes
 //	                   # the machine-readable trajectory file
 //
+//	benchtab -exp gossip [-gossip-n 22]
+//	                   # the §5 gossip tables plus the streamed n = 18..22
+//	                   # gather-scatter trajectory (timing experiment, so
+//	                   # it is skipped under -exp all, like multicore)
+//
 // Experiment ids match DESIGN.md's per-experiment index.
 package main
 
@@ -37,6 +42,7 @@ func main() {
 	tsv := flag.Bool("tsv", false, "emit TSV instead of markdown")
 	procs := flag.String("procs", "1,4,8", "GOMAXPROCS settings for -exp multicore")
 	mcN := flag.Int("multicore-n", 20, "cube dimension for -exp multicore")
+	gossipN := flag.Int("gossip-n", 22, "largest cube dimension for the -exp gossip streamed trajectory")
 	jsonOut := flag.String("json", "", "also write the multicore trajectory as JSON to this file")
 	flag.Parse()
 
@@ -45,6 +51,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(2)
 	}
+	want := strings.ToLower(*exp)
 
 	experiments := []experiment{
 		{"fig1", func(t bool) { emit(analysis.RunFig1(8), t) }},
@@ -73,7 +80,15 @@ func main() {
 		{"ablation", func(t bool) { emit(analysis.RunAblation(12), t) }},
 		{"congestion", func(t bool) { emit(analysis.RunCongestion(), t) }},
 		{"diameter", func(t bool) { emit(analysis.RunDiameter(), t) }},
-		{"gossip", func(t bool) { emit(analysis.RunGossip(), t) }},
+		{"gossip", func(t bool) {
+			emit(analysis.RunGossip(), t)
+			// The streamed n >= 18 trajectory is a timing experiment
+			// (multi-second all-source simulations): like multicore it
+			// runs only when asked for by name, not under -exp all.
+			if want != "all" {
+				emit(analysis.RunGossipStream(min(18, *gossipN), *gossipN), t)
+			}
+		}},
 		{"tree", func(t bool) { emit(analysis.RunTreecast(), t) }},
 		{"stream", func(t bool) { emit(analysis.RunStream(16), t) }},
 		{"replay", func(t bool) { emit(analysis.RunReplay(16), t) }},
@@ -90,7 +105,6 @@ func main() {
 		{"mbg", func(t bool) { emit(analysis.RunMbg(), t) }},
 	}
 
-	want := strings.ToLower(*exp)
 	found := false
 	for _, e := range experiments {
 		// multicore is a timing experiment (GOMAXPROCS churn, repeated

@@ -206,8 +206,8 @@ func runPlan(w io.Writer, cube *sparsehypercube.Cube, schemeName string, source 
 		scheme = sparsehypercube.BroadcastScheme{Source: source}
 	case "gossip":
 		scheme = sparsehypercube.GossipScheme{Root: source}
-		if cube.Order() > 1<<14 {
-			fmt.Fprintf(os.Stderr, "sparsecube: warning: gossip verification simulates tokens and is capped at 2^14 vertices; this 2^%d-vertex plan will write (and stream) fine but `replay` verification of it will fail\n", cube.N())
+		if cube.Order() > 1<<20 {
+			fmt.Fprintf(os.Stderr, "sparsecube: warning: gossip verification tracks order x order token cells and is capped at 2^20 vertices all-source; this 2^%d-vertex plan will write (and stream) fine but `replay` verification will report the knowledge half as simulation-cap-exceeded\n", cube.N())
 		}
 	default:
 		return fmt.Errorf("unknown scheme %q (want broadcast or gossip)", schemeName)

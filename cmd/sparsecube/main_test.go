@@ -83,3 +83,30 @@ func TestPlanReplayRoundTrip(t *testing.T) {
 		t.Fatal("missing -in accepted")
 	}
 }
+
+// TestGossipPlanReplayRoundTrip drives the gossip half of the
+// write-once/verify-many pair: a streamed 2^15-vertex gather-scatter plan
+// — past the old serial simulation cap — written to disk and replayed
+// through the sharded validator to full completion.
+func TestGossipPlanReplayRoundTrip(t *testing.T) {
+	cube, err := buildCube(2, 15, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gossip.shcp")
+	var out strings.Builder
+	if err := runPlan(&out, cube, "gossip", 5, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "gossip scheme from 5") {
+		t.Errorf("plan output: %q", out.String())
+	}
+	out.Reset()
+	if err := runReplay(&out, path, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "rounds: 30") || !strings.Contains(got, "complete: true") {
+		t.Errorf("gossip replay output: %q", got)
+	}
+}

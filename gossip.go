@@ -8,21 +8,104 @@ import (
 	"sparsehypercube/internal/linecomm"
 )
 
-// GossipScheme is the all-to-all gather-scatter scheme rooted at Root:
-// the broadcast tree of Root run in reverse to concentrate every token
-// at the root in n rounds, then the paper's Broadcast_k to disseminate
-// them in n more. 2n rounds total, calls of length at most k — a factor
-// 2 from the gossip lower bound ceil(log2 N); closing that factor at low
-// degree is the open problem the paper's §5 poses.
+// MultiSourceScheme is gather-scatter dissemination rooted at Root: the
+// broadcast tree of Root run in reverse to funnel every token to the
+// root in n rounds, then the paper's Broadcast_k to disseminate the
+// gathered set in n more. 2n rounds total, calls of length at most k.
+// When Sources is empty every vertex holds a token and the scheme is
+// all-to-all gossip (GossipScheme) — a factor 2 from the gossip lower
+// bound ceil(log2 N); closing that factor at low degree is the open
+// problem the paper's §5 poses. A non-empty Sources restricts the token
+// holders: the call rounds are identical (the gather phase funnels
+// whatever is out there), but verification tracks only the listed
+// tokens, so the knowledge simulation stays exact far beyond the
+// all-source regime.
 //
-// Its Plan verifies under the k-line gossip model (telephone exchanges
-// over paths of at most k edges, per-round edge-disjointness, one call
-// per vertex per round) with full token-propagation simulation, which is
-// limited to cubes of at most 2^14 vertices; beyond the cap Verify
-// reports a violation rather than guessing.
+// Its Plan streams: rounds are rebuilt from the precomputed broadcast
+// frontier (the doubled schedule is never materialised) and Verify runs
+// the telephone-model gossip validator with a token-sharded knowledge
+// simulation — exact up to order x tokens = 2^40 cells (full gossip at
+// n = 20; far larger cubes with sampled sources). Past the cap Verify
+// still performs every structural check and reports a
+// simulation-cap-exceeded violation for the knowledge half.
+type MultiSourceScheme struct {
+	Root uint64
+	// Sources lists the token-holding vertices; nil or empty means every
+	// vertex (all-to-all gossip). Sources must be distinct and in range.
+	Sources []uint64
+}
+
+// Name implements Scheme. Multi-source plans serialise as gossip plans —
+// the round stream is the same gather-scatter schedule, and schedio
+// plan files already serialise arbitrary rounds, so gossip plans are
+// served with no format change. The source set is a verification-side
+// concept and is not stored: a replayed plan verifies under the
+// all-source model, which above the all-source caps reports the
+// knowledge half as simulation-cap-exceeded. To re-verify a replayed
+// plan under the original source set, re-bind it explicitly:
+//
+//	replay, _ := sparsehypercube.ReadPlan(f)
+//	rep := MultiSourceScheme{Root: root, Sources: srcs}.
+//		VerifyPlan(replay.Cube(), replay.Rounds())
+func (s MultiSourceScheme) Name() string { return "gossip" }
+
+// Origin implements Scheme.
+func (s MultiSourceScheme) Origin() uint64 { return s.Root }
+
+// Rounds implements Scheme: the gather and scatter phases are emitted
+// round at a time off the frontier array at O(N) words peak. An
+// out-of-range Root yields no rounds (and Plan.Verify reports it as a
+// violation) rather than panicking.
+func (s MultiSourceScheme) Rounds(cube *Cube) iter.Seq[[]Call] {
+	return fromInnerRounds(s.innerRounds(cube))
+}
+
+func (s MultiSourceScheme) innerRounds(cube *Cube) iter.Seq[linecomm.Round] {
+	if s.Root >= cube.Order() {
+		return func(yield func(linecomm.Round) bool) {}
+	}
+	return cube.inner.ScheduleGossipRounds(s.Root)
+}
+
+// VerifyPlan implements PlanVerifier: correctness is checked by the
+// streamed telephone-model validator (per-round edge-disjointness, one
+// call per vertex per round, length bounds) with sharded token
+// simulation, not the broadcast validator. MinimumTime reports
+// completion in ceil(log2 N) rounds — false for the 2n-round
+// gather-scatter scheme, honestly.
+func (s MultiSourceScheme) VerifyPlan(cube *Cube, rounds iter.Seq[[]Call]) Report {
+	if s.Root >= cube.Order() {
+		// The gossip validator ignores the originator (gossip has none),
+		// so a bad root must be rejected here — without consuming the
+		// stream — or an empty plan would pass the model checks with
+		// Complete == false only.
+		v := linecomm.Violation{Round: -1, Call: -1, Kind: linecomm.VertexOutOfRange,
+			Msg: fmt.Sprintf("root %d outside [0,%d)", s.Root, cube.Order())}
+		return Report{Violations: []string{v.String()}}
+	}
+	res := linecomm.ValidateMultiSourceStream(cube.inner, cube.K(), s.Sources, toInnerRounds(rounds))
+	rep := Report{
+		Valid:         res.Valid(),
+		Complete:      res.Complete,
+		MinimumTime:   res.MinimumTime,
+		Rounds:        res.Rounds,
+		MaxCallLength: res.MaxCallLength,
+	}
+	for _, v := range res.Violations {
+		rep.Violations = append(rep.Violations, v.String())
+	}
+	return rep
+}
+
+// GossipScheme is the all-to-all special case of MultiSourceScheme:
+// every vertex holds a token. See MultiSourceScheme for the scheme and
+// its verification model.
 type GossipScheme struct {
 	Root uint64
 }
+
+// multi returns the scheme's MultiSourceScheme form (all sources).
+func (s GossipScheme) multi() MultiSourceScheme { return MultiSourceScheme{Root: s.Root} }
 
 // Name implements Scheme.
 func (s GossipScheme) Name() string { return "gossip" }
@@ -30,58 +113,16 @@ func (s GossipScheme) Name() string { return "gossip" }
 // Origin implements Scheme.
 func (s GossipScheme) Origin() uint64 { return s.Root }
 
-// Rounds implements Scheme. The gather phase replays the broadcast tree
-// backwards, so one broadcast schedule is materialised internally
-// before streaming — but never the doubled gossip schedule, so a gossip
-// plan peaks at half the memory of Materialize. An out-of-range Root
-// yields no rounds (and Plan.Verify reports it as a violation) rather
-// than panicking.
-func (s GossipScheme) Rounds(cube *Cube) iter.Seq[[]Call] {
-	return fromInnerRounds(s.innerRounds(cube))
-}
+// Rounds implements Scheme; see MultiSourceScheme.Rounds.
+func (s GossipScheme) Rounds(cube *Cube) iter.Seq[[]Call] { return s.multi().Rounds(cube) }
 
 func (s GossipScheme) innerRounds(cube *Cube) iter.Seq[linecomm.Round] {
-	if s.Root >= cube.Order() {
-		return func(yield func(linecomm.Round) bool) {}
-	}
-	return gossip.StreamGatherScatter(cube.inner, s.Root)
+	return s.multi().innerRounds(cube)
 }
 
-// VerifyPlan implements PlanVerifier: gossip correctness is checked by
-// the telephone-model validator and token simulation, not the broadcast
-// validator. MinimumTime reports completion in ceil(log2 N) rounds —
-// false for the 2n-round gather-scatter scheme, honestly.
+// VerifyPlan implements PlanVerifier; see MultiSourceScheme.VerifyPlan.
 func (s GossipScheme) VerifyPlan(cube *Cube, rounds iter.Seq[[]Call]) Report {
-	if s.Root >= cube.Order() {
-		// gossip.Validate ignores the originator (gossip has none), so
-		// a bad root must be rejected here or an empty plan would pass
-		// the model checks with Complete == false only.
-		v := linecomm.Violation{Round: -1, Call: -1, Kind: linecomm.VertexOutOfRange,
-			Msg: fmt.Sprintf("root %d outside [0,%d)", s.Root, cube.Order())}
-		return Report{Violations: []string{v.String()}}
-	}
-	inner := &linecomm.Schedule{Source: s.Root}
-	if cube.Order() <= gossip.MaxSimulateOrder {
-		for round := range rounds {
-			inner.Rounds = append(inner.Rounds, linecomm.CloneRound(toInnerRound(round)))
-		}
-	}
-	// Beyond the simulation cap the stream is never consumed:
-	// gossip.Validate reports the cap violation up front, and
-	// materialising millions of calls first would only waste the memory
-	// the Plan engine exists to save.
-	res := gossip.Validate(cube.inner, cube.K(), inner)
-	rep := Report{
-		Valid:         res.Valid(),
-		Complete:      res.Complete,
-		MinimumTime:   res.MinimumTime,
-		Rounds:        res.Rounds,
-		MaxCallLength: inner.MaxCallLength(),
-	}
-	for _, v := range res.Violations {
-		rep.Violations = append(rep.Violations, v.String())
-	}
-	return rep
+	return s.multi().VerifyPlan(cube, rounds)
 }
 
 // Gossip generates the gather-scatter all-to-all schedule rooted at
@@ -102,10 +143,12 @@ type GossipReport struct {
 	Violations []string
 }
 
-// VerifyGossip checks a schedule under the k-line gossip model and
-// simulates token propagation; see GossipScheme for the model. Only
-// cubes with at most 2^14 vertices can be fully simulated. For the
-// unified Report form, use c.Plan(GossipScheme{...}).Verify().
+// VerifyGossip checks a materialised schedule under the k-line gossip
+// model with the serial validator, which simulates tokens only up to
+// 2^14 vertices; see MultiSourceScheme for the model. For larger cubes
+// (and the unified Report form) use the streamed plan engine,
+// c.Plan(GossipScheme{...}).Verify(), which shards the simulation up to
+// 2^20 vertices all-source and further with restricted source sets.
 func (c *Cube) VerifyGossip(s *Schedule) (GossipReport, error) {
 	if c.Order() > gossip.MaxSimulateOrder {
 		return GossipReport{}, fmt.Errorf(

@@ -1,6 +1,9 @@
 package sparsehypercube
 
 import (
+	"bytes"
+	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -51,5 +54,63 @@ func TestGossipSimulationCap(t *testing.T) {
 	}
 	if _, err := cube.VerifyGossip(&Schedule{}); err == nil {
 		t.Fatal("expected simulation-cap error for 2^15 vertices")
+	}
+}
+
+// TestMultiSourceSchemeFacade: the generalised scheme shares the gossip
+// round stream, verifies only its listed tokens, and serialises as a
+// gossip plan (no format change — replay re-binds to the all-source
+// model).
+func TestMultiSourceSchemeFacade(t *testing.T) {
+	cube, err := New(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := MultiSourceScheme{Root: 7, Sources: []uint64{1, 64, 1023}}
+	plan := cube.Plan(scheme)
+	rep := plan.Verify()
+	if !rep.Valid || !rep.Complete || rep.Rounds != 2*cube.N() {
+		t.Fatalf("multi-source plan failed: %+v", rep)
+	}
+	if rep.MinimumTime {
+		t.Fatal("2n-round gather-scatter cannot be minimum time")
+	}
+
+	// The round stream is the gossip schedule, source set or not.
+	if !reflect.DeepEqual(cube.Plan(GossipScheme{Root: 7}).Materialize(), plan.Materialize()) {
+		t.Fatal("multi-source rounds diverge from the gossip scheme")
+	}
+
+	// Serialise and replay: the file is a plain gossip plan and verifies
+	// under the all-source model on the reconstructed cube.
+	var buf bytes.Buffer
+	if _, err := plan.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReadPlan(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := replay.Scheme().(GossipScheme); !ok {
+		t.Fatalf("replayed scheme %T, want GossipScheme", replay.Scheme())
+	}
+	if rrep := replay.Verify(); !rrep.Valid || !rrep.Complete {
+		t.Fatalf("replayed multi-source plan failed all-source verification: %+v", rrep)
+	}
+
+	// Bad source sets surface as violations, never panics.
+	rep = cube.Plan(MultiSourceScheme{Root: 0, Sources: []uint64{5, 5}}).Verify()
+	if rep.Valid || len(rep.Violations) == 0 {
+		t.Fatalf("duplicate source accepted: %+v", rep)
+	}
+	rep = cube.Plan(MultiSourceScheme{Root: 0, Sources: []uint64{cube.Order()}}).Verify()
+	if rep.Valid || !strings.Contains(rep.Violations[0], "vertex-out-of-range") {
+		t.Fatalf("out-of-range source accepted: %+v", rep)
+	}
+
+	// An out-of-range root reports without consuming anything.
+	rep = cube.Plan(MultiSourceScheme{Root: cube.Order(), Sources: []uint64{1}}).Verify()
+	if rep.Valid || !strings.Contains(rep.Violations[0], "vertex-out-of-range") {
+		t.Fatalf("bad multi-source root report: %+v", rep)
 	}
 }

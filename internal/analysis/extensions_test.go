@@ -66,3 +66,18 @@ func TestRunPermZoo(t *testing.T) {
 		}
 	}
 }
+
+func TestRunGossipStreamSmall(t *testing.T) {
+	tb := RunGossipStream(8, 11)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("gossip stream rows = %d:\n%s", len(tb.Rows), tb.Markdown())
+	}
+	if !tb.AllOK("valid") || !tb.AllOK("complete") {
+		t.Fatalf("streamed gossip pipeline failed:\n%s", tb.Markdown())
+	}
+	for _, row := range tb.Rows {
+		if row[3] != "all" {
+			t.Errorf("small orders must simulate all sources: %v", row)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"sparsehypercube/internal/linecomm"
+)
+
+// TestGossipFrontierPrefixes pins the frontier array's defining property:
+// the prefix of length 2^r is the informed set after r broadcast rounds,
+// in the engine's canonical order (frontier[2^r+i] is the receiver of
+// frontier[i]'s round-r call), and the whole array is a permutation of
+// the vertex set.
+func TestGossipFrontierPrefixes(t *testing.T) {
+	for _, p := range []Params{BaseParams(6, 2), BaseParams(9, 3), RecParams(10, 5, 2)} {
+		s, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, root := range []uint64{0, s.Order() - 1, s.Order() / 3} {
+			frontier := s.GossipFrontier(root)
+			if uint64(len(frontier)) != s.Order() {
+				t.Fatalf("%v: frontier has %d entries, want %d", p, len(frontier), s.Order())
+			}
+			bc := s.BroadcastSchedule(root)
+			informed := []uint64{root}
+			for _, round := range bc.Rounds {
+				for _, call := range round {
+					informed = append(informed, call.To())
+				}
+			}
+			if !reflect.DeepEqual(frontier, informed) {
+				t.Fatalf("%v root=%d: frontier diverges from broadcast informed order", p, root)
+			}
+			seen := make(map[uint64]bool, len(frontier))
+			for _, v := range frontier {
+				if seen[v] || v >= s.Order() {
+					t.Fatalf("%v root=%d: frontier not a permutation (vertex %d)", p, root, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+// TestScheduleGossipRoundsMatchesBroadcast pins the streamed gossip
+// rounds, value for value, against the materialised broadcast schedule:
+// gather round g must equal broadcast round n-1-g with every path
+// reversed, scatter round g must equal broadcast round g verbatim.
+func TestScheduleGossipRoundsMatchesBroadcast(t *testing.T) {
+	for _, p := range []Params{BaseParams(6, 2), BaseParams(9, 3), RecParams(10, 5, 2), HypercubeParams(7)} {
+		s, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := s.Order() / 5
+		bc := s.BroadcastSchedule(root)
+		var got []linecomm.Round
+		for r := range s.ScheduleGossipRounds(root) {
+			got = append(got, linecomm.CloneRound(r))
+		}
+		if len(got) != 2*s.n {
+			t.Fatalf("%v: streamed %d rounds, want %d", p, len(got), 2*s.n)
+		}
+		for g := 0; g < s.n; g++ {
+			want := reverseRound(bc.Rounds[s.n-1-g])
+			if !reflect.DeepEqual(got[g], want) {
+				t.Fatalf("%v: gather round %d diverged:\n%v\n%v", p, g, got[g], want)
+			}
+		}
+		for g := 0; g < s.n; g++ {
+			if !reflect.DeepEqual(got[s.n+g], bc.Rounds[g]) {
+				t.Fatalf("%v: scatter round %d diverged:\n%v\n%v", p, g, got[s.n+g], bc.Rounds[g])
+			}
+		}
+	}
+}
+
+func reverseRound(r linecomm.Round) linecomm.Round {
+	out := make(linecomm.Round, len(r))
+	for i, c := range r {
+		rev := make([]uint64, len(c.Path))
+		for j, v := range c.Path {
+			rev[len(c.Path)-1-j] = v
+		}
+		out[i] = linecomm.Call{Path: rev}
+	}
+	return out
+}
+
+// TestScheduleGossipRoundsEarlyStop: stopping the iterator mid-phase must
+// not leak goroutines or panic — the contract every consumer (WriteTo,
+// the validator with a dead sink) relies on.
+func TestScheduleGossipRoundsEarlyStop(t *testing.T) {
+	s, err := NewBase(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stop := range []int{0, 3, 8, 11} {
+		n := 0
+		for range s.ScheduleGossipRounds(1) {
+			if n == stop {
+				break
+			}
+			n++
+		}
+	}
+}
+
+// TestScheduleGossipRoundsBadRoot: an out-of-range root panics like every
+// other core generator (the facade converts this to a violation).
+func TestScheduleGossipRoundsBadRoot(t *testing.T) {
+	s, err := NewBase(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range root")
+		}
+	}()
+	s.ScheduleGossipRounds(s.Order())
+}

@@ -12,6 +12,37 @@ import (
 // worker goroutine; smaller frontiers are built serially.
 const streamChunk = 2048
 
+// forChunks fans body out over [0, f) in contiguous ascending chunks
+// across a GOMAXPROCS-bounded worker pool, running serially when f is
+// below streamChunk. Every parallel stage of the schedule engines
+// (broadcast rounds, the gossip frontier, gossip rounds) shares this
+// fan-out, so worker sizing is tuned in one place.
+func forChunks(f int, body func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if w := (f + streamChunk - 1) / streamChunk; w < workers {
+		workers = w
+	}
+	if workers <= 1 {
+		body(0, f)
+		return
+	}
+	chunk := (f + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, f)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // AppendCallPath appends CallPath(u, d) onto dst and returns the extended
 // slice. It is the allocation-free form of CallPath used by the streaming
 // schedule generator, which carves paths out of a per-round arena.
@@ -75,30 +106,9 @@ func (s *SparseHypercube) ScheduleRounds(source uint64) iter.Seq[linecomm.Round]
 // buildRound fills round[i] with callers[i]'s call across dimension d and
 // records its receiver, fanning the frontier out over a worker pool.
 func (s *SparseHypercube) buildRound(d int, callers, receivers []uint64, round linecomm.Round, arena []uint64, maxPath int) {
-	f := len(callers)
-	workers := runtime.GOMAXPROCS(0)
-	if w := (f + streamChunk - 1) / streamChunk; w < workers {
-		workers = w
-	}
-	if workers <= 1 {
-		s.buildRoundChunk(d, callers, receivers, round, arena, maxPath, 0, f)
-		return
-	}
-	chunk := (f + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, f)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			s.buildRoundChunk(d, callers, receivers, round, arena, maxPath, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	forChunks(len(callers), func(lo, hi int) {
+		s.buildRoundChunk(d, callers, receivers, round, arena, maxPath, lo, hi)
+	})
 }
 
 // buildRoundChunk is the worker body for callers [lo, hi). Each call's

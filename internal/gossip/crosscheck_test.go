@@ -1,0 +1,249 @@
+package gossip
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sparsehypercube/internal/core"
+	"sparsehypercube/internal/linecomm"
+)
+
+// Stream-vs-serial crosschecks for the gossip validator, mirroring PR 1's
+// broadcast crosschecks: for k in {1, 2, 3}, ValidateStream must produce
+// byte-identical Results to the serial Validate on intact, mutated and
+// randomly corrupted gather-scatter schedules, on both structural engines
+// (the bitvec fast path the sparse hypercube's DimensionedNetwork
+// contract enables, and the map fallback).
+
+// plainNet strips the DimensionedNetwork upgrade so the same instance
+// routes to the map engine.
+type plainNet struct{ net linecomm.Network }
+
+func (p plainNet) Order() uint64            { return p.net.Order() }
+func (p plainNet) HasEdge(u, v uint64) bool { return p.net.HasEdge(u, v) }
+
+// crosscheckCases returns the (k, cube) instances the crosschecks run on.
+func crosscheckCases(t *testing.T) []*core.SparseHypercube {
+	t.Helper()
+	var out []*core.SparseHypercube
+	for _, p := range []core.Params{
+		core.HypercubeParams(6), // k = 1
+		core.BaseParams(8, 3),   // k = 2
+		core.RecParams(9, 5, 2), // k = 3
+	} {
+		s, err := core.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// mustMatchSerialGossip asserts the streamed validator reproduces the
+// serial Result exactly — violations, order, messages, flags, counts —
+// on both structural engines.
+func mustMatchSerialGossip(t *testing.T, s *core.SparseHypercube, k int, sched *linecomm.Schedule) {
+	t.Helper()
+	want := Validate(s, k, sched)
+	for name, net := range map[string]linecomm.Network{"bitvec": s, "map": plainNet{s}} {
+		got := linecomm.ValidateGossipStream(net, k, sched.Stream())
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s engine diverges from serial:\nserial: %+v\nstream: %+v", name, want, got)
+		}
+	}
+}
+
+func TestGossipStreamMatchesSerialOnIntactSchedules(t *testing.T) {
+	for _, s := range crosscheckCases(t) {
+		for _, root := range []uint64{0, s.Order() - 1, s.Order() / 3} {
+			sched := GatherScatter(s, root)
+			res := Validate(s, s.K(), sched)
+			if err := res.Err(); err != nil {
+				t.Fatalf("k=%d root=%d: base schedule invalid: %v", s.K(), root, err)
+			}
+			if !res.Complete || !res.Simulated || res.Rounds != 2*s.N() {
+				t.Fatalf("k=%d root=%d: base schedule incomplete: %+v", s.K(), root, res)
+			}
+			mustMatchSerialGossip(t, s, s.K(), sched)
+		}
+	}
+}
+
+// gossipMutation is one structural corruption of a gather-scatter
+// schedule; mut returns false when inapplicable.
+type gossipMutation struct {
+	name string
+	mut  func(rng *rand.Rand, s *core.SparseHypercube, sched *linecomm.Schedule) bool
+}
+
+func gossipMutations() []gossipMutation {
+	pick := func(rng *rand.Rand, sched *linecomm.Schedule) (int, int) {
+		ri := rng.Intn(len(sched.Rounds))
+		return ri, rng.Intn(len(sched.Rounds[ri]))
+	}
+	return []gossipMutation{
+		{"busy-endpoint", func(rng *rand.Rand, s *core.SparseHypercube, sched *linecomm.Schedule) bool {
+			// Duplicate a call inside its round: both endpoints busy twice
+			// and every path edge reused.
+			ri, ci := pick(rng, sched)
+			c := sched.Rounds[ri][ci]
+			sched.Rounds[ri] = append(sched.Rounds[ri],
+				linecomm.Call{Path: append([]uint64(nil), c.Path...)})
+			return true
+		}},
+		{"non-edge-hop", func(rng *rand.Rand, s *core.SparseHypercube, sched *linecomm.Schedule) bool {
+			// Retarget a receiver at Hamming distance 2: no such edge.
+			ri, ci := pick(rng, sched)
+			p := sched.Rounds[ri][ci].Path
+			p[len(p)-1] = p[0] ^ 3
+			return true
+		}},
+		{"repeated-vertex", func(rng *rand.Rand, s *core.SparseHypercube, sched *linecomm.Schedule) bool {
+			ri, ci := pick(rng, sched)
+			c := &sched.Rounds[ri][ci]
+			c.Path = append(c.Path, c.Path[len(c.Path)-2], c.Path[len(c.Path)-1])
+			return true
+		}},
+		{"overlong-call", func(rng *rand.Rand, s *core.SparseHypercube, sched *linecomm.Schedule) bool {
+			// Extend past k by walking base-dimension edges (dimension 1
+			// always exists), keeping the path structurally sound.
+			ri, ci := pick(rng, sched)
+			c := &sched.Rounds[ri][ci]
+			for hop := 0; hop <= s.K(); hop++ {
+				last := c.Path[len(c.Path)-1]
+				next := last ^ uint64(1)<<uint(hop%2) // alternate dims 1 and 2
+				c.Path = append(c.Path, next)
+			}
+			return true
+		}},
+		{"out-of-range-vertex", func(rng *rand.Rand, s *core.SparseHypercube, sched *linecomm.Schedule) bool {
+			ri, ci := pick(rng, sched)
+			p := sched.Rounds[ri][ci].Path
+			p[rng.Intn(len(p))] = s.Order() + uint64(rng.Intn(4))
+			return true
+		}},
+		{"empty-path", func(rng *rand.Rand, s *core.SparseHypercube, sched *linecomm.Schedule) bool {
+			ri, ci := pick(rng, sched)
+			sched.Rounds[ri][ci].Path = sched.Rounds[ri][ci].Path[:1]
+			return true
+		}},
+		{"dropped-call", func(rng *rand.Rand, s *core.SparseHypercube, sched *linecomm.Schedule) bool {
+			// Drop a first-gather-round call: the caller is a leaf of the
+			// broadcast tree whose only other appearance is the final
+			// scatter round, so its token provably strands (incomplete,
+			// but structurally valid). Later-round calls can be redundant
+			// — telephone exchanges move tokens both ways.
+			r := sched.Rounds[0]
+			ci := rng.Intn(len(r))
+			sched.Rounds[0] = append(r[:ci], r[ci+1:]...)
+			return true
+		}},
+		{"truncated-schedule", func(rng *rand.Rand, s *core.SparseHypercube, sched *linecomm.Schedule) bool {
+			sched.Rounds = sched.Rounds[:len(sched.Rounds)-1-rng.Intn(2)]
+			return true
+		}},
+	}
+}
+
+func cloneSchedule(s *linecomm.Schedule) *linecomm.Schedule {
+	out := &linecomm.Schedule{Source: s.Source, Rounds: make([]linecomm.Round, len(s.Rounds))}
+	for i, r := range s.Rounds {
+		out.Rounds[i] = linecomm.CloneRound(r)
+	}
+	return out
+}
+
+func TestGossipStreamMatchesSerialOnMutations(t *testing.T) {
+	for _, s := range crosscheckCases(t) {
+		base := GatherScatter(s, 0)
+		for _, m := range gossipMutations() {
+			rng := rand.New(rand.NewSource(42))
+			applied := false
+			for trial := 0; trial < 10; trial++ {
+				sched := cloneSchedule(base)
+				if !m.mut(rng, s, sched) {
+					continue
+				}
+				applied = true
+				res := Validate(s, s.K(), sched)
+				if res.Valid() && res.Complete {
+					t.Fatalf("k=%d: mutation %q went undetected", s.K(), m.name)
+				}
+				mustMatchSerialGossip(t, s, s.K(), sched)
+			}
+			if !applied {
+				t.Fatalf("mutation %q never applicable", m.name)
+			}
+		}
+	}
+}
+
+// TestGossipStreamMatchesSerialRandomCorruption goes beyond the curated
+// catalogue: random low-level path edits, call duplications and
+// truncations, all crosschecked for exact Result equality.
+func TestGossipStreamMatchesSerialRandomCorruption(t *testing.T) {
+	s, err := core.NewBase(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := GatherScatter(s, 0)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		sched := cloneSchedule(base)
+		edits := rng.Intn(4) + 1
+		for e := 0; e < edits; e++ {
+			ri := rng.Intn(len(sched.Rounds))
+			if len(sched.Rounds[ri]) == 0 {
+				continue
+			}
+			ci := rng.Intn(len(sched.Rounds[ri]))
+			c := &sched.Rounds[ri][ci]
+			switch rng.Intn(5) {
+			case 0: // corrupt one path vertex (possibly out of range)
+				if len(c.Path) > 0 {
+					c.Path[rng.Intn(len(c.Path))] = uint64(rng.Intn(int(s.Order()) + 4))
+				}
+			case 1: // extend the path
+				c.Path = append(c.Path, uint64(rng.Intn(int(s.Order()))))
+			case 2: // truncate the path
+				c.Path = c.Path[:rng.Intn(len(c.Path)+1)]
+			case 3: // duplicate an existing call into this round
+				sched.Rounds[ri] = append(sched.Rounds[ri],
+					linecomm.Call{Path: append([]uint64(nil), c.Path...)})
+			case 4: // swap two calls (stresses first-claim index recovery)
+				cj := rng.Intn(len(sched.Rounds[ri]))
+				sched.Rounds[ri][ci], sched.Rounds[ri][cj] = sched.Rounds[ri][cj], sched.Rounds[ri][ci]
+			}
+		}
+		mustMatchSerialGossip(t, s, s.K(), sched)
+	}
+}
+
+// TestGossipStreamMatchesSerialOnForeignSchedules feeds the gossip
+// validators schedules they were not built for — the dimension-exchange
+// gossip (valid, minimum-time) and a broadcast schedule (valid gossip
+// moves, incomplete) — and crosschecks equality there too.
+func TestGossipStreamMatchesSerialOnForeignSchedules(t *testing.T) {
+	s, err := core.New(core.HypercubeParams(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exchange, err := HypercubeExchange(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Validate(s, 1, exchange)
+	if !res.Complete || !res.MinimumTime {
+		t.Fatalf("dimension exchange misjudged: %+v", res)
+	}
+	mustMatchSerialGossip(t, s, 1, exchange)
+
+	bc := s.BroadcastSchedule(0)
+	res = Validate(s, 1, bc)
+	if res.Complete {
+		t.Fatal("a one-way broadcast cannot complete gossip")
+	}
+	mustMatchSerialGossip(t, s, 1, bc)
+}

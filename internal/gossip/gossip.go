@@ -20,156 +20,40 @@ import (
 	"fmt"
 	"iter"
 
-	"sparsehypercube/internal/bitvec"
 	"sparsehypercube/internal/core"
-	"sparsehypercube/internal/intmath"
 	"sparsehypercube/internal/linecomm"
 )
 
-// MaxSimulateOrder caps full token-set simulation (bitset per vertex).
-const MaxSimulateOrder = 1 << 14
+// MaxSimulateOrder caps the serial validator's full token-set simulation
+// (bitset per vertex). linecomm.ValidateGossipStream shards the token
+// matrix and reaches far larger instances (see
+// linecomm.MaxGossipSimulateCells).
+const MaxSimulateOrder = linecomm.MaxGossipSimulateOrder
 
-// Result reports gossip validation.
-type Result struct {
-	Violations []linecomm.Violation
-	// Complete: every vertex knows every token at the end.
-	Complete bool
-	// MinKnown is the smallest token count over vertices at the end.
-	MinKnown int
-	// Rounds is the schedule length.
-	Rounds int
-	// MinimumTime: complete in exactly ceil(log2 N) rounds.
-	MinimumTime bool
-}
-
-// Valid reports whether no violations were found.
-func (r *Result) Valid() bool { return len(r.Violations) == 0 }
-
-// Err mirrors linecomm.Result.Err.
-func (r *Result) Err() error {
-	if r.Valid() {
-		return nil
-	}
-	return fmt.Errorf("gossip: %d violations, first: %s", len(r.Violations), r.Violations[0])
-}
+// Result reports gossip validation. It is the shared
+// linecomm.GossipResult, so serial and streamed validations compare
+// field for field.
+type Result = linecomm.GossipResult
 
 // MinimumRounds returns the gossip lower bound ceil(log2 N): each round
 // at most doubles the spread of any single token.
-func MinimumRounds(order uint64) int { return intmath.CeilLog2(order) }
+func MinimumRounds(order uint64) int { return linecomm.GossipMinimumRounds(order) }
 
 // Validate checks a schedule under the k-line gossip model on net and
-// simulates token propagation. Schedule.Source is ignored (gossip has no
-// distinguished originator).
+// simulates token propagation with a full per-vertex token matrix.
+// Schedule.Source is ignored (gossip has no distinguished originator).
+// It is the serial reference implementation; ValidateStream and the
+// sharded linecomm.ValidateGossipStream are crosschecked against it.
 func Validate(net linecomm.Network, k int, s *linecomm.Schedule) *Result {
-	res := &Result{Rounds: len(s.Rounds)}
-	order := net.Order()
-	if order > MaxSimulateOrder {
-		res.Violations = append(res.Violations, linecomm.Violation{
-			Round: -1, Call: -1, Kind: linecomm.VertexOutOfRange,
-			Msg: fmt.Sprintf("order %d exceeds simulation cap %d", order, MaxSimulateOrder),
-		})
-		return res
-	}
-	n := int(order)
-	know := make([]*bitvec.Set, n)
-	for v := 0; v < n; v++ {
-		know[v] = bitvec.New(n)
-		know[v].Set(v)
-	}
-	for ri, round := range s.Rounds {
-		usedEdge := make(map[[2]uint64]bool)
-		busy := make(map[uint64]int)
-		type xchg struct{ a, b uint64 }
-		var merges []xchg
-		for ci, call := range round {
-			bad := false
-			if len(call.Path) < 2 {
-				res.Violations = append(res.Violations, linecomm.Violation{
-					Round: ri, Call: ci, Kind: linecomm.PathInvalid,
-					Msg: fmt.Sprintf("path has %d vertices", len(call.Path))})
-				continue
-			}
-			for _, v := range call.Path {
-				if v >= order {
-					res.Violations = append(res.Violations, linecomm.Violation{
-						Round: ri, Call: ci, Kind: linecomm.VertexOutOfRange,
-						Msg: fmt.Sprintf("vertex %d outside [0,%d)", v, order)})
-					bad = true
-				}
-			}
-			if bad {
-				continue
-			}
-			seen := make(map[uint64]bool)
-			for _, v := range call.Path {
-				if seen[v] {
-					res.Violations = append(res.Violations, linecomm.Violation{
-						Round: ri, Call: ci, Kind: linecomm.PathInvalid,
-						Msg: fmt.Sprintf("vertex %d repeated", v)})
-					bad = true
-				}
-				seen[v] = true
-			}
-			for i := 1; i < len(call.Path); i++ {
-				if !net.HasEdge(call.Path[i-1], call.Path[i]) {
-					res.Violations = append(res.Violations, linecomm.Violation{
-						Round: ri, Call: ci, Kind: linecomm.PathInvalid,
-						Msg: fmt.Sprintf("no edge {%d,%d}", call.Path[i-1], call.Path[i])})
-					bad = true
-				}
-			}
-			if call.Length() > k {
-				res.Violations = append(res.Violations, linecomm.Violation{
-					Round: ri, Call: ci, Kind: linecomm.PathTooLong,
-					Msg: fmt.Sprintf("length %d > k = %d", call.Length(), k)})
-			}
-			if bad {
-				continue
-			}
-			for _, endpoint := range []uint64{call.From(), call.To()} {
-				if prev, dup := busy[endpoint]; dup {
-					res.Violations = append(res.Violations, linecomm.Violation{
-						Round: ri, Call: ci, Kind: linecomm.CallerDuplicate,
-						Msg: fmt.Sprintf("vertex %d already in call %d this round", endpoint, prev)})
-				} else {
-					busy[endpoint] = ci
-				}
-			}
-			for i := 1; i < len(call.Path); i++ {
-				a, b := call.Path[i-1], call.Path[i]
-				if a > b {
-					a, b = b, a
-				}
-				e := [2]uint64{a, b}
-				if usedEdge[e] {
-					res.Violations = append(res.Violations, linecomm.Violation{
-						Round: ri, Call: ci, Kind: linecomm.EdgeConflict,
-						Msg: fmt.Sprintf("edge {%d,%d} reused", a, b)})
-				}
-				usedEdge[e] = true
-			}
-			merges = append(merges, xchg{call.From(), call.To()})
-		}
-		// Apply all exchanges simultaneously (synchronous round).
-		for _, m := range merges {
-			u := know[m.a].Clone()
-			know[m.a].UnionWith(know[m.b])
-			know[m.b].UnionWith(u)
-		}
-	}
-	res.MinKnown = n
-	res.Complete = true
-	for v := 0; v < n; v++ {
-		c := know[v].Count()
-		if c < res.MinKnown {
-			res.MinKnown = c
-		}
-		if c != n {
-			res.Complete = false
-		}
-	}
-	res.MinimumTime = res.Complete && len(s.Rounds) == MinimumRounds(order)
-	return res
+	return linecomm.ValidateGossip(net, k, s)
+}
+
+// ValidateStream is the streamed form of Validate: it consumes rounds as
+// a producer emits them (the doubled gather-scatter schedule is never
+// materialised) and shards the token simulation, producing a Result
+// identical to Validate whenever both run.
+func ValidateStream(net linecomm.Network, k int, rounds iter.Seq[linecomm.Round]) *Result {
+	return linecomm.ValidateGossipStream(net, k, rounds)
 }
 
 // HypercubeExchange returns the classic dimension-exchange gossip on Q_n:
@@ -207,25 +91,14 @@ func GatherScatter(s *core.SparseHypercube, root uint64) *linecomm.Schedule {
 }
 
 // StreamGatherScatter yields the same 2n gather-scatter rounds as
-// GatherScatter without ever materialising the doubled schedule: the
-// broadcast schedule is built once, then streamed backward (the gather
-// phase reuses one round buffer) and forward (the scatter phase aliases
-// it directly). Peak memory is one broadcast schedule, half of
-// GatherScatter's. Yielded rounds may reuse storage between iterations.
+// GatherScatter without ever materialising any schedule: it is
+// core.ScheduleGossipRounds, which rebuilds every round off the
+// precomputed broadcast frontier (O(N) words peak — the frontier plus
+// one round's arena — instead of the full broadcast schedule this
+// function used to hold). Yielded rounds reuse storage between
+// iterations; use linecomm.CloneRound to retain one.
 func StreamGatherScatter(s *core.SparseHypercube, root uint64) iter.Seq[linecomm.Round] {
-	return func(yield func(linecomm.Round) bool) {
-		bc := s.BroadcastSchedule(root)
-		for r := range bc.StreamBackward() {
-			if !yield(r) {
-				return
-			}
-		}
-		for r := range bc.Stream() {
-			if !yield(r) {
-				return
-			}
-		}
-	}
+	return s.ScheduleGossipRounds(root)
 }
 
 // FromBroadcast lifts ANY valid broadcast schedule into a gossip schedule

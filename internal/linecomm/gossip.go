@@ -1,0 +1,213 @@
+package linecomm
+
+import (
+	"fmt"
+
+	"sparsehypercube/internal/bitvec"
+	"sparsehypercube/internal/intmath"
+)
+
+// This file models k-line gossiping — the all-to-all analogue of the
+// paper's broadcast problem (§5). Every vertex starts with its own token;
+// a call between two vertices exchanges all tokens both ways (the
+// telephone convention); calls placed in the same round must be
+// edge-disjoint, of length at most k, and each vertex may be an endpoint
+// of at most one call per round (pass-through switching remains free, as
+// in the line model).
+//
+// ValidateGossip is the serial reference validator: it materialises a
+// full token-set matrix (one bit row per vertex) and applies exchanges
+// round by round. ValidateGossipStream (gossipstream.go) is the streamed,
+// sharded form crosschecked against it; internal/gossip re-exports both
+// next to the gossip schemes.
+
+// MaxGossipSimulateOrder caps the serial validator's full token-set
+// simulation (an order x order bit matrix). The streamed validator shards
+// the matrix and reaches larger instances; see MaxGossipSimulateCells.
+const MaxGossipSimulateOrder = 1 << 14
+
+// GossipResult reports gossip validation. internal/gossip aliases it as
+// gossip.Result.
+type GossipResult struct {
+	Violations []Violation
+	// Complete: every vertex knows every token at the end.
+	Complete bool
+	// MinKnown is the smallest token count over vertices at the end.
+	MinKnown int
+	// Rounds is the schedule length.
+	Rounds int
+	// MinimumTime: complete in exactly ceil(log2 N) rounds.
+	MinimumTime bool
+	// MaxCallLength is the longest call seen among those with in-range,
+	// non-degenerate paths (calls with other structural defects, such as
+	// a missing edge, still count — their length is well defined).
+	MaxCallLength int
+	// Simulated reports whether token propagation was actually simulated;
+	// false when the instance exceeded the simulation cap (in which case a
+	// SimulationCapExceeded violation is present and Complete/MinKnown are
+	// meaningless zeros).
+	Simulated bool
+}
+
+// Valid reports whether no violations were found.
+func (r *GossipResult) Valid() bool { return len(r.Violations) == 0 }
+
+// Err mirrors Result.Err.
+func (r *GossipResult) Err() error {
+	if r.Valid() {
+		return nil
+	}
+	return fmt.Errorf("gossip: %d violations, first: %s", len(r.Violations), r.Violations[0])
+}
+
+// GossipMinimumRounds returns the gossip lower bound ceil(log2 N): each
+// round at most doubles the spread of any single token.
+func GossipMinimumRounds(order uint64) int { return intmath.CeilLog2(order) }
+
+// Per-call stages of the gossip structural checks, mirroring the
+// early-continue points both gossip validators share.
+const (
+	// gossipSkip: empty/short path or out-of-range vertex; checks aborted
+	// before the length bound was even evaluated.
+	gossipSkip uint8 = iota
+	// gossipBad: repeated vertex or missing edge; the length bound was
+	// checked, but the call takes no part in cross-call checks or token
+	// exchanges.
+	gossipBad
+	// gossipFull: structurally sound; all cross-call checks apply and the
+	// endpoints exchange tokens.
+	gossipFull
+)
+
+// checkGossipCall runs the per-call structural section shared by the
+// serial and streaming gossip validators: path shape, vertex range,
+// repeated vertices, edge existence and the length bound, in exactly that
+// order. Cross-call checks (busy endpoints, edge reuse) are the caller's
+// job and apply only to gossipFull calls.
+func checkGossipCall(net Network, k int, order uint64, ri, ci int, call Call, out []Violation) (uint8, []Violation) {
+	if len(call.Path) < 2 {
+		return gossipSkip, append(out, Violation{ri, ci, PathInvalid,
+			fmt.Sprintf("path has %d vertices", len(call.Path))})
+	}
+	bad := false
+	for _, v := range call.Path {
+		if v >= order {
+			out = append(out, Violation{ri, ci, VertexOutOfRange,
+				fmt.Sprintf("vertex %d outside [0,%d)", v, order)})
+			bad = true
+		}
+	}
+	if bad {
+		return gossipSkip, out
+	}
+	out, bad = appendRepeatViolations(out, ri, ci, call.Path)
+	for i := 1; i < len(call.Path); i++ {
+		if !net.HasEdge(call.Path[i-1], call.Path[i]) {
+			out = append(out, Violation{ri, ci, PathInvalid,
+				fmt.Sprintf("no edge {%d,%d}", call.Path[i-1], call.Path[i])})
+			bad = true
+		}
+	}
+	if call.Length() > k {
+		out = append(out, Violation{ri, ci, PathTooLong,
+			fmt.Sprintf("length %d > k = %d", call.Length(), k)})
+	}
+	if bad {
+		return gossipBad, out
+	}
+	return gossipFull, out
+}
+
+// ValidateGossip checks a schedule under the k-line gossip model on net
+// and simulates token propagation with a full per-vertex token-set
+// matrix. Schedule.Source is ignored (gossip has no distinguished
+// originator). Orders beyond MaxGossipSimulateOrder report a
+// SimulationCapExceeded violation; ValidateGossipStream shards the
+// simulation and reaches far larger instances.
+func ValidateGossip(net Network, k int, s *Schedule) *GossipResult {
+	res := &GossipResult{Rounds: len(s.Rounds)}
+	order := net.Order()
+	if order > MaxGossipSimulateOrder {
+		res.Violations = append(res.Violations, Violation{
+			Round: -1, Call: -1, Kind: SimulationCapExceeded,
+			Msg: fmt.Sprintf("order %d exceeds serial simulation cap %d (ValidateGossipStream shards up to %d vertex-token cells)",
+				order, MaxGossipSimulateOrder, MaxGossipSimulateCells),
+		})
+		return res
+	}
+	n := int(order)
+	know := make([]*bitvec.Set, n)
+	for v := 0; v < n; v++ {
+		know[v] = bitvec.New(n)
+		know[v].Set(v)
+	}
+	// Per-round state is allocated once and cleared between rounds, so a
+	// valid schedule validates at O(order) total allocations (the token
+	// matrix), independent of round and call counts.
+	var (
+		usedEdge = make(map[edgeKey]bool)
+		busy     = make(map[uint64]int)
+		merges   []uint64 // flat (from, to) pairs of the current round
+	)
+	for ri, round := range s.Rounds {
+		clear(usedEdge)
+		clear(busy)
+		merges = merges[:0]
+		for ci, call := range round {
+			var stage uint8
+			stage, res.Violations = checkGossipCall(net, k, order, ri, ci, call, res.Violations)
+			if stage == gossipSkip {
+				continue
+			}
+			if l := call.Length(); l > res.MaxCallLength {
+				res.MaxCallLength = l
+			}
+			if stage != gossipFull {
+				continue
+			}
+			from, to := call.From(), call.To()
+			for _, endpoint := range [2]uint64{from, to} {
+				if prev, dup := busy[endpoint]; dup {
+					res.Violations = append(res.Violations, Violation{ri, ci, CallerDuplicate,
+						fmt.Sprintf("vertex %d already in call %d this round", endpoint, prev)})
+				} else {
+					busy[endpoint] = ci
+				}
+			}
+			for i := 1; i < len(call.Path); i++ {
+				e := mkEdge(call.Path[i-1], call.Path[i])
+				if usedEdge[e] {
+					res.Violations = append(res.Violations, Violation{ri, ci, EdgeConflict,
+						fmt.Sprintf("edge {%d,%d} reused", e.u, e.v)})
+				}
+				usedEdge[e] = true
+			}
+			merges = append(merges, from, to)
+		}
+		// Apply the round's exchanges: both endpoints end up with the
+		// union of their token sets. In a violation-free round the pairs
+		// are vertex-disjoint, so application order does not matter (the
+		// synchronous-round semantics); with busy-vertex violations the
+		// exchanges chain in call order, which is what the streamed
+		// validator reproduces.
+		for p := 0; p < len(merges); p += 2 {
+			a, b := know[merges[p]], know[merges[p+1]]
+			a.UnionWith(b)
+			b.CopyFrom(a)
+		}
+	}
+	res.Simulated = true
+	res.MinKnown = n
+	res.Complete = true
+	for v := 0; v < n; v++ {
+		c := know[v].Count()
+		if c < res.MinKnown {
+			res.MinKnown = c
+		}
+		if c != n {
+			res.Complete = false
+		}
+	}
+	res.MinimumTime = res.Complete && len(s.Rounds) == GossipMinimumRounds(order)
+	return res
+}

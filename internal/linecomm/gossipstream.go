@@ -1,0 +1,408 @@
+package linecomm
+
+import (
+	"fmt"
+	"iter"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sparsehypercube/internal/bitvec"
+)
+
+// This file is the streaming half of the gossip validator:
+// ValidateGossipStream consumes rounds as a producer
+// (core.ScheduleGossipRounds, a schedio decoder, a network feed) emits
+// them, so the doubled gather-scatter schedule is never materialised. Per
+// round it runs the structural checks of checkGossipCall plus the
+// cross-call disjointness checks on flat bitvec-backed sets (hypercube
+// family) or per-round maps (general networks), retaining only the
+// (from, to) exchange pairs — two words per call instead of the full
+// paths.
+//
+// Knowledge tracking is the part that does not fit in memory at n >= 20:
+// a full token matrix is order^2 bits (128 GiB at n = 20). The streamed
+// validator therefore shards the token axis: each shard owns a slice of
+// the token universe, fills its own order x shardTokens bit matrix by
+// replaying the retained exchange pairs, and folds per-vertex popcounts
+// into a shared count vector under a lock — sharded bitvec fills, serial
+// merge. Shards are independent, so they run across a worker pool;
+// per-shard memory is bounded by gossipSimBudgetBytes regardless of
+// order, and the result is bit-identical to the serial simulation because
+// token exchange is union-only (shards never interact).
+//
+// The same machinery validates multi-source dissemination
+// (ValidateMultiSourceStream): only the listed sources hold tokens, so
+// the token axis is len(sources) wide and instances far beyond the
+// all-source cap still simulate exactly.
+
+const (
+	// MaxGossipSimulateCells caps order x tokens, the total knowledge
+	// matrix size the streamed validator is willing to fill (across all
+	// shards). 2^40 cells admits full gossip at n = 20 and, e.g., 2^20
+	// sampled sources at n = 20; time scales with cells / word size.
+	MaxGossipSimulateCells = uint64(1) << 40
+	// MaxGossipSimulateVertices caps order alone: the count vector and
+	// every shard's matrix have one row per vertex no matter how narrow
+	// the token shard is.
+	MaxGossipSimulateVertices = uint64(1) << 26
+)
+
+// gossipSimBudgetBytes bounds the simulation's resident matrix memory
+// (all workers together). A variable so tests can shrink it to force
+// many narrow shards.
+var gossipSimBudgetBytes = 512 << 20
+
+// ValidateGossipStream checks a streamed schedule under the k-line
+// gossip model on net — every vertex starts with its own token — and
+// returns the same GossipResult, violation for violation, that
+// ValidateGossip returns on the materialised schedule whenever both run
+// (order <= MaxGossipSimulateOrder). Beyond the serial cap it keeps
+// simulating up to MaxGossipSimulateCells / MaxGossipSimulateVertices by
+// sharding the token matrix; past those caps it still performs every
+// structural check and reports a SimulationCapExceeded violation for the
+// knowledge half.
+func ValidateGossipStream(net Network, k int, rounds iter.Seq[Round]) *GossipResult {
+	return ValidateMultiSourceStream(net, k, nil, rounds)
+}
+
+// ValidateMultiSourceStream is ValidateGossipStream for multi-source
+// dissemination: only sources hold tokens at the start (nil or empty
+// means every vertex, i.e. gossip), and completion means every vertex
+// ends up knowing every source's token. The narrower token axis is what
+// makes exact simulation feasible at orders where all-source gossip
+// exceeds the cell cap. Sources must be distinct and in range; offenders
+// are reported as violations and disable simulation.
+func ValidateMultiSourceStream(net Network, k int, sources []uint64, rounds iter.Seq[Round]) *GossipResult {
+	res := &GossipResult{}
+	order := net.Order()
+	if len(sources) == 0 {
+		sources = nil // empty and nil both mean all-source, everywhere below
+	}
+	m, srcOK := countGossipTokens(res, order, sources)
+	simulate := srcOK && order > 0 &&
+		order <= MaxGossipSimulateVertices &&
+		uint64(m) <= MaxGossipSimulateCells/order
+	if srcOK && !simulate {
+		res.Violations = append(res.Violations, Violation{
+			Round: -1, Call: -1, Kind: SimulationCapExceeded,
+			Msg: fmt.Sprintf("order %d with %d tokens exceeds streamed simulation caps (order <= %d, order*tokens <= %d)",
+				order, m, MaxGossipSimulateVertices, MaxGossipSimulateCells),
+		})
+	}
+
+	var st gossipRoundState
+	if dn, ok := net.(DimensionedNetwork); ok &&
+		dn.N() >= 1 && order <= maxStreamBits/uint64(dn.N()) &&
+		order <= uint64(1)<<uint(dn.N()) {
+		st = newGossipBitvecState(order, dn.N())
+	} else {
+		st = newGossipMapState()
+	}
+
+	var pairs []uint64 // flat (from, to) exchange log for the simulation
+	nRounds := 0
+	for round := range rounds {
+		st.beginRound(round)
+		for ci, call := range round {
+			var stage uint8
+			stage, res.Violations = checkGossipCall(net, k, order, nRounds, ci, call, res.Violations)
+			if stage == gossipSkip {
+				continue
+			}
+			if l := call.Length(); l > res.MaxCallLength {
+				res.MaxCallLength = l
+			}
+			if stage != gossipFull {
+				continue
+			}
+			from, to := call.From(), call.To()
+			for _, endpoint := range [2]uint64{from, to} {
+				if prev, dup := st.busyClaim(endpoint, ci); dup {
+					res.Violations = append(res.Violations, Violation{nRounds, ci, CallerDuplicate,
+						fmt.Sprintf("vertex %d already in call %d this round", endpoint, prev)})
+				}
+			}
+			for i := 1; i < len(call.Path); i++ {
+				a, b := call.Path[i-1], call.Path[i]
+				if a > b {
+					a, b = b, a
+				}
+				if st.edgeUse(a, b) {
+					res.Violations = append(res.Violations, Violation{nRounds, ci, EdgeConflict,
+						fmt.Sprintf("edge {%d,%d} reused", a, b)})
+				}
+			}
+			if simulate {
+				pairs = append(pairs, from, to)
+			}
+		}
+		st.endRound()
+		nRounds++
+	}
+	res.Rounds = nRounds
+
+	if simulate {
+		counts := simulateGossipTokens(order, sources, pairs)
+		res.Simulated = true
+		res.MinKnown = m
+		res.Complete = true
+		for _, c := range counts {
+			if int(c) < res.MinKnown {
+				res.MinKnown = int(c)
+			}
+			if int(c) != m {
+				res.Complete = false
+			}
+		}
+	}
+	res.MinimumTime = res.Complete && nRounds == GossipMinimumRounds(order)
+	return res
+}
+
+// countGossipTokens validates the source list and returns the token
+// count: order for all-source gossip, len(sources) otherwise. ok is false
+// when any source is out of range or repeated (reported as violations).
+func countGossipTokens(res *GossipResult, order uint64, sources []uint64) (int, bool) {
+	if len(sources) == 0 {
+		return int(order), true
+	}
+	ok := true
+	seen := make(map[uint64]struct{}, len(sources))
+	for _, v := range sources {
+		if v >= order {
+			res.Violations = append(res.Violations, Violation{
+				Round: -1, Call: -1, Kind: VertexOutOfRange,
+				Msg: fmt.Sprintf("source %d outside [0,%d)", v, order)})
+			ok = false
+			continue
+		}
+		if _, dup := seen[v]; dup {
+			res.Violations = append(res.Violations, Violation{
+				Round: -1, Call: -1, Kind: CallerDuplicate,
+				Msg: fmt.Sprintf("source %d listed more than once", v)})
+			ok = false
+		}
+		seen[v] = struct{}{}
+	}
+	return len(sources), ok
+}
+
+// gossipRoundState tracks the per-round disjointness constraints of the
+// telephone model: one call per vertex (as an endpoint) and edge-disjoint
+// paths. Unlike the broadcast state there is no informed set — gossip has
+// no caller-knowledge rule.
+type gossipRoundState interface {
+	// beginRound resets per-round tracking; r is retained until endRound
+	// (the bit-set engine scans it to recover first-claim call indices).
+	beginRound(r Round)
+	// busyClaim registers call ci as occupying endpoint v. When v is
+	// already busy this round it reports the occupying call's index.
+	busyClaim(v uint64, ci int) (prev int, dup bool)
+	// edgeUse registers one use of edge {u,v} (u <= v canonical) and
+	// reports whether the edge was already used this round. Gossip
+	// reports every reuse, not just the first.
+	edgeUse(u, v uint64) bool
+	endRound()
+}
+
+// gossipMapState is the general-purpose engine: the same per-round maps
+// the serial validator uses, cleared (not reallocated) between rounds.
+type gossipMapState struct {
+	busy  map[uint64]int
+	edges map[edgeKey]bool
+}
+
+func newGossipMapState() *gossipMapState {
+	return &gossipMapState{busy: make(map[uint64]int), edges: make(map[edgeKey]bool)}
+}
+
+func (g *gossipMapState) beginRound(Round) {
+	clear(g.busy)
+	clear(g.edges)
+}
+
+func (g *gossipMapState) busyClaim(v uint64, ci int) (int, bool) {
+	if prev, dup := g.busy[v]; dup {
+		return prev, true
+	}
+	g.busy[v] = ci
+	return 0, false
+}
+
+func (g *gossipMapState) edgeUse(u, v uint64) bool {
+	e := edgeKey{u, v}
+	used := g.edges[e]
+	g.edges[e] = true
+	return used
+}
+
+func (g *gossipMapState) endRound() {}
+
+// gossipBitvecState is the hypercube-family fast path (DimensionedNetwork
+// contract: every edge flips exactly one address bit): edge slots indexed
+// vertex*n + dim and endpoint occupancy by vertex, all flat bit tests.
+// Touched slots are recorded and cleared between rounds, so the sets are
+// allocated once per validation run.
+type gossipBitvecState struct {
+	n        int
+	edgeUsed *bitvec.Set // order*n bits
+	busyUsed *bitvec.Set // order bits
+
+	round        Round
+	claimed      []int // calls that registered at least one endpoint, ascending
+	touchedEdges []int
+	touchedBusy  []int
+}
+
+func newGossipBitvecState(order uint64, n int) *gossipBitvecState {
+	return &gossipBitvecState{
+		n:        n,
+		edgeUsed: bitvec.New(int(order) * n),
+		busyUsed: bitvec.New(int(order)),
+	}
+}
+
+func (g *gossipBitvecState) beginRound(r Round) { g.round = r }
+
+func (g *gossipBitvecState) busyClaim(v uint64, ci int) (int, bool) {
+	if !g.busyUsed.TestAndSet(int(v)) {
+		g.touchedBusy = append(g.touchedBusy, int(v))
+		if len(g.claimed) == 0 || g.claimed[len(g.claimed)-1] != ci {
+			g.claimed = append(g.claimed, ci)
+		}
+		return 0, false
+	}
+	// Duplicate: recover the first occupying call by scanning the calls
+	// that registered endpoints, in order (rare — only on a violation).
+	// The first claimed call whose endpoint matches v is the occupier: any
+	// non-claiming match would itself have been preceded by the claimer.
+	for _, idx := range g.claimed {
+		if c := g.round[idx]; c.From() == v || c.To() == v {
+			return idx, true
+		}
+	}
+	return 0, true // unreachable: a set busy bit implies a registered claim
+}
+
+func (g *gossipBitvecState) edgeUse(u, v uint64) bool {
+	slot := int(u)*g.n + bits.TrailingZeros64(u^v)
+	if !g.edgeUsed.TestAndSet(slot) {
+		g.touchedEdges = append(g.touchedEdges, slot)
+		return false
+	}
+	return true
+}
+
+func (g *gossipBitvecState) endRound() {
+	for _, s := range g.touchedEdges {
+		g.edgeUsed.Clear(s)
+	}
+	for _, s := range g.touchedBusy {
+		g.busyUsed.Clear(s)
+	}
+	g.touchedEdges = g.touchedEdges[:0]
+	g.touchedBusy = g.touchedBusy[:0]
+	g.claimed = g.claimed[:0]
+	g.round = nil
+}
+
+// simulateGossipTokens replays the exchange log over the token matrix,
+// sharded along the token axis, and returns the per-vertex known-token
+// counts. sources nil means token t starts at vertex t (all-source
+// gossip); otherwise token t starts at sources[t]. An exchange gives both
+// endpoints the union of their rows — union-only updates make shards
+// independent, so each worker fills its own shard matrix and the only
+// synchronisation is the serial fold of popcounts into counts.
+func simulateGossipTokens(order uint64, sources []uint64, pairs []uint64) []int32 {
+	n := int(order)
+	m := len(sources)
+	if sources == nil {
+		m = n
+	}
+	counts := make([]int32, n)
+	totalWords := (m + 63) / 64
+	if totalWords == 0 {
+		return counts
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	// Every shard matrix has order rows: cap workers so even one-word
+	// shards fit the budget, then size shards to fill it.
+	if maxW := gossipSimBudgetBytes / (n * 8); workers > maxW {
+		workers = max(maxW, 1)
+	}
+	shardWords := gossipSimBudgetBytes / (workers * n * 8)
+	shardWords = min(max(shardWords, 1), totalWords)
+	numShards := (totalWords + shardWords - 1) / shardWords
+	if workers > numShards {
+		workers = numShards
+	}
+
+	var (
+		mu   sync.Mutex
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var know []uint64
+			for {
+				si := int(next.Add(1)) - 1
+				if si >= numShards {
+					return
+				}
+				lo := si * shardWords
+				hi := min(lo+shardWords, totalWords)
+				w := hi - lo
+				if cap(know) < n*w {
+					know = make([]uint64, n*w)
+				} else {
+					know = know[:n*w]
+					clear(know)
+				}
+				// Fill: seed the shard's tokens, replay the exchange log.
+				tlo, thi := lo*64, min(hi*64, m)
+				for t := tlo; t < thi; t++ {
+					v := t
+					if sources != nil {
+						v = int(sources[t])
+					}
+					know[v*w+(t-tlo)>>6] |= 1 << uint(t&63)
+				}
+				if w == 1 {
+					for p := 0; p < len(pairs); p += 2 {
+						u := know[pairs[p]] | know[pairs[p+1]]
+						know[pairs[p]] = u
+						know[pairs[p+1]] = u
+					}
+				} else {
+					for p := 0; p < len(pairs); p += 2 {
+						ra := know[int(pairs[p])*w:][:w]
+						rb := know[int(pairs[p+1])*w:][:w]
+						for j := range ra {
+							u := ra[j] | rb[j]
+							ra[j] = u
+							rb[j] = u
+						}
+					}
+				}
+				// Merge: fold the shard's popcounts serially.
+				mu.Lock()
+				for v := 0; v < n; v++ {
+					c := 0
+					for _, wd := range know[v*w : (v+1)*w] {
+						c += bits.OnesCount64(wd)
+					}
+					counts[v] += int32(c)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return counts
+}

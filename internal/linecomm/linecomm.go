@@ -201,6 +201,10 @@ const (
 	ReceiverInformed
 	// VertexOutOfRange: a path mentions a vertex outside [0, Order).
 	VertexOutOfRange
+	// SimulationCapExceeded: the instance is too large for the validator's
+	// knowledge simulation (gossip token tracking); the schedule was not
+	// judged invalid, it could not be fully checked.
+	SimulationCapExceeded
 )
 
 func (k ViolationKind) String() string {
@@ -221,6 +225,8 @@ func (k ViolationKind) String() string {
 		return "receiver-informed"
 	case VertexOutOfRange:
 		return "vertex-out-of-range"
+	case SimulationCapExceeded:
+		return "simulation-cap-exceeded"
 	default:
 		return fmt.Sprintf("violation(%d)", int(k))
 	}

@@ -15,10 +15,12 @@ import (
 // concrete cube and offers every way of consuming it (streaming,
 // materialising, verifying, serialising) through one engine.
 //
-// BroadcastScheme and GossipScheme cover the paper's workloads; external
-// streams adapt in via RoundScheme. Future treecast or multi-source
-// schemes implement the same three methods (plus PlanVerifier when their
-// correctness model differs from single-source broadcast).
+// BroadcastScheme, GossipScheme and MultiSourceScheme cover the paper's
+// workloads; external streams adapt in via RoundScheme. Future schemes
+// (treecast, say) implement the same three methods, plus PlanVerifier
+// when their correctness model differs from single-source broadcast —
+// MultiSourceScheme uses it to run the streamed telephone-model gossip
+// validator.
 type Scheme interface {
 	// Name is a short identifier, stored in the plan file header and
 	// used to re-bind a replayed plan to its verification model.

@@ -164,11 +164,30 @@ func TestGossipPlanRoundTrip(t *testing.T) {
 	}
 }
 
-// TestGossipPlanBeyondSimulationCap: past 2^14 vertices the gossip
-// validator cannot simulate; Verify must report the cap violation
-// without consuming (or materialising) the round stream.
-func TestGossipPlanBeyondSimulationCap(t *testing.T) {
+// TestGossipPlanMidScale: the streamed gossip validator reaches past the
+// serial simulation cap (2^14): an n = 15 gossip plan now verifies fully
+// — structurally and with exact sharded token simulation — without the
+// doubled schedule ever being materialised.
+func TestGossipPlanMidScale(t *testing.T) {
 	cube, err := New(2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cube.Plan(GossipScheme{Root: 3}).Verify()
+	if !rep.Valid || !rep.Complete || rep.Rounds != 2*cube.N() {
+		t.Fatalf("n=15 gossip plan failed verification: %+v", rep)
+	}
+	if rep.MinimumTime {
+		t.Fatal("2n-round gather-scatter cannot be minimum time")
+	}
+}
+
+// TestGossipPlanBeyondSimulationCap: past the streamed caps (all-source
+// gossip above 2^40 vertex-token cells) the validator still runs every
+// structural check — the stream is consumed — but must report the
+// simulation-cap violation for the knowledge half instead of guessing.
+func TestGossipPlanBeyondSimulationCap(t *testing.T) {
+	cube, err := New(2, 21) // 2^42 cells all-source, over the 2^40 cap
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,8 +197,26 @@ func TestGossipPlanBeyondSimulationCap(t *testing.T) {
 	if rep.Valid || len(rep.Violations) == 0 {
 		t.Fatalf("over-cap gossip verified: %+v", rep)
 	}
-	if consumed {
-		t.Fatal("over-cap gossip consumed the round stream")
+	if !strings.Contains(rep.Violations[0], "simulation-cap-exceeded") {
+		t.Fatalf("want simulation-cap violation, got %q", rep.Violations[0])
+	}
+	if !consumed {
+		t.Fatal("over-cap gossip skipped the structural checks (stream not consumed)")
+	}
+	if rep.Complete || rep.MinimumTime {
+		t.Fatalf("over-cap gossip claimed completion: %+v", rep)
+	}
+
+	// A sampled source set brings the same cube back under the cell cap:
+	// multi-source dissemination verifies exactly where all-source gossip
+	// cannot. An empty round stream leaves the sources' tokens stranded.
+	rep = MultiSourceScheme{Root: 0, Sources: []uint64{0, 1, 2}}.VerifyPlan(
+		cube, cube.Plan(RoundScheme("probe", 0, func(yield func([]Call) bool) {})).Rounds())
+	if !rep.Valid {
+		t.Fatalf("in-cap multi-source probe reported violations: %+v", rep)
+	}
+	if rep.Complete {
+		t.Fatal("empty multi-source plan cannot be complete")
 	}
 }
 

@@ -16,8 +16,8 @@
 //
 // The paper's object is a scheme — a round-by-round k-line call plan —
 // and the API is built around it. A Scheme (BroadcastScheme,
-// GossipScheme, or your own) bound to a cube yields a Plan, the one
-// handle for every way of consuming the scheme:
+// GossipScheme, MultiSourceScheme, or your own) bound to a cube yields a
+// Plan, the one handle for every way of consuming the scheme:
 //
 //	cube, err := sparsehypercube.New(2, 15)     // k = 2, N = 2^15
 //	plan := cube.Plan(sparsehypercube.BroadcastScheme{Source: 0})
