@@ -19,12 +19,19 @@
 //	                   # gather-scatter trajectory (timing experiment, so
 //	                   # it is skipped under -exp all, like multicore)
 //
+//	benchtab -exp serve [-serve-n 14] [-serve-reqs 96] [-json BENCH_serve.json]
+//	                   # plan verification service throughput: concurrent
+//	                   # sessions verifying one cached plan over HTTP
+//	                   # (timing experiment, skipped under -exp all; the
+//	                   # trajectory defaults to BENCH_serve.json)
+//
 // Experiment ids match DESIGN.md's per-experiment index.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -43,7 +50,9 @@ func main() {
 	procs := flag.String("procs", "1,4,8", "GOMAXPROCS settings for -exp multicore")
 	mcN := flag.Int("multicore-n", 20, "cube dimension for -exp multicore")
 	gossipN := flag.Int("gossip-n", 22, "largest cube dimension for the -exp gossip streamed trajectory")
-	jsonOut := flag.String("json", "", "also write the multicore trajectory as JSON to this file")
+	serveN := flag.Int("serve-n", 14, "cube dimension for -exp serve")
+	serveReqs := flag.Int("serve-reqs", 96, "requests per concurrency level for -exp serve")
+	jsonOut := flag.String("json", "", "also write the multicore/serve trajectory as JSON to this file")
 	flag.Parse()
 
 	procList, err := parseProcs(*procs)
@@ -52,6 +61,11 @@ func main() {
 		os.Exit(2)
 	}
 	want := strings.ToLower(*exp)
+	if *jsonOut == "" && (want == "serve" || want == "exp-serve") {
+		// The serve trajectory is the acceptance artifact; record it by
+		// default so `benchtab -exp serve` always leaves the curve behind.
+		*jsonOut = "BENCH_serve.json"
+	}
 
 	experiments := []experiment{
 		{"fig1", func(t bool) { emit(analysis.RunFig1(8), t) }},
@@ -103,14 +117,25 @@ func main() {
 			}
 		}},
 		{"mbg", func(t bool) { emit(analysis.RunMbg(), t) }},
+		{"serve", func(t bool) {
+			tb, res := analysis.RunServe(*serveN, []int{1, 2, 4, 8, 16, 32, 64}, *serveReqs)
+			emit(tb, t)
+			if *jsonOut != "" {
+				if err := writeServeJSON(*jsonOut, res); err != nil {
+					fmt.Fprintln(os.Stderr, "benchtab:", err)
+					os.Exit(1)
+				}
+			}
+		}},
 	}
 
 	found := false
 	for _, e := range experiments {
-		// multicore is a timing experiment (GOMAXPROCS churn, repeated
-		// million-vertex runs): meaningful only in isolation, so it
-		// never rides along with -exp all.
-		if want == "all" && e.id == "multicore" {
+		// multicore and serve are timing experiments (GOMAXPROCS churn,
+		// repeated million-vertex runs, wall-clock HTTP throughput):
+		// meaningful only in isolation, so they never ride along with
+		// -exp all.
+		if want == "all" && (e.id == "multicore" || e.id == "serve") {
 			continue
 		}
 		if want == "all" || want == e.id || "exp-"+e.id == want {
@@ -136,24 +161,44 @@ func emit(t *analysis.Table, tsv bool) {
 	}
 }
 
+// parseProcs parses the -procs list, rejecting anything that would make
+// the scaling curve nonsense: non-integers, zero or negative settings,
+// and duplicate entries (which would silently re-run a level and skew
+// "best of" comparisons).
 func parseProcs(s string) ([]int, error) {
 	var out []int
+	seen := make(map[int]bool)
 	for _, part := range strings.Split(s, ",") {
 		p, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || p < 1 {
+		if err != nil {
 			return nil, fmt.Errorf("bad -procs entry %q", part)
 		}
+		if p < 1 {
+			return nil, fmt.Errorf("-procs entry %d is not a positive GOMAXPROCS", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("duplicate -procs entry %d", p)
+		}
+		seen[p] = true
 		out = append(out, p)
 	}
 	return out, nil
 }
 
 func writeMulticoreJSON(path string, res *analysis.MulticoreResult) error {
+	return writeJSONFile(path, res.WriteJSON)
+}
+
+func writeServeJSON(path string, res *analysis.ServeResult) error {
+	return writeJSONFile(path, res.WriteJSON)
+}
+
+func writeJSONFile(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := res.WriteJSON(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseProcs pins the -procs validation: zero, negative, duplicate,
+// and non-integer entries are rejected instead of silently benchmarking
+// nonsense.
+func TestParseProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    []int
+		wantErr string
+	}{
+		{in: "1,4,8", want: []int{1, 4, 8}},
+		{in: " 2 , 16 ", want: []int{2, 16}},
+		{in: "1", want: []int{1}},
+		{in: "8,4,1", want: []int{8, 4, 1}}, // order is the operator's choice
+		{in: "1,x", wantErr: `bad -procs entry "x"`},
+		{in: "", wantErr: `bad -procs entry ""`},
+		{in: "0,4", wantErr: "-procs entry 0 is not a positive GOMAXPROCS"},
+		{in: "-2", wantErr: "-procs entry -2 is not a positive GOMAXPROCS"},
+		{in: "1,4,4", wantErr: "duplicate -procs entry 4"},
+		{in: "8, 8", wantErr: "duplicate -procs entry 8"},
+	} {
+		got, err := parseProcs(tc.in)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("parseProcs(%q): unexpected error %v", tc.in, err)
+				continue
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("parseProcs(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("parseProcs(%q) accepted: %v", tc.in, got)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("parseProcs(%q) error = %q, want %q", tc.in, err, tc.wantErr)
+		}
+	}
+}

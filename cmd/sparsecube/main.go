@@ -10,13 +10,20 @@
 //	sparsecube neighbors -k 2 -n 8 -vertex 5
 //	sparsecube export    -k 2 -n 6 [-format dot|edges]
 //	sparsecube bounds    -n 20
-//	sparsecube plan      -k 3 -n 20 -source 0 [-scheme broadcast|gossip] -o plan.shcp
+//	sparsecube plan      -k 3 -n 20 -source 0 [-scheme broadcast|gossip] [-index] -o plan.shcp
 //	sparsecube replay    -in plan.shcp [-quiet]
+//	sparsecube serve     [-addr :8388] [-max-upload N]
 //
 // plan streams a scheme to disk in the compact binary round format
-// without materialising it; replay decodes the file and re-verifies it
-// against the cube reconstructed from the stored parameters — the
-// write-once/verify-many pair.
+// without materialising it (-index appends the per-round byte index a
+// serving process uses for random access); replay decodes the file and
+// re-verifies it against the cube reconstructed from the stored
+// parameters — the write-once/verify-many pair. serve exposes the same
+// verification engine over HTTP to many concurrent sessions (see
+// internal/planserver for the endpoint contract).
+//
+// Results go to stdout; diagnostics (violation listings, warnings,
+// errors) go to stderr, so scripts can parse the one without the other.
 //
 // Vertices print as n-bit strings (dimension n first), as in the paper.
 package main
@@ -25,14 +32,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"sparsehypercube"
 	"sparsehypercube/internal/core"
 	"sparsehypercube/internal/graph"
 	"sparsehypercube/internal/linecomm"
+	"sparsehypercube/internal/planserver"
 	"sparsehypercube/internal/topo"
 )
 
@@ -53,13 +63,17 @@ func main() {
 	scheme := fs.String("scheme", "broadcast", "plan scheme: broadcast or gossip")
 	out := fs.String("o", "plan.shcp", "plan output file")
 	in := fs.String("in", "", "plan file to replay")
+	index := fs.Bool("index", false, "append the per-round byte index for random-access serving")
+	addr := fs.String("addr", ":8388", "serve: listen address")
+	maxUpload := fs.Int64("max-upload", planserver.DefaultMaxUpload, "serve: largest accepted upload in bytes")
+	maxN := fs.Int("max-n", planserver.DefaultMaxN, "serve: largest cube dimension verified")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
 	switch cmd {
 	case "replay":
-		if err := runReplay(os.Stdout, *in, *quiet); err != nil {
+		if err := runReplay(os.Stdout, os.Stderr, *in, *quiet); err != nil {
 			fatal(err)
 		}
 		return
@@ -68,7 +82,23 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runPlan(os.Stdout, cube, *scheme, *source, *out); err != nil {
+		if err := runPlan(os.Stdout, os.Stderr, cube, *scheme, *source, *out, *index); err != nil {
+			fatal(err)
+		}
+		return
+	case "serve":
+		fmt.Fprintf(os.Stderr, "sparsecube: serving plan verification on %s\n", *addr)
+		srv := &http.Server{
+			Addr:    *addr,
+			Handler: planserver.New(planserver.WithMaxUpload(*maxUpload), planserver.WithMaxN(*maxN)).Handler(),
+			// The peers are untrusted: never let a dribbling client hold a
+			// connection open unboundedly. ReadTimeout stays generous —
+			// plan uploads are legitimately large streams.
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       15 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
+		if err := srv.ListenAndServe(); err != nil {
 			fatal(err)
 		}
 		return
@@ -181,6 +211,14 @@ func buildCube(k, n int, dims string) (*sparsehypercube.Cube, error) {
 	return sparsehypercube.NewWithDims(len(vec), vec)
 }
 
+// maxFlagDim bounds -dims entries; it matches the codec's header bound
+// (internal/schedio maxDim), itself above core.MaxN.
+const maxFlagDim = 64
+
+// parseDims parses and validates a -dims vector: every entry must be an
+// integer in [1, maxFlagDim], strictly increasing — duplicates and
+// out-of-range entries are rejected up front with the offender named,
+// instead of surfacing later as an opaque construction failure.
 func parseDims(dims string) ([]int, error) {
 	parts := strings.Split(dims, ",")
 	vec := make([]int, 0, len(parts))
@@ -189,14 +227,25 @@ func parseDims(dims string) ([]int, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad -dims entry %q", p)
 		}
+		if v < 1 || v > maxFlagDim {
+			return nil, fmt.Errorf("-dims entry %d outside [1,%d]", v, maxFlagDim)
+		}
+		if len(vec) > 0 {
+			if prev := vec[len(vec)-1]; v == prev {
+				return nil, fmt.Errorf("duplicate -dims entry %d", v)
+			} else if v < prev {
+				return nil, fmt.Errorf("-dims entry %d out of order after %d (entries must be strictly increasing)", v, prev)
+			}
+		}
 		vec = append(vec, v)
 	}
 	return vec, nil
 }
 
 // runPlan streams the chosen scheme to out in the binary round format,
-// never materialising the schedule.
-func runPlan(w io.Writer, cube *sparsehypercube.Cube, schemeName string, source uint64, out string) error {
+// never materialising the schedule. Diagnostics go to errw, results to
+// w.
+func runPlan(w, errw io.Writer, cube *sparsehypercube.Cube, schemeName string, source uint64, out string, indexed bool) error {
 	if source >= cube.Order() {
 		return fmt.Errorf("source %d outside [0,%d)", source, cube.Order())
 	}
@@ -207,7 +256,7 @@ func runPlan(w io.Writer, cube *sparsehypercube.Cube, schemeName string, source 
 	case "gossip":
 		scheme = sparsehypercube.GossipScheme{Root: source}
 		if cube.Order() > 1<<20 {
-			fmt.Fprintf(os.Stderr, "sparsecube: warning: gossip verification tracks order x order token cells and is capped at 2^20 vertices all-source; this 2^%d-vertex plan will write (and stream) fine but `replay` verification will report the knowledge half as simulation-cap-exceeded\n", cube.N())
+			fmt.Fprintf(errw, "sparsecube: warning: gossip verification tracks order x order token cells and is capped at 2^20 vertices all-source; this 2^%d-vertex plan will write (and stream) fine but `replay` verification will report the knowledge half as simulation-cap-exceeded\n", cube.N())
 		}
 	default:
 		return fmt.Errorf("unknown scheme %q (want broadcast or gossip)", schemeName)
@@ -216,7 +265,13 @@ func runPlan(w io.Writer, cube *sparsehypercube.Cube, schemeName string, source 
 	if err != nil {
 		return err
 	}
-	n, err := cube.Plan(scheme).WriteTo(f)
+	plan := cube.Plan(scheme)
+	var n int64
+	if indexed {
+		n, err = plan.WriteIndexedTo(f)
+	} else {
+		n, err = plan.WriteTo(f)
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -232,8 +287,10 @@ func runPlan(w io.Writer, cube *sparsehypercube.Cube, schemeName string, source 
 }
 
 // runReplay decodes a plan file and re-verifies it against the cube
-// reconstructed from the stored parameters.
-func runReplay(w io.Writer, in string, quiet bool) error {
+// reconstructed from the stored parameters. The verification summary
+// goes to w (stdout); violation listings are diagnostics and go to
+// errw (stderr), so a script parsing the summary never sees them.
+func runReplay(w, errw io.Writer, in string, quiet bool) error {
 	if in == "" {
 		return fmt.Errorf("replay needs -in <plan file>")
 	}
@@ -255,7 +312,7 @@ func runReplay(w io.Writer, in string, quiet bool) error {
 	if !rep.Valid {
 		if !quiet {
 			for _, v := range rep.Violations {
-				fmt.Fprintln(w, " ", v)
+				fmt.Fprintln(errw, " ", v)
 			}
 		}
 		return fmt.Errorf("plan failed verification (%d violations)", len(rep.Violations))
@@ -269,6 +326,6 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sparsecube <describe|stats|schedule|verify|neighbors|export|bounds|plan|replay> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sparsecube <describe|stats|schedule|verify|neighbors|export|bounds|plan|replay|serve> [flags]")
 	os.Exit(2)
 }

@@ -48,22 +48,23 @@ func TestPlanReplayRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "plan.shcp")
-	var out strings.Builder
-	if err := runPlan(&out, cube, "broadcast", 3, path); err != nil {
+	var out, errOut strings.Builder
+	if err := runPlan(&out, &errOut, cube, "broadcast", 3, path, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "broadcast scheme from 3") {
 		t.Errorf("plan output: %q", out.String())
 	}
 	out.Reset()
-	if err := runReplay(&out, path, false); err != nil {
+	if err := runReplay(&out, &errOut, path, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "minimum time: true") {
 		t.Errorf("replay output: %q", out.String())
 	}
 
-	// A truncated file must fail replay, not pass quietly.
+	// A truncated file must fail replay, not pass quietly — and its
+	// violation listing must land on stderr, not in the parseable stdout.
 	enc, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -72,15 +73,89 @@ func TestPlanReplayRoundTrip(t *testing.T) {
 	if err := os.WriteFile(trunc, enc[:len(enc)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runReplay(&out, trunc, true); err == nil {
+	out.Reset()
+	errOut.Reset()
+	if err := runReplay(&out, &errOut, trunc, false); err == nil {
 		t.Fatal("truncated plan replayed successfully")
 	}
+	if strings.Contains(out.String(), "replay:") {
+		t.Errorf("violations leaked onto stdout: %q", out.String())
+	}
+	if !strings.Contains(errOut.String(), "replay:") {
+		t.Errorf("violations missing from stderr: %q", errOut.String())
+	}
+	if !strings.Contains(out.String(), "valid: false") {
+		t.Errorf("summary missing from stdout: %q", out.String())
+	}
 
-	if err := runPlan(&out, cube, "nonesuch", 0, path); err == nil {
+	if err := runPlan(&out, &errOut, cube, "nonesuch", 0, path, false); err == nil {
 		t.Fatal("unknown scheme accepted")
 	}
-	if err := runReplay(&out, "", true); err == nil {
+	if err := runReplay(&out, &errOut, "", true); err == nil {
 		t.Fatal("missing -in accepted")
+	}
+}
+
+// TestIndexedPlanReplayRoundTrip: -index appends the serving index and
+// the file still replays exactly like a plain one.
+func TestIndexedPlanReplayRoundTrip(t *testing.T) {
+	cube, err := buildCube(2, 10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(t.TempDir(), "plain.shcp")
+	indexed := filepath.Join(t.TempDir(), "indexed.shcp")
+	var out, errOut strings.Builder
+	if err := runPlan(&out, &errOut, cube, "broadcast", 3, plain, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runPlan(&out, &errOut, cube, "broadcast", 3, indexed, true); err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := os.ReadFile(plain)
+	ib, _ := os.ReadFile(indexed)
+	if len(ib) <= len(pb) {
+		t.Fatalf("indexed plan (%d B) not larger than plain (%d B)", len(ib), len(pb))
+	}
+	out.Reset()
+	if err := runReplay(&out, &errOut, indexed, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "minimum time: true") {
+		t.Errorf("indexed replay output: %q", out.String())
+	}
+}
+
+// TestParseDims pins the flag validation: duplicates and out-of-range
+// entries are rejected with the offender named.
+func TestParseDims(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		wantErr string
+	}{
+		{"2,5,12", ""},
+		{" 3 , 9 ", ""},
+		{"2,x", `bad -dims entry "x"`},
+		{"2,5,5,12", "duplicate -dims entry 5"},
+		{"7,2", "-dims entry 2 out of order after 7"},
+		{"0,3", "-dims entry 0 outside [1,64]"},
+		{"-4", "-dims entry -4 outside [1,64]"},
+		{"2,65", "-dims entry 65 outside [1,64]"},
+	} {
+		vec, err := parseDims(tc.in)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("parseDims(%q): unexpected error %v", tc.in, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("parseDims(%q) accepted: %v", tc.in, vec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("parseDims(%q) error = %q, want it to name the offender as %q", tc.in, err, tc.wantErr)
+		}
 	}
 }
 
@@ -94,15 +169,15 @@ func TestGossipPlanReplayRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "gossip.shcp")
-	var out strings.Builder
-	if err := runPlan(&out, cube, "gossip", 5, path); err != nil {
+	var out, errOut strings.Builder
+	if err := runPlan(&out, &errOut, cube, "gossip", 5, path, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "gossip scheme from 5") {
 		t.Errorf("plan output: %q", out.String())
 	}
 	out.Reset()
-	if err := runReplay(&out, path, false); err != nil {
+	if err := runReplay(&out, &errOut, path, false); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()

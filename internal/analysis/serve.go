@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"sparsehypercube"
+	"sparsehypercube/internal/planserver"
+)
+
+// ServeResult is the machine-readable form of RunServe, written as
+// BENCH_serve.json: the verification service's throughput curve as
+// concurrent sessions pile onto one cached plan.
+type ServeResult struct {
+	Experiment string     `json:"experiment"`
+	HostCPUs   int        `json:"host_cpus"`
+	GoVersion  string     `json:"go_version"`
+	K          int        `json:"k"`
+	N          int        `json:"n"`
+	PlanBytes  int64      `json:"plan_bytes"`
+	Runs       []ServeRun `json:"runs"`
+}
+
+// ServeRun is one concurrency level's measurements.
+type ServeRun struct {
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	TotalMs     float64 `json:"total_ms"`
+	MsPerReq    float64 `json:"ms_per_request"`
+	ReqPerSec   float64 `json:"requests_per_sec"`
+}
+
+// RunServe measures the plan verification service end to end over HTTP:
+// one (k = 2, n) indexed broadcast plan is uploaded once, then each
+// concurrency level fires requests POST /v1/plans/{id}/verify requests
+// across that many workers against the one cached copy. Every response
+// is checked byte-identical to the first — the serving contract — while
+// the table records the throughput curve.
+func RunServe(n int, concurrencies []int, requests int) (*Table, *ServeResult) {
+	t := &Table{
+		ID:    "EXP-SERVE",
+		Title: fmt.Sprintf("Plan verification service throughput, n = %d (%d requests per level)", n, requests),
+		Headers: []string{"concurrency", "requests", "total ms", "ms/req",
+			"req/s", "speedup"},
+	}
+	res := &ServeResult{
+		Experiment: "serve",
+		HostCPUs:   runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		K:          2,
+		N:          n,
+	}
+	cube, err := sparsehypercube.New(res.K, n)
+	if err != nil {
+		t.Note("construction failed: %v", err)
+		return t, res
+	}
+	var buf bytes.Buffer
+	if _, err := cube.Plan(sparsehypercube.BroadcastScheme{Source: 0}).WriteIndexedTo(&buf); err != nil {
+		t.Note("plan encoding failed: %v", err)
+		return t, res
+	}
+	res.PlanBytes = int64(buf.Len())
+
+	ts := httptest.NewServer(planserver.New().Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/plans", "application/octet-stream", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Note("upload failed: %v", err)
+		return t, res
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil || info.ID == "" {
+		t.Note("upload response unusable: %v", err)
+		return t, res
+	}
+	url := ts.URL + "/v1/plans/" + info.ID + "/verify"
+
+	var canonical []byte
+	var base float64
+	for _, c := range concurrencies {
+		if c < 1 {
+			continue
+		}
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		next := make(chan struct{}, requests)
+		for i := 0; i < requests; i++ {
+			next <- struct{}{}
+		}
+		close(next)
+		start := time.Now()
+		for w := 0; w < c; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range next {
+					resp, err := http.Post(url, "application/json", nil)
+					if err == nil {
+						var body []byte
+						body, err = io.ReadAll(resp.Body)
+						resp.Body.Close()
+						if err == nil && resp.StatusCode != http.StatusOK {
+							err = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+						}
+						if err == nil {
+							mu.Lock()
+							if canonical == nil {
+								canonical = body
+							} else if !bytes.Equal(body, canonical) {
+								err = fmt.Errorf("response diverged: %s", body)
+							}
+							mu.Unlock()
+						}
+					}
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		totalMs := time.Since(start).Seconds() * 1e3
+		if firstErr != nil {
+			t.Note("concurrency %d: %v", c, firstErr)
+			continue
+		}
+		run := ServeRun{
+			Concurrency: c,
+			Requests:    requests,
+			TotalMs:     totalMs,
+			MsPerReq:    totalMs / float64(requests),
+			ReqPerSec:   float64(requests) / (totalMs / 1e3),
+		}
+		if base == 0 {
+			base = run.ReqPerSec
+		}
+		res.Runs = append(res.Runs, run)
+		t.AddRow(c, requests, run.TotalMs, run.MsPerReq, run.ReqPerSec,
+			fmt.Sprintf("%.2fx", run.ReqPerSec/base))
+	}
+	t.Note("host: %d CPU(s), %s; one cached %d-byte indexed plan (k = %d, n = %d), all responses byte-identical; speedup relative to the first concurrency level.",
+		res.HostCPUs, res.GoVersion, res.PlanBytes, res.K, res.N)
+	return t, res
+}
+
+// WriteJSON writes the serve result as indented JSON.
+func (m *ServeResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -48,3 +48,46 @@ func ReadJSON(r io.Reader) (*Schedule, error) {
 	}
 	return s, nil
 }
+
+// roundBatchJSON is the service envelope for streaming rounds into an
+// open verification session: a batch of consecutive rounds, each a list
+// of call paths — the same shape as scheduleJSON's rounds field, minus
+// the source (the session carries it).
+type roundBatchJSON struct {
+	Rounds [][][]uint64 `json:"rounds"`
+}
+
+// ReadRoundBatch deserialises one round batch, applying the same
+// structural validation as ReadJSON: every call path must have at least
+// two vertices. An empty batch is valid (a keep-alive).
+func ReadRoundBatch(r io.Reader) ([]Round, error) {
+	var in roundBatchJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("linecomm: decoding round batch: %w", err)
+	}
+	out := make([]Round, len(in.Rounds))
+	for i, round := range in.Rounds {
+		out[i] = make(Round, len(round))
+		for j, path := range round {
+			if len(path) < 2 {
+				return nil, fmt.Errorf("linecomm: batch round %d call %d: path has %d vertices", i, j, len(path))
+			}
+			out[i][j] = Call{Path: path}
+		}
+	}
+	return out, nil
+}
+
+// WriteRoundBatch serialises rounds as a service round batch, the
+// client-side sibling of ReadRoundBatch.
+func WriteRoundBatch(w io.Writer, rounds []Round) error {
+	out := roundBatchJSON{Rounds: make([][][]uint64, len(rounds))}
+	for i, round := range rounds {
+		out.Rounds[i] = make([][]uint64, len(round))
+		for j, call := range round {
+			out.Rounds[i][j] = call.Path
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,356 @@
+// Package planserver serves schedio plan verification over HTTP: the
+// Plan engine behind an endpoint, consumed by many concurrent broadcast
+// sessions.
+//
+// Three ways in, all returning the same Report JSON the in-process
+// engine produces (sparsehypercube.Report's wire form):
+//
+//	POST /v1/verify                 one-shot: the body is a schedio plan
+//	                                file, streamed through the decoder
+//	                                into the stream validator — never
+//	                                materialised, nothing retained
+//	POST /v1/plans                  upload once: the plan is fully
+//	                                validated (structure + checksums),
+//	                                cached in memory, and addressed by
+//	                                its content hash
+//	GET  /v1/plans/{id}             cached plan metadata
+//	POST /v1/plans/{id}/verify      verify the cached plan; any number of
+//	                                concurrent verifiers replay the one
+//	                                cached copy through ReadPlanAt
+//	DELETE /v1/plans/{id}           drop a cached plan
+//	POST /v1/sessions               open an incremental session: a cube
+//	                                plus a scheme name bind a streaming
+//	                                validator fed round batches
+//	POST /v1/sessions/{id}/rounds   append a round batch (JSON envelope,
+//	                                linecomm.ReadRoundBatch)
+//	POST /v1/sessions/{id}/close    finish the stream, get the Report
+//
+// Every schedio byte that arrives here is untrusted: decoders cap
+// wire-driven allocation, uploads are size-limited, and malformed input
+// yields a structured {"error": ...} with a 4xx status — never a 500,
+// never a panic. Resource use is bounded the same way: the validator's
+// working state scales with the cube order a header *declares* (a
+// 25-byte file can name a 2^26-vertex cube), so the service refuses
+// cubes past a configurable dimension bound, runs verifications under a
+// concurrency limiter, and caps the number of open sessions.
+package planserver
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sparsehypercube"
+	"sparsehypercube/internal/schedio"
+)
+
+const (
+	// DefaultMaxUpload bounds plan uploads and round batches (1 GiB — a
+	// ~4 B/call plan far beyond the largest simulatable cube).
+	DefaultMaxUpload = 1 << 30
+
+	// DefaultMaxN bounds the cube dimension the service binds a
+	// validator to. The streaming validator's bit sets scale with
+	// order*n — a hostile header is 25 bytes, the state it would demand
+	// is not — so anything above the bound is refused up front.
+	DefaultMaxN = 24
+
+	// DefaultMaxSessions bounds concurrently open incremental sessions,
+	// each of which holds live validator state until closed.
+	DefaultMaxSessions = 64
+)
+
+// Server is the verification service. The zero value is not usable;
+// construct with New.
+type Server struct {
+	maxUpload   int64
+	maxN        int
+	maxSessions int
+	verifySem   chan struct{} // limits concurrently running verifications
+
+	mu       sync.RWMutex
+	plans    map[string]*servedPlan
+	sessions map[string]*session
+
+	sessionSeq atomic.Int64
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxUpload caps the bytes accepted per plan upload or round batch.
+func WithMaxUpload(n int64) Option {
+	return func(s *Server) { s.maxUpload = n }
+}
+
+// WithMaxN caps the cube dimension the service will verify.
+func WithMaxN(n int) Option {
+	return func(s *Server) { s.maxN = n }
+}
+
+// WithMaxSessions caps concurrently open incremental sessions.
+func WithMaxSessions(n int) Option {
+	return func(s *Server) { s.maxSessions = n }
+}
+
+// WithVerifyConcurrency caps concurrently *running* verifications.
+// Requests beyond the cap queue; they are not rejected — any number of
+// concurrent verification requests complete, the limiter only bounds
+// peak validator memory and CPU.
+func WithVerifyConcurrency(n int) Option {
+	return func(s *Server) { s.verifySem = make(chan struct{}, max(1, n)) }
+}
+
+// New constructs a Server.
+func New(opts ...Option) *Server {
+	s := &Server{
+		maxUpload:   DefaultMaxUpload,
+		maxN:        DefaultMaxN,
+		maxSessions: DefaultMaxSessions,
+		plans:       make(map[string]*servedPlan),
+		sessions:    make(map[string]*session),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.verifySem == nil {
+		s.verifySem = make(chan struct{}, max(2, runtime.NumCPU()))
+	}
+	return s
+}
+
+// acquireVerify claims a verification slot; the returned release must
+// be called when the validator finishes.
+func (s *Server) acquireVerify() (release func()) {
+	s.verifySem <- struct{}{}
+	return func() { <-s.verifySem }
+}
+
+// checkN enforces the served cube-dimension bound.
+func (s *Server) checkN(n int) error {
+	if n > s.maxN {
+		return fmt.Errorf("cube dimension %d exceeds the served maximum %d", n, s.maxN)
+	}
+	return nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/plans", s.handlePlanUpload)
+	mux.HandleFunc("GET /v1/plans/{id}", s.handlePlanInfo)
+	mux.HandleFunc("POST /v1/plans/{id}/verify", s.handlePlanVerify)
+	mux.HandleFunc("DELETE /v1/plans/{id}", s.handlePlanDelete)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
+	mux.HandleFunc("POST /v1/sessions/{id}/rounds", s.handleSessionRounds)
+	mux.HandleFunc("POST /v1/sessions/{id}/close", s.handleSessionClose)
+	return mux
+}
+
+// servedPlan is one cached plan: the single in-memory copy of its bytes
+// and the reusable ReadPlanAt handle every verifier shares.
+type servedPlan struct {
+	info PlanInfo
+	plan *sparsehypercube.Plan
+}
+
+// PlanInfo is the metadata envelope for a cached plan.
+type PlanInfo struct {
+	ID      string `json:"id"`
+	K       int    `json:"k"`
+	Dims    []int  `json:"dims"`
+	Scheme  string `json:"scheme"`
+	Source  uint64 `json:"source"`
+	Bytes   int64  `json:"bytes"`
+	Rounds  int    `json:"rounds"`
+	Indexed bool   `json:"indexed"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits the structured error envelope. Malformed input is
+// the client's fault, so everything routed here is a 4xx.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// uploadStatus maps a body-read failure to a status: over-limit bodies
+// are 413, everything else a plain 400.
+func uploadStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// handleVerify streams one plan file from the request body through the
+// decoder into the stream validator and returns the Report — the
+// one-shot form, nothing cached, nothing materialised.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
+	plan, err := sparsehypercube.ReadPlan(body)
+	if err != nil {
+		writeError(w, uploadStatus(err), "invalid plan: %v", err)
+		return
+	}
+	if err := s.checkN(plan.Cube().N()); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	release := s.acquireVerify()
+	rep := plan.Verify()
+	release()
+	// An over-limit body is a size-policy failure, not a verdict on the
+	// plan: a valid plan larger than the cap must get the same 413 an
+	// upload to /v1/plans gets, never a definitive valid:false Report.
+	var mbe *http.MaxBytesError
+	if errors.As(plan.Err(), &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading upload: %v", mbe)
+		return
+	}
+	// Other decode failures past the header fold into the report as
+	// replay violations — the upload "verified" as definitively broken,
+	// which is an answer, not a server error.
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handlePlanUpload validates and caches a plan. The plan is addressed
+// by content hash, so re-uploading an already-served file is a no-op
+// that returns the existing entry.
+func (s *Server) handlePlanUpload(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxUpload))
+	if err != nil {
+		writeError(w, uploadStatus(err), "reading upload: %v", err)
+		return
+	}
+	// The full digest is the address: peers are hostile, and a truncated
+	// hash would open the dedupe path to birthday-collision poisoning.
+	sum := sha256.Sum256(data)
+	id := hex.EncodeToString(sum[:])
+
+	s.mu.RLock()
+	sp, ok := s.plans[id]
+	s.mu.RUnlock()
+	if ok {
+		writeJSON(w, http.StatusOK, sp.info)
+		return
+	}
+
+	sp, err = s.newServedPlan(id, data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid plan: %v", err)
+		return
+	}
+	status := http.StatusCreated
+	s.mu.Lock()
+	if existing, ok := s.plans[id]; ok {
+		// A concurrent identical upload won the insert race: serve its
+		// copy, and report 200 exactly as the sequential dedupe path does.
+		sp, status = existing, http.StatusOK
+	} else {
+		s.plans[id] = sp
+	}
+	s.mu.Unlock()
+	writeJSON(w, status, sp.info)
+}
+
+// newServedPlan fully validates an uploaded plan — structure, plan
+// checksum, index agreement, stream/random-access consistency — in one
+// Check scan, and builds the shared verification handle. Everything
+// downstream trusts the bytes because of this one scan. (ReadPlanAt
+// re-parses the small header/trailer that OpenPlanAt already read;
+// deduplicating that would mean routing internal schedio types through
+// the public facade, a poor trade for microseconds per upload.)
+func (s *Server) newServedPlan(id string, data []byte) (*servedPlan, error) {
+	at, err := schedio.OpenPlanAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	h := at.Header()
+	if err := s.checkN(h.Dims[len(h.Dims)-1]); err != nil {
+		return nil, err
+	}
+	rounds, err := at.Check()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sparsehypercube.ReadPlanAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	return &servedPlan{
+		info: PlanInfo{
+			ID:      id,
+			K:       h.K,
+			Dims:    h.Dims,
+			Scheme:  h.Scheme,
+			Source:  h.Source,
+			Bytes:   int64(len(data)),
+			Rounds:  rounds,
+			Indexed: at.Indexed(),
+		},
+		plan: plan,
+	}, nil
+}
+
+func (s *Server) lookupPlan(id string) (*servedPlan, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sp, ok := s.plans[id]
+	return sp, ok
+}
+
+func (s *Server) handlePlanInfo(w http.ResponseWriter, r *http.Request) {
+	sp, ok := s.lookupPlan(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown plan %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sp.info)
+}
+
+// handlePlanVerify replays the cached plan through its own decoder —
+// the Plan handle is safe for any number of concurrent verifiers, all
+// sharing the one cached byte copy.
+func (s *Server) handlePlanVerify(w http.ResponseWriter, r *http.Request) {
+	sp, ok := s.lookupPlan(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown plan %q", r.PathValue("id"))
+		return
+	}
+	release := s.acquireVerify()
+	rep := sp.plan.Verify()
+	release()
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handlePlanDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.plans[id]
+	delete(s.plans, id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown plan %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,190 @@
+package planserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"sparsehypercube"
+	"sparsehypercube/internal/linecomm"
+)
+
+// session is one open incremental verification: a streaming validator
+// running in its own goroutine, fed rounds over a channel as batches
+// arrive. The validator sees exactly the round stream a file replay
+// would produce, so a closed session's Report matches what Verify on
+// the equivalent plan file reports.
+type session struct {
+	id   string
+	ch   chan []sparsehypercube.Call
+	done chan struct{}
+
+	// report is written once by the validator goroutine before done is
+	// closed; readers wait on done first.
+	report sparsehypercube.Report
+
+	// sendMu serialises producers: batches append in arrival order, and
+	// close cannot race a send.
+	sendMu   sync.Mutex
+	closed   bool
+	received int
+}
+
+// sessionRequest opens a session. Dims (explicit parameter vector)
+// takes precedence over K/N (automatic construction). Scheme names
+// bind exactly as stored plans do: "gossip" verifies under the
+// telephone-model gossip validator (with optional restricted Sources),
+// anything else under single-source broadcast from Source.
+type sessionRequest struct {
+	K       int      `json:"k"`
+	N       int      `json:"n"`
+	Dims    []int    `json:"dims,omitempty"`
+	Scheme  string   `json:"scheme"`
+	Source  uint64   `json:"source"`
+	Sources []uint64 `json:"sources,omitempty"`
+}
+
+type sessionResponse struct {
+	ID string `json:"id"`
+}
+
+type roundsResponse struct {
+	ID       string `json:"id"`
+	Accepted int    `json:"accepted"`
+	Received int    `json:"received"`
+}
+
+func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if err := decodeJSONBody(w, r, s.maxUpload, &req); err != nil {
+		writeError(w, uploadStatus(err), "session request: %v", err)
+		return
+	}
+	if req.Scheme == "" {
+		req.Scheme = "broadcast"
+	}
+	var (
+		cube *sparsehypercube.Cube
+		err  error
+	)
+	if len(req.Dims) > 0 {
+		cube, err = sparsehypercube.NewWithDims(len(req.Dims), req.Dims)
+	} else {
+		cube, err = sparsehypercube.New(req.K, req.N)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "session cube: %v", err)
+		return
+	}
+	if err := s.checkN(cube.N()); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	sess := &session{
+		id:   fmt.Sprintf("s%d", s.sessionSeq.Add(1)),
+		ch:   make(chan []sparsehypercube.Call, 16),
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	// Each open session pins live validator state until closed, so the
+	// count is bounded; eviction of abandoned sessions is future work
+	// (ROADMAP), the cap keeps the leak bounded meanwhile.
+	if len(s.sessions) >= s.maxSessions {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "session limit reached (%d open)", s.maxSessions)
+		return
+	}
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+	go sess.run(cube, req)
+	writeJSON(w, http.StatusCreated, sessionResponse{ID: sess.id})
+}
+
+// run feeds the channel into the scheme's streaming validator, then
+// keeps draining so producers never block on a validator that stopped
+// consuming early (bad source, fatal violation).
+func (sess *session) run(cube *sparsehypercube.Cube, req sessionRequest) {
+	seq := func(yield func([]sparsehypercube.Call) bool) {
+		for round := range sess.ch {
+			if !yield(round) {
+				return
+			}
+		}
+	}
+	var rep sparsehypercube.Report
+	if req.Scheme == "gossip" {
+		rep = sparsehypercube.MultiSourceScheme{Root: req.Source, Sources: req.Sources}.
+			VerifyPlan(cube, seq)
+	} else {
+		rep = cube.Plan(sparsehypercube.RoundScheme(req.Scheme, req.Source, seq)).Verify()
+	}
+	sess.report = rep
+	for range sess.ch {
+	}
+	close(sess.done)
+}
+
+func (s *Server) lookupSession(id string) (*session, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+func (s *Server) handleSessionRounds(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	batch, err := linecomm.ReadRoundBatch(http.MaxBytesReader(w, r.Body, s.maxUpload))
+	if err != nil {
+		writeError(w, uploadStatus(err), "round batch: %v", err)
+		return
+	}
+	sess.sendMu.Lock()
+	defer sess.sendMu.Unlock()
+	if sess.closed {
+		writeError(w, http.StatusConflict, "session %s already closed", sess.id)
+		return
+	}
+	for _, round := range batch {
+		calls := make([]sparsehypercube.Call, len(round))
+		for i, c := range round {
+			calls[i] = sparsehypercube.Call{Path: c.Path}
+		}
+		sess.ch <- calls
+	}
+	sess.received += len(batch)
+	writeJSON(w, http.StatusOK, roundsResponse{ID: sess.id, Accepted: len(batch), Received: sess.received})
+}
+
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	sess.sendMu.Lock()
+	if sess.closed {
+		sess.sendMu.Unlock()
+		writeError(w, http.StatusConflict, "session %s already closing", sess.id)
+		return
+	}
+	sess.closed = true
+	close(sess.ch)
+	sess.sendMu.Unlock()
+
+	<-sess.done
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, sess.report)
+}
+
+// decodeJSONBody decodes one bounded JSON value.
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+	return json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(v)
+}

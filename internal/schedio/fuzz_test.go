@@ -2,6 +2,9 @@ package schedio
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"iter"
 	"reflect"
 	"testing"
 
@@ -22,6 +25,72 @@ func fuzzSeed(f *testing.F, k, n int, source uint64) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+}
+
+// fuzzSeedIndexed is fuzzSeed with the round index appended.
+func fuzzSeedIndexed(f *testing.F, k, n int, source uint64) {
+	f.Helper()
+	s, err := core.NewAuto(k, n)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	h := Header{K: s.Params().K, Dims: s.Params().Dims, Scheme: "broadcast", Source: source}
+	if _, err := WriteIndexed(&buf, h, s.ScheduleRounds(source)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+}
+
+// adversarialHeaders are tiny hostile inputs that declare huge counts —
+// round calls, path lengths, dims, scheme names, index rounds — with no
+// bytes to back them. Shared between the fuzz corpus and the
+// deterministic decoder tests: every one must fail with a clean error
+// while allocating no more than a fixed multiple of its real size.
+func adversarialHeaders() [][]byte {
+	// A minimal valid header: magic, version 1, k=1, one dim (4), scheme
+	// "broadcast", source 0.
+	head := func() []byte {
+		b := []byte(magic)
+		b = append(b, 1, 1, 1, 4)
+		b = append(b, byte(len("broadcast")))
+		b = append(b, "broadcast"...)
+		return append(b, 0)
+	}
+	uv := func(b []byte, v uint64) []byte {
+		for v >= 0x80 {
+			b = append(b, byte(v)|0x80)
+			v >>= 7
+		}
+		return append(b, byte(v))
+	}
+	var out [][]byte
+	// A round declaring 2^60 calls in a 30-byte file.
+	out = append(out, uv(head(), 1<<60+1))
+	// A round whose declared call count sits just past maxRoundCalls.
+	out = append(out, uv(head(), maxRoundCalls+2))
+	// One call declaring a 2^50-vertex path.
+	out = append(out, uv(uv(head(), 2), 1<<50))
+	// A header declaring 2^40 dims.
+	out = append(out, uv([]byte{'S', 'H', 'C', 'P', 1, 1}, 1<<40))
+	// A header declaring a 2^30-byte scheme name.
+	out = append(out, uv([]byte{'S', 'H', 'C', 'P', 1, 1, 1, 4}, 1<<30))
+	// A plan whose index declares 2^35 rounds backed by nothing: encode a
+	// real empty-ish plan, then splice a hostile index after its CRC.
+	var buf bytes.Buffer
+	if _, err := Write(&buf, Header{K: 1, Dims: []int{4}, Scheme: "broadcast"}, emptyRounds()); err == nil {
+		idx := []byte(indexMagic)
+		idx = uv(idx, 1<<35)
+		idx = uv(idx, 14)
+		idx = binary.LittleEndian.AppendUint32(idx, crc32.ChecksumIEEE(idx))
+		idx = binary.LittleEndian.AppendUint32(idx, uint32(len(idx)))
+		out = append(out, append(buf.Bytes(), idx...))
+	}
+	return out
+}
+
+func emptyRounds() iter.Seq[linecomm.Round] {
+	return func(yield func(linecomm.Round) bool) {}
 }
 
 // encodeGossipPlan streams the 2n-round gather-scatter gossip scheme of a
@@ -49,8 +118,12 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	fuzzSeed(f, 1, 4, 0)
 	fuzzSeed(f, 2, 7, 3)
 	fuzzSeed(f, 3, 9, 100)
+	fuzzSeedIndexed(f, 2, 7, 3)
 	f.Add([]byte("SHCP"))
 	f.Add([]byte{})
+	for _, adv := range adversarialHeaders() {
+		f.Add(adv)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := NewDecoder(bytes.NewReader(data))
 		if err != nil {
@@ -67,8 +140,12 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		if consumed != int64(len(data)) {
 			t.Fatalf("decode succeeded consuming %d of %d bytes", consumed, len(data))
 		}
+		encode := Encode
+		if d.HasIndex() {
+			encode = EncodeIndexed
+		}
 		var re bytes.Buffer
-		if _, err := Encode(&re, d.Header(), s); err != nil {
+		if _, err := encode(&re, d.Header(), s); err != nil {
 			t.Fatalf("decoded plan failed to re-encode: %v", err)
 		}
 		if !bytes.Equal(re.Bytes(), data[:consumed]) {
@@ -104,6 +181,9 @@ func FuzzGossipPlanRoundTrip(f *testing.F) {
 	flipped := append([]byte(nil), trunc...)
 	flipped[len(flipped)/2] ^= 0x40
 	f.Add(flipped)
+	for _, adv := range adversarialHeaders() {
+		f.Add(adv)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := NewDecoder(bytes.NewReader(data))
 		if err != nil {
@@ -119,8 +199,12 @@ func FuzzGossipPlanRoundTrip(f *testing.F) {
 		if consumed := d.Consumed(); consumed != int64(len(data)) {
 			t.Fatalf("decode succeeded consuming %d of %d bytes", consumed, len(data))
 		}
+		encode := Encode
+		if d.HasIndex() {
+			encode = EncodeIndexed
+		}
 		var re bytes.Buffer
-		if _, err := Encode(&re, d.Header(), s); err != nil {
+		if _, err := encode(&re, d.Header(), s); err != nil {
 			t.Fatalf("decoded plan failed to re-encode: %v", err)
 		}
 		if !bytes.Equal(re.Bytes(), data) {

@@ -1,0 +1,354 @@
+package schedio
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"sparsehypercube/internal/core"
+	"sparsehypercube/internal/linecomm"
+)
+
+// encodePlan streams a (k, n) broadcast plan, optionally indexed.
+func encodePlan(tb testing.TB, k, n int, source uint64, indexed bool) []byte {
+	tb.Helper()
+	s, err := core.NewAuto(k, n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	h := Header{K: s.Params().K, Dims: s.Params().Dims, Scheme: "broadcast", Source: source}
+	write := Write
+	if indexed {
+		write = WriteIndexed
+	}
+	if _, err := write(&buf, h, s.ScheduleRounds(source)); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestIndexedPlanStreamDecode pins the indexed file down to the stream
+// decoder: it decodes cleanly, reports the index, and re-encodes byte
+// for byte through EncodeIndexed.
+func TestIndexedPlanStreamDecode(t *testing.T) {
+	for _, kn := range [][2]int{{1, 4}, {2, 7}, {3, 9}} {
+		k, n := kn[0], kn[1]
+		enc := encodePlan(t, k, n, 1, true)
+		plain := encodePlan(t, k, n, 1, false)
+		if len(enc) <= len(plain) {
+			t.Fatalf("k=%d: indexed file (%d B) not larger than plain (%d B)", k, len(enc), len(plain))
+		}
+		if !bytes.Equal(enc[:len(plain)], plain) {
+			t.Fatalf("k=%d: indexed file does not extend the plain encoding", k)
+		}
+
+		d, err := NewDecoder(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		s := &linecomm.Schedule{Source: d.Header().Source}
+		for round := range d.Rounds() {
+			s.Rounds = append(s.Rounds, linecomm.CloneRound(round))
+		}
+		if err := d.Err(); err != nil {
+			t.Fatalf("k=%d: indexed plan failed stream decode: %v", k, err)
+		}
+		if !d.HasIndex() {
+			t.Fatalf("k=%d: index not reported", k)
+		}
+		if got := d.Consumed(); got != int64(len(enc)) {
+			t.Fatalf("k=%d: consumed %d of %d bytes", k, got, len(enc))
+		}
+		var re bytes.Buffer
+		if _, err := EncodeIndexed(&re, d.Header(), s); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re.Bytes(), enc) {
+			t.Fatalf("k=%d: indexed re-encode not byte-identical", k)
+		}
+	}
+}
+
+// TestPlanAtRandomAccess checks OpenPlanAt against the stream decoder:
+// every indexed round random-accesses to exactly the streamed round, in
+// any order, including concurrently.
+func TestPlanAtRandomAccess(t *testing.T) {
+	enc := encodePlan(t, 2, 8, 3, true)
+	p, err := OpenPlanAt(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Indexed() {
+		t.Fatal("index not detected")
+	}
+	if rounds, err := p.Check(); err != nil || rounds != 8 {
+		t.Fatalf("Check = (%d, %v), want (8, nil)", rounds, err)
+	}
+	d, err := p.NewDecoder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []linecomm.Round
+	for round := range d.Rounds() {
+		want = append(want, linecomm.CloneRound(round))
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRounds() != len(want) {
+		t.Fatalf("NumRounds = %d, streamed %d", p.NumRounds(), len(want))
+	}
+	// Backwards, to prove access order does not matter.
+	for i := p.NumRounds() - 1; i >= 0; i-- {
+		got, err := p.Round(i)
+		if err != nil {
+			t.Fatalf("Round(%d): %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("Round(%d) diverges from stream", i)
+		}
+	}
+	if _, err := p.Round(p.NumRounds()); err == nil {
+		t.Fatal("out-of-range round accepted")
+	}
+	if _, err := p.Round(-1); err == nil {
+		t.Fatal("negative round accepted")
+	}
+
+	// Concurrent readers share the one copy: fresh decoders and random
+	// accesses from many goroutines must all agree.
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				d, err := p.NewDecoder()
+				if err != nil {
+					errs <- err
+					return
+				}
+				i := 0
+				for round := range d.Rounds() {
+					if !reflect.DeepEqual(linecomm.CloneRound(round), want[i]) {
+						errs <- fmt.Errorf("goroutine %d: stream round %d diverges", g, i)
+						return
+					}
+					i++
+				}
+				errs <- d.Err()
+				return
+			}
+			for i := range want {
+				got, err := p.Round((i + g) % len(want))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want[(i+g)%len(want)]) {
+					errs <- fmt.Errorf("goroutine %d: random round diverges", g)
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPlanAtUnindexed: a plain plan file opens fine, streams fine, and
+// reports the absence of random access instead of guessing.
+func TestPlanAtUnindexed(t *testing.T) {
+	enc := encodePlan(t, 2, 7, 0, false)
+	p, err := OpenPlanAt(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Indexed() || p.NumRounds() != -1 {
+		t.Fatalf("plain file reported as indexed (rounds %d)", p.NumRounds())
+	}
+	if _, err := p.Round(0); err == nil {
+		t.Fatal("Round succeeded without an index")
+	}
+	if rounds, err := p.Check(); err != nil || rounds != 7 {
+		t.Fatalf("Check = (%d, %v), want (7, nil)", rounds, err)
+	}
+	d, err := p.NewDecoder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 0
+	for range d.Rounds() {
+		rounds++
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 7 {
+		t.Fatalf("streamed %d rounds, want 7", rounds)
+	}
+}
+
+// TestIndexCorruptionSweep flips every byte of the index region and
+// truncates at every index prefix: each must fail at OpenPlanAt, at
+// Check, or at the stream decoder — never decode cleanly.
+func TestIndexCorruptionSweep(t *testing.T) {
+	enc := encodePlan(t, 2, 7, 1, true)
+	plain := encodePlan(t, 2, 7, 1, false)
+	idxStart := len(plain)
+
+	decodesCleanly := func(data []byte) bool {
+		// The stream decoder is the arbiter: index disagreement, bad
+		// checksums, and trailing garbage all surface through Err.
+		d, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			return false
+		}
+		for range d.Rounds() {
+		}
+		return d.Err() == nil
+	}
+	for i := idxStart; i < len(enc); i++ {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x01
+		if decodesCleanly(bad) {
+			t.Fatalf("flip at index byte %d decoded cleanly", i-idxStart)
+		}
+	}
+	for cut := idxStart + 1; cut < len(enc); cut++ {
+		if decodesCleanly(enc[:cut]) {
+			t.Fatalf("index truncated at %d decoded cleanly", cut-idxStart)
+		}
+	}
+	// OpenPlanAt on a recognisable-but-corrupt index must error rather
+	// than silently fall back to unindexed.
+	bad := append([]byte(nil), enc...)
+	bad[idxStart+len(indexMagic)] ^= 0x01 // round count varint
+	if p, err := OpenPlanAt(bytes.NewReader(bad), int64(len(bad))); err == nil && p.Indexed() {
+		t.Fatal("corrupt index opened as indexed")
+	}
+}
+
+// TestCheckIndexStreamConsistency pins Check's cross-interpretation
+// guard: a PlanAt that believes it has an index while the stream decode
+// of the same bytes sees none (the shape a CRC-forged ambiguous file
+// produces) must fail Check, not quietly serve the prefix plan.
+func TestCheckIndexStreamConsistency(t *testing.T) {
+	indexed := encodePlan(t, 2, 7, 1, true)
+	plain := encodePlan(t, 2, 7, 1, false)
+	p, err := OpenPlanAt(bytes.NewReader(indexed), int64(len(indexed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the backing bytes for the plain encoding (same plan, no
+	// trailer): the random-access view still says Indexed, the stream
+	// says otherwise.
+	p.r = bytes.NewReader(plain)
+	p.size = int64(len(plain))
+	if _, err := p.Check(); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("Check on inconsistent views = %v, want inconsistency error", err)
+	}
+}
+
+// TestAdversarialHeaders drives every crafted hostile input through the
+// stream decoder and OpenPlanAt: clean errors, no panics.
+func TestAdversarialHeaders(t *testing.T) {
+	for i, data := range adversarialHeaders() {
+		d, err := NewDecoder(bytes.NewReader(data))
+		if err == nil {
+			for range d.Rounds() {
+			}
+			err = d.Err()
+		}
+		if err == nil {
+			t.Fatalf("adversarial input %d decoded cleanly", i)
+		}
+		if msg := err.Error(); !strings.HasPrefix(msg, "schedio: ") {
+			t.Fatalf("adversarial input %d: unwrapped error %q", i, msg)
+		}
+		if p, err := OpenPlanAt(bytes.NewReader(data), int64(len(data))); err == nil {
+			if _, err := p.Check(); err == nil {
+				t.Fatalf("adversarial input %d passed PlanAt.Check", i)
+			}
+		}
+	}
+}
+
+// TestDecoderAllocationBound is the acceptance bound made executable:
+// decoding a tiny hostile input must not allocate more than a fixed
+// multiple of the bytes actually read. The decoder's fixed footprint is
+// its 32 KiB read buffer; everything beyond that budget would mean a
+// declared count was trusted for allocation.
+func TestDecoderAllocationBound(t *testing.T) {
+	inputs := adversarialHeaders()
+	const perDecodeBudget = 256 << 10 // fixed footprint + slack, per decode
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	const reps = 8
+	for r := 0; r < reps; r++ {
+		for _, data := range inputs {
+			d, err := NewDecoder(bytes.NewReader(data))
+			if err != nil {
+				continue
+			}
+			for range d.Rounds() {
+			}
+		}
+	}
+	runtime.ReadMemStats(&after)
+	total := after.TotalAlloc - before.TotalAlloc
+	budget := uint64(reps * len(inputs) * perDecodeBudget)
+	if total > budget {
+		t.Fatalf("decoding %d tiny hostile inputs allocated %d bytes (budget %d)",
+			reps*len(inputs), total, budget)
+	}
+}
+
+// TestDecoderConcurrentClaim: a second, concurrent Rounds call fails
+// with a clean error; the winner's decode is unaffected.
+func TestDecoderConcurrentClaim(t *testing.T) {
+	enc := encodePlan(t, 2, 7, 0, false)
+	d, err := NewDecoder(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	counts := make([]int, 4)
+	for g := range counts {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for range d.Rounds() {
+				counts[g]++
+			}
+		}(g)
+	}
+	wg.Wait()
+	winners, rounds := 0, 0
+	for _, c := range counts {
+		if c > 0 {
+			winners++
+			rounds = c
+		}
+	}
+	if winners != 1 || rounds != 7 {
+		t.Fatalf("winners = %d, rounds = %d (want exactly one winner with 7)", winners, rounds)
+	}
+	if err := d.Err(); err == nil || !strings.Contains(err.Error(), "already consumed") {
+		t.Fatalf("losers' error = %v", err)
+	}
+}

@@ -28,9 +28,24 @@
 //	    uvarint path[i-1]^path[i]  pathLen-1 XOR deltas
 //	uint32  CRC-32 (IEEE), little endian, of every preceding byte
 //
-// The checksum must be the end of the stream: trailing bytes are
-// treated as corruption (an appended-to file), so one plan file holds
-// exactly one plan.
+// The checksum must be the end of the plan: trailing bytes are treated
+// as corruption (an appended-to file), so one plan file holds exactly
+// one plan — with one exception, the optional round index a serving
+// process uses for random access (see WriteIndexed):
+//
+//	magic   "SHIX" (4 bytes)
+//	uvarint numRounds
+//	uvarint offset[0]              byte offset of round 1's marker
+//	uvarint offset[i]-offset[i-1]  numRounds deltas; the last entry is
+//	                               the offset of the terminating 0
+//	uint32  CRC-32 (IEEE), little endian, of the index bytes above
+//	uint32  index length in bytes (magic through index CRC), little
+//	        endian — a fixed-size trailer, so an io.ReaderAt finds the
+//	        index from the file end without scanning the plan
+//
+// The streaming decoder cross-checks an index against the round
+// boundaries it actually saw, so a file whose index disagrees with its
+// round stream never decodes cleanly.
 //
 // Hypercube call paths flip one dimension bit per hop, so the XOR deltas
 // are single powers of two and encode in one or two bytes for the low
@@ -48,6 +63,7 @@ import (
 	"hash/crc32"
 	"io"
 	"iter"
+	"sync"
 
 	"sparsehypercube/internal/linecomm"
 )
@@ -56,9 +72,13 @@ const (
 	// Version is the current format version.
 	Version = 1
 
-	magic = "SHCP"
+	magic      = "SHCP"
+	indexMagic = "SHIX"
 
-	// maxDims caps the parameter vector length the codec accepts.
+	// maxDims caps the parameter vector length the codec accepts. Header
+	// fields sized from wire varints (dims, scheme name) stay under these
+	// fixed small bounds, so header decoding allocates O(1) bytes no
+	// matter what counts a hostile header declares.
 	maxDims = 64
 	// maxDim caps individual dimension values (core.MaxN is 40).
 	maxDim = 64
@@ -67,6 +87,15 @@ const (
 	// maxPathLen caps a single call path; the paper's schemes use at most
 	// k+1 vertices, so this is purely a hostile-input bound.
 	maxPathLen = 1 << 20
+	// maxRoundCalls caps a single round's declared call count. A round can
+	// never hold more calls than half the largest cube's order, and a file
+	// actually containing that many calls would be petabytes; the bound
+	// exists so a tiny hostile file declaring a huge count fails
+	// immediately with a clean error. Call storage itself only ever grows
+	// as call bytes are read, never from this declared count.
+	maxRoundCalls = 1 << 44
+	// maxIndexRounds caps the declared round count in a round index.
+	maxIndexRounds = 1 << 32
 )
 
 // Header identifies the plan stored in a file: the construction
@@ -104,6 +133,34 @@ func (h Header) validate() error {
 // yielded rounds may reuse storage between iterations — so a schedule
 // never has to be materialised to be stored.
 func Write(w io.Writer, h Header, rounds iter.Seq[linecomm.Round]) (int64, error) {
+	return writePlan(w, h, rounds, nil)
+}
+
+// WriteIndexed is Write plus a round index appended after the checksum:
+// the byte offset of every round marker (and the stream terminator),
+// delta-encoded, checksummed, and closed by a fixed-size length trailer.
+// An indexed file replays exactly like a plain one through any decoder
+// in this package, and additionally supports per-round random access
+// through OpenPlanAt — the form a serving process wants, where many
+// concurrent verifiers share one copy of the file.
+func WriteIndexed(w io.Writer, h Header, rounds iter.Seq[linecomm.Round]) (int64, error) {
+	var offs []int64
+	n, err := writePlan(w, h, rounds, &offs)
+	if err != nil {
+		return n, err
+	}
+	idx := appendIndex(nil, offs)
+	ni, err := w.Write(idx)
+	n += int64(ni)
+	if err != nil {
+		return n, fmt.Errorf("schedio: writing index: %w", err)
+	}
+	return n, nil
+}
+
+// writePlan encodes the plan proper, recording the byte offset of every
+// round marker plus the terminator into offs when non-nil.
+func writePlan(w io.Writer, h Header, rounds iter.Seq[linecomm.Round], offs *[]int64) (int64, error) {
 	if err := h.validate(); err != nil {
 		return 0, err
 	}
@@ -119,6 +176,9 @@ func Write(w io.Writer, h Header, rounds iter.Seq[linecomm.Round]) (int64, error
 	e.bytes([]byte(h.Scheme))
 	e.uvarint(h.Source)
 	for round := range rounds {
+		if offs != nil {
+			*offs = append(*offs, e.offset())
+		}
 		e.uvarint(uint64(len(round)) + 1)
 		for _, call := range round {
 			e.uvarint(uint64(len(call.Path)))
@@ -133,6 +193,9 @@ func Write(w io.Writer, h Header, rounds iter.Seq[linecomm.Round]) (int64, error
 		if e.err != nil {
 			break // stop consuming the producer once the sink is dead
 		}
+	}
+	if offs != nil {
+		*offs = append(*offs, e.offset())
 	}
 	e.uvarint(0)
 	e.flush()
@@ -149,9 +212,34 @@ func Write(w io.Writer, h Header, rounds iter.Seq[linecomm.Round]) (int64, error
 	return e.n, nil
 }
 
+// appendIndex appends the round-index section for the recorded offsets
+// (round markers plus terminator, as writePlan records them).
+func appendIndex(buf []byte, offs []int64) []byte {
+	start := len(buf)
+	buf = append(buf, indexMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(offs)-1))
+	var prev int64
+	for i, off := range offs {
+		if i == 0 {
+			buf = binary.AppendUvarint(buf, uint64(off))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(off-prev))
+		}
+		prev = off
+	}
+	crc := crc32.ChecksumIEEE(buf[start:])
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	return binary.LittleEndian.AppendUint32(buf, uint32(len(buf)-start))
+}
+
 // Encode is Write over a materialised schedule.
 func Encode(w io.Writer, h Header, s *linecomm.Schedule) (int64, error) {
 	return Write(w, h, s.Stream())
+}
+
+// EncodeIndexed is WriteIndexed over a materialised schedule.
+func EncodeIndexed(w io.Writer, h Header, s *linecomm.Schedule) (int64, error) {
+	return WriteIndexed(w, h, s.Stream())
 }
 
 // encoder buffers output and folds the running CRC at flush boundaries.
@@ -193,15 +281,31 @@ func (e *encoder) bytes(b []byte) {
 	}
 }
 
+// offset returns the logical write position: bytes flushed plus bytes
+// still buffered.
+func (e *encoder) offset() int64 { return e.n + int64(len(e.buf)) }
+
 // Decoder reads a plan back: the header eagerly (at NewDecoder time), the
 // rounds lazily through a single-use iterator that reuses its buffers
 // between rounds. After the iterator is drained, Err reports whether the
 // stream decoded cleanly and the trailing checksum matched.
+//
+// A Decoder is single-use but safe against concurrent misuse: Err may be
+// called from any goroutine, and a second (even concurrent) Rounds call
+// fails with a clean error instead of racing on the underlying reader.
 type Decoder struct {
-	src      byteSource
-	h        Header
+	src byteSource
+	h   Header
+
+	mu       sync.Mutex
 	err      error
 	consumed bool
+	hasIndex bool
+
+	// roundOffs records the byte offset of every round marker seen, plus
+	// the terminator, to cross-check a trailing index. One word per round
+	// actually read, so growth stays proportional to bytes consumed.
+	roundOffs []int64
 }
 
 // NewDecoder reads and validates the header from r. The returned decoder
@@ -275,8 +379,49 @@ func (d *Decoder) Consumed() int64 { return d.src.n }
 
 // Err returns the first decode error, or nil when the stream (as far as
 // it has been consumed) decoded cleanly. A fully drained round iterator
-// additionally implies the trailing checksum matched.
-func (d *Decoder) Err() error { return d.err }
+// additionally implies the trailing checksum matched. Err is safe to
+// call concurrently.
+func (d *Decoder) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+// HasIndex reports whether the stream carried a (verified) round index
+// after its checksum. Meaningful only after the round iterator drained.
+func (d *Decoder) HasIndex() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hasIndex
+}
+
+// setErr records the first decode error.
+func (d *Decoder) setErr(err error) {
+	if err == nil {
+		return
+	}
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.mu.Unlock()
+}
+
+// claim marks the round stream consumed; a second claim — including a
+// concurrent one — fails cleanly instead of racing on the reader.
+func (d *Decoder) claim() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return false
+	}
+	if d.consumed {
+		d.err = errors.New("schedio: round stream already consumed")
+		return false
+	}
+	d.consumed = true
+	return true
+}
 
 // Rounds returns the round stream. It is single use: a second call
 // yields nothing and flags an error. The yielded round and the paths
@@ -284,65 +429,20 @@ func (d *Decoder) Err() error { return d.err }
 // retain one. Stopping early leaves the checksum unverified.
 func (d *Decoder) Rounds() iter.Seq[linecomm.Round] {
 	return func(yield func(linecomm.Round) bool) {
-		if d.err != nil {
+		if !d.claim() {
 			return
 		}
-		if d.consumed {
-			d.err = errors.New("schedio: round stream already consumed")
-			return
-		}
-		d.consumed = true
-		var (
-			round linecomm.Round
-			arena []uint64
-			offs  []int
-		)
+		var sc roundScratch
 		for {
-			marker, err := d.uvarint("round header")
+			d.roundOffs = append(d.roundOffs, d.src.n)
+			round, done, err := d.readRound(&sc)
 			if err != nil {
-				d.err = err
+				d.setErr(err)
 				return
 			}
-			if marker == 0 {
-				d.err = d.checkFooter()
+			if done {
+				d.setErr(d.checkFooter())
 				return
-			}
-			numCalls := marker - 1
-			arena = arena[:0]
-			offs = offs[:0]
-			for ci := uint64(0); ci < numCalls; ci++ {
-				plen, err := d.uvarint("path length")
-				if err != nil {
-					d.err = err
-					return
-				}
-				if plen > maxPathLen {
-					d.err = fmt.Errorf("schedio: path length %d exceeds %d", plen, maxPathLen)
-					return
-				}
-				offs = append(offs, len(arena))
-				var prev uint64
-				for i := uint64(0); i < plen; i++ {
-					v, err := d.uvarint("path vertex")
-					if err != nil {
-						d.err = err
-						return
-					}
-					if i > 0 {
-						v ^= prev // stored as XOR delta from the previous hop
-					}
-					arena = append(arena, v)
-					prev = v
-				}
-			}
-			offs = append(offs, len(arena))
-			if cap(round) < len(offs)-1 {
-				round = make(linecomm.Round, len(offs)-1)
-			}
-			round = round[:len(offs)-1]
-			for i := range round {
-				lo, hi := offs[i], offs[i+1]
-				round[i] = linecomm.Call{Path: arena[lo:hi:hi]}
 			}
 			if !yield(round) {
 				return
@@ -351,9 +451,72 @@ func (d *Decoder) Rounds() iter.Seq[linecomm.Round] {
 	}
 }
 
+// roundScratch is the storage a round decode reuses between rounds: the
+// path arena, per-call offsets into it, and the round slice itself. All
+// three grow only as call bytes are actually read off the wire — never
+// from a declared count — so a hostile header cannot force allocation
+// beyond a fixed multiple of the bytes it backs with data.
+type roundScratch struct {
+	round linecomm.Round
+	arena []uint64
+	offs  []int
+}
+
+// readRound decodes one round into sc's reused storage. done is true at
+// the stream terminator (round is nil there).
+func (d *Decoder) readRound(sc *roundScratch) (round linecomm.Round, done bool, err error) {
+	marker, err := d.uvarint("round header")
+	if err != nil {
+		return nil, false, err
+	}
+	if marker == 0 {
+		return nil, true, nil
+	}
+	numCalls := marker - 1
+	if numCalls > maxRoundCalls {
+		return nil, false, fmt.Errorf("schedio: round declares %d calls (max %d)", numCalls, uint64(maxRoundCalls))
+	}
+	sc.arena = sc.arena[:0]
+	sc.offs = sc.offs[:0]
+	for ci := uint64(0); ci < numCalls; ci++ {
+		plen, err := d.uvarint("path length")
+		if err != nil {
+			return nil, false, err
+		}
+		if plen > maxPathLen {
+			return nil, false, fmt.Errorf("schedio: path length %d exceeds %d", plen, maxPathLen)
+		}
+		sc.offs = append(sc.offs, len(sc.arena))
+		var prev uint64
+		for i := uint64(0); i < plen; i++ {
+			v, err := d.uvarint("path vertex")
+			if err != nil {
+				return nil, false, err
+			}
+			if i > 0 {
+				v ^= prev // stored as XOR delta from the previous hop
+			}
+			sc.arena = append(sc.arena, v)
+			prev = v
+		}
+	}
+	sc.offs = append(sc.offs, len(sc.arena))
+	if cap(sc.round) < len(sc.offs)-1 {
+		sc.round = make(linecomm.Round, len(sc.offs)-1)
+	}
+	sc.round = sc.round[:len(sc.offs)-1]
+	for i := range sc.round {
+		lo, hi := sc.offs[i], sc.offs[i+1]
+		sc.round[i] = linecomm.Call{Path: sc.arena[lo:hi:hi]}
+	}
+	return sc.round, false, nil
+}
+
 // checkFooter folds the CRC over everything consumed so far, compares
 // it with the trailing checksum, and requires the stream to end there —
-// trailing bytes are corruption (an appended-to file), not padding.
+// trailing bytes are corruption (an appended-to file), not padding —
+// unless what follows is a round index, which is verified against the
+// round boundaries the decode actually saw.
 func (d *Decoder) checkFooter() error {
 	d.src.stopCRC()
 	var foot [4]byte
@@ -363,13 +526,77 @@ func (d *Decoder) checkFooter() error {
 	if got := binary.LittleEndian.Uint32(foot[:]); got != d.src.crc {
 		return fmt.Errorf("schedio: checksum mismatch: stored %08x, computed %08x", got, d.src.crc)
 	}
+	d.src.restartCRC() // the index carries its own checksum
+	b, err := d.src.readByte()
+	switch {
+	case err == io.EOF:
+		return nil
+	case err != nil:
+		return fmt.Errorf("schedio: after checksum: %w", err)
+	}
+	var m [4]byte
+	m[0] = b
+	if err := d.src.readFull(m[1:]); err != nil || string(m[:]) != indexMagic {
+		return errors.New("schedio: trailing data after checksum")
+	}
+	return d.checkIndexTrailer()
+}
+
+// checkIndexTrailer parses the round index that follows the plan
+// checksum and requires it to agree exactly with the stream just
+// decoded: same round count, same marker offsets, valid index checksum
+// and length trailer, then end of stream.
+func (d *Decoder) checkIndexTrailer() error {
+	indexStart := d.src.n - int64(len(indexMagic))
+	nr, err := d.uvarint("index round count")
+	if err != nil {
+		return err
+	}
+	if nr > maxIndexRounds {
+		return fmt.Errorf("schedio: index declares %d rounds (max %d)", nr, uint64(maxIndexRounds))
+	}
+	if nr != uint64(len(d.roundOffs)-1) {
+		return fmt.Errorf("schedio: index declares %d rounds, stream has %d", nr, len(d.roundOffs)-1)
+	}
+	var prev int64
+	for i := range d.roundOffs {
+		v, err := d.uvarint("index offset")
+		if err != nil {
+			return err
+		}
+		off := int64(v)
+		if i > 0 {
+			off = prev + int64(v)
+		}
+		if off != d.roundOffs[i] {
+			return fmt.Errorf("schedio: index offset %d is %d, stream has %d", i, off, d.roundOffs[i])
+		}
+		prev = off
+	}
+	d.src.stopCRC()
+	var buf [4]byte
+	if err := d.src.readFull(buf[:]); err != nil {
+		return fmt.Errorf("schedio: reading index checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(buf[:]); got != d.src.crc {
+		return fmt.Errorf("schedio: index checksum mismatch: stored %08x, computed %08x", got, d.src.crc)
+	}
+	if err := d.src.readFull(buf[:]); err != nil {
+		return fmt.Errorf("schedio: reading index length: %w", err)
+	}
+	if got, want := int64(binary.LittleEndian.Uint32(buf[:])), d.src.n-4-indexStart; got != want {
+		return fmt.Errorf("schedio: index length field %d, index is %d bytes", got, want)
+	}
+	d.mu.Lock()
+	d.hasIndex = true
+	d.mu.Unlock()
 	switch _, err := d.src.readByte(); err {
 	case io.EOF:
 		return nil
 	case nil:
-		return errors.New("schedio: trailing data after checksum")
+		return errors.New("schedio: trailing data after index")
 	default:
-		return fmt.Errorf("schedio: after checksum: %w", err)
+		return fmt.Errorf("schedio: after index: %w", err)
 	}
 }
 
@@ -443,6 +670,15 @@ func (s *byteSource) fold() {
 func (s *byteSource) stopCRC() {
 	s.fold()
 	s.crcDone = true
+}
+
+// restartCRC begins a fresh CRC over the bytes consumed from here on —
+// used at the index boundary, which is checksummed separately from the
+// plan.
+func (s *byteSource) restartCRC() {
+	s.crcdPos = s.pos
+	s.crcDone = false
+	s.crc = 0
 }
 
 func (s *byteSource) fill() error {

@@ -1,9 +1,11 @@
 package sparsehypercube
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"iter"
+	"sync/atomic"
 
 	"sparsehypercube/internal/core"
 	"sparsehypercube/internal/linecomm"
@@ -121,13 +123,29 @@ func (s storedScheme) Rounds(*Cube) iter.Seq[[]Call] {
 // Plans over generative schemes (BroadcastScheme, GossipScheme) are
 // reusable: every method regenerates the rounds. Plans returned by
 // ReadPlan decode a stream and are single-use; check Err after
-// consuming one outside Verify.
+// consuming one outside Verify. Plans returned by ReadPlanAt replay
+// through an io.ReaderAt and are reusable.
+//
+// A Plan is safe for concurrent use: generative and ReadPlanAt plans
+// hold no mutable state between consumptions (every Verify, Rounds,
+// Materialize, or WriteTo works on its own generator or decoder), and
+// on a single-use ReadPlan plan exactly one consumer wins the stream —
+// the others fail with a clean single-use violation instead of racing
+// on the reader.
 type Plan struct {
 	cube   *Cube
 	scheme Scheme
-	dec    *schedio.Decoder // round source for replayed plans
+	dec    *schedio.Decoder // round source for stream-replayed plans (single use)
+	at     *schedio.PlanAt  // round source for random-access replays (reusable)
 	copied bool
+
+	decClaimed atomic.Bool           // dec's single consumption slot
+	replayErr  atomic.Pointer[error] // latest at-replay decode failure
 }
+
+// errSingleUse is folded into the Report of every consumer that loses
+// the race for a stream-replayed plan's one round stream.
+var errSingleUse = errors.New("sparsehypercube: replayed plan already consumed (ReadPlan plans are single-use; use ReadPlanAt for reusable, concurrent replays)")
 
 // PlanOption configures a Plan.
 type PlanOption func(*Plan)
@@ -154,17 +172,49 @@ func (p *Plan) Cube() *Cube { return p.cube }
 // Scheme returns the scheme the plan executes.
 func (p *Plan) Scheme() Scheme { return p.scheme }
 
-// innerRounds returns the plan's round stream in the internal
-// representation, skipping the public conversion layer when the scheme
-// allows it.
-func (p *Plan) innerRounds() iter.Seq[linecomm.Round] {
-	if p.dec != nil {
-		return p.dec.Rounds()
+// roundSource returns the plan's round stream in the internal
+// representation (skipping the public conversion layer when the scheme
+// allows it) together with the decode-status check for this particular
+// consumption. Each call hands out an independent source, which is what
+// makes concurrent consumption safe.
+func (p *Plan) roundSource() (iter.Seq[linecomm.Round], func() error) {
+	noErr := func() error { return nil }
+	switch {
+	case p.dec != nil:
+		if !p.decClaimed.CompareAndSwap(false, true) {
+			// Record the misuse so Err surfaces it to consumers that do
+			// not check per-consumption status (Rounds, Materialize) —
+			// a second consumption must never look like an empty plan.
+			p.storeReplayErr(errSingleUse)
+			return func(yield func(linecomm.Round) bool) {}, func() error { return errSingleUse }
+		}
+		return p.dec.Rounds(), p.dec.Err
+	case p.at != nil:
+		d, err := p.at.NewDecoder()
+		if err != nil {
+			p.storeReplayErr(err)
+			return func(yield func(linecomm.Round) bool) {}, func() error { return err }
+		}
+		seq := func(yield func(linecomm.Round) bool) {
+			for round := range d.Rounds() {
+				if !yield(round) {
+					return
+				}
+			}
+			p.storeReplayErr(d.Err())
+		}
+		return seq, d.Err
 	}
 	if s, ok := p.scheme.(innerRoundsScheme); ok {
-		return s.innerRounds(p.cube)
+		return s.innerRounds(p.cube), noErr
 	}
-	return toInnerRounds(p.scheme.Rounds(p.cube))
+	return toInnerRounds(p.scheme.Rounds(p.cube)), noErr
+}
+
+func (p *Plan) storeReplayErr(err error) {
+	if err != nil {
+		p.replayErr.Store(&err)
+	}
 }
 
 // Rounds streams the plan one round at a time. By default the yielded
@@ -172,10 +222,17 @@ func (p *Plan) innerRounds() iter.Seq[linecomm.Round] {
 // anything that must outlive the step, or build the plan with
 // WithCopiedRounds.
 func (p *Plan) Rounds() iter.Seq[[]Call] {
-	seq := fromInnerRounds(p.innerRounds())
+	inner, _ := p.roundSource()
+	seq := fromInnerRounds(inner)
 	if !p.copied {
 		return seq
 	}
+	return copiedSeq(seq)
+}
+
+// copiedSeq wraps a round stream so every yielded round is freshly
+// allocated (the WithCopiedRounds contract).
+func copiedSeq(seq iter.Seq[[]Call]) iter.Seq[[]Call] {
 	return func(yield func([]Call) bool) {
 		for round := range seq {
 			if !yield(cloneCalls(round)) {
@@ -189,8 +246,9 @@ func (p *Plan) Rounds() iter.Seq[[]Call] {
 // storage. For replayed plans, check Err afterwards: a decode failure
 // truncates the snapshot.
 func (p *Plan) Materialize() *Schedule {
+	inner, _ := p.roundSource()
 	out := &Schedule{Source: p.scheme.Origin()}
-	for round := range fromInnerRounds(p.innerRounds()) {
+	for round := range fromInnerRounds(inner) {
 		out.Rounds = append(out.Rounds, cloneCalls(round))
 	}
 	return out
@@ -204,13 +262,18 @@ func (p *Plan) Materialize() *Schedule {
 // violation, so a truncated or corrupted file can never verify.
 func (p *Plan) Verify() Report {
 	var rep Report
+	inner, errf := p.roundSource()
 	if pv, ok := p.scheme.(PlanVerifier); ok {
-		rep = pv.VerifyPlan(p.cube, p.Rounds())
+		seq := fromInnerRounds(inner)
+		if p.copied {
+			seq = copiedSeq(seq) // custom verifiers may retain rounds
+		}
+		rep = pv.VerifyPlan(p.cube, seq)
 	} else {
-		res := linecomm.ValidateStream(p.cube.inner, p.cube.K(), p.scheme.Origin(), p.innerRounds())
+		res := linecomm.ValidateStream(p.cube.inner, p.cube.K(), p.scheme.Origin(), inner)
 		rep = reportFrom(res, len(res.InformedPerRound))
 	}
-	if err := p.Err(); err != nil {
+	if err := errf(); err != nil {
 		rep.Valid = false
 		rep.Violations = append(rep.Violations, fmt.Sprintf("replay: %v", err))
 	}
@@ -219,12 +282,21 @@ func (p *Plan) Verify() Report {
 
 // Err reports the decode status of a replayed plan: nil for generative
 // plans, and nil for replayed plans whose stream (as far as consumed)
-// decoded cleanly with a matching checksum.
+// decoded cleanly with a matching checksum. A second consumption of a
+// single-use ReadPlan plan surfaces here as well — yielding nothing is
+// misuse, not an empty plan. For ReadPlanAt plans — where every
+// consumption replays independently — it reports the most recently
+// completed consumption's failure, if any.
 func (p *Plan) Err() error {
-	if p.dec == nil {
-		return nil
+	if p.dec != nil {
+		if err := p.dec.Err(); err != nil {
+			return err
+		}
 	}
-	return p.dec.Err()
+	if e := p.replayErr.Load(); e != nil {
+		return *e
+	}
+	return nil
 }
 
 // WriteTo serialises the plan in the compact binary round format of
@@ -233,15 +305,28 @@ func (p *Plan) Err() error {
 // O(frontier) memory. It implements io.WriterTo. The file replays with
 // ReadPlan.
 func (p *Plan) WriteTo(w io.Writer) (int64, error) {
+	return p.writeTo(w, schedio.Write)
+}
+
+// WriteIndexedTo is WriteTo plus a per-round byte index appended after
+// the checksum, enabling random access per round through ReadPlanAt —
+// the form to store when a plan will be served to many concurrent
+// verifiers. Indexed files replay with ReadPlan and ReadPlanAt alike.
+func (p *Plan) WriteIndexedTo(w io.Writer) (int64, error) {
+	return p.writeTo(w, schedio.WriteIndexed)
+}
+
+func (p *Plan) writeTo(w io.Writer, write func(io.Writer, schedio.Header, iter.Seq[linecomm.Round]) (int64, error)) (int64, error) {
 	h := schedio.Header{
 		K:      p.cube.K(),
 		Dims:   p.cube.Dims(),
 		Scheme: p.scheme.Name(),
 		Source: p.scheme.Origin(),
 	}
-	n, err := schedio.Write(w, h, p.innerRounds())
+	inner, errf := p.roundSource()
+	n, err := write(w, h, inner)
 	if err == nil {
-		err = p.Err() // re-encoding a broken replay must not silently truncate
+		err = errf() // re-encoding a broken replay must not silently truncate
 	}
 	return n, err
 }
@@ -262,10 +347,43 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := dec.Header()
+	cube, scheme, err := bindHeader(dec.Header())
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{cube: cube, scheme: scheme, dec: dec}, nil
+}
+
+// ReadPlanAt opens a plan through an io.ReaderAt — a memory-mapped or
+// in-memory plan file, an os.File — and returns a reusable Plan safe
+// for concurrent use: every Verify (or Rounds, Materialize, WriteTo)
+// replays the file through its own decoder, so N verifiers share one
+// copy of the bytes and nothing else. When the file carries a round
+// index (WriteIndexedTo), its integrity is checked here.
+//
+// Unlike ReadPlan, decode failures of one consumption do not poison the
+// handle; each Verify folds its own replay status into its Report.
+func ReadPlanAt(r io.ReaderAt, size int64) (*Plan, error) {
+	at, err := schedio.OpenPlanAt(r, size)
+	if err != nil {
+		return nil, err
+	}
+	cube, scheme, err := bindHeader(at.Header())
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{cube: cube, scheme: scheme, at: at}, nil
+}
+
+// bindHeader reconstructs the cube a stored plan was generated on
+// (default level choices, as New/NewWithDims produce) and re-binds the
+// stored scheme name to its verification model. Known scheme names
+// re-bind to their validators (a stored gossip plan verifies under the
+// gossip model); unknown names verify under the broadcast model.
+func bindHeader(h schedio.Header) (*Cube, Scheme, error) {
 	inner, err := core.New(core.Params{K: h.K, Dims: h.Dims})
 	if err != nil {
-		return nil, fmt.Errorf("sparsehypercube: plan header: %w", err)
+		return nil, nil, fmt.Errorf("sparsehypercube: plan header: %w", err)
 	}
 	var scheme Scheme
 	switch h.Scheme {
@@ -276,7 +394,7 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 	default:
 		scheme = storedScheme{name: h.Scheme, origin: h.Source}
 	}
-	return &Plan{cube: &Cube{inner: inner}, scheme: scheme, dec: dec}, nil
+	return &Cube{inner: inner}, scheme, nil
 }
 
 // cloneCalls deep-copies one round into fresh storage (one backing array

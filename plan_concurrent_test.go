@@ -1,0 +1,158 @@
+package sparsehypercube
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPlanConcurrentVerify pins the concurrency contract under -race:
+// 8 goroutines verifying one Plan handle must produce identical Reports
+// with no data race, for a generative plan and for a ReadPlanAt replay
+// (indexed and plain).
+func TestPlanConcurrentVerify(t *testing.T) {
+	cube, err := New(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := cube.Plan(BroadcastScheme{Source: 3})
+	want := gen.Verify()
+	if !want.Valid || !want.MinimumTime {
+		t.Fatalf("baseline report invalid: %+v", want)
+	}
+
+	var plain, indexed bytes.Buffer
+	if _, err := gen.WriteTo(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gen.WriteIndexedTo(&indexed); err != nil {
+		t.Fatal(err)
+	}
+	planAt, err := ReadPlanAt(bytes.NewReader(plain.Bytes()), int64(plain.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planAtIdx, err := ReadPlanAt(bytes.NewReader(indexed.Bytes()), int64(indexed.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		plan *Plan
+	}{
+		{"generative", gen},
+		{"readplanat", planAt},
+		{"readplanat-indexed", planAtIdx},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const goroutines = 8
+			reports := make([]Report, goroutines)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					reports[g] = tc.plan.Verify()
+				}(g)
+			}
+			wg.Wait()
+			for g, rep := range reports {
+				if !reflect.DeepEqual(rep, want) {
+					t.Fatalf("goroutine %d diverged:\ngot  %+v\nwant %+v", g, rep, want)
+				}
+			}
+			if err := tc.plan.Err(); err != nil {
+				t.Fatalf("Err after concurrent verifies: %v", err)
+			}
+		})
+	}
+}
+
+// TestPlanSingleUseErrSurfaces: consuming a ReadPlan plan twice through
+// the consumers that do not report per-consumption status (Rounds,
+// Materialize) must leave the misuse visible on Err — an empty second
+// snapshot with a nil Err would read as an empty plan.
+func TestPlanSingleUseErrSurfaces(t *testing.T) {
+	cube, err := New(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := cube.Plan(BroadcastScheme{Source: 0}).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReadPlan(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range replay.Rounds() {
+	}
+	if err := replay.Err(); err != nil {
+		t.Fatalf("Err after clean drain: %v", err)
+	}
+	if s := replay.Materialize(); len(s.Rounds) != 0 {
+		t.Fatalf("second consumption yielded %d rounds", len(s.Rounds))
+	}
+	if err := replay.Err(); err == nil || !strings.Contains(err.Error(), "single-use") {
+		t.Fatalf("Err after second consumption = %v, want the single-use error", err)
+	}
+}
+
+// TestPlanSingleUseConcurrentClaim: on a stream-replayed (ReadPlan)
+// plan, exactly one of 8 concurrent verifiers wins the single round
+// stream; the others fail with the clean single-use violation, and the
+// winner's report matches the direct one.
+func TestPlanSingleUseConcurrentClaim(t *testing.T) {
+	cube, err := New(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := cube.Plan(BroadcastScheme{Source: 0}).Verify()
+	var buf bytes.Buffer
+	if _, err := cube.Plan(BroadcastScheme{Source: 0}).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReadPlan(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	reports := make([]Report, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			reports[g] = replay.Verify()
+		}(g)
+	}
+	wg.Wait()
+
+	winners, losers := 0, 0
+	for _, rep := range reports {
+		if reflect.DeepEqual(rep, direct) {
+			winners++
+			continue
+		}
+		losers++
+		if rep.Valid {
+			t.Fatalf("losing verifier reported valid: %+v", rep)
+		}
+		found := false
+		for _, v := range rep.Violations {
+			if strings.Contains(v, "single-use") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("losing verifier lacks the single-use violation: %+v", rep)
+		}
+	}
+	if winners != 1 || losers != goroutines-1 {
+		t.Fatalf("winners = %d, losers = %d", winners, losers)
+	}
+}

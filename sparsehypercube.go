@@ -231,13 +231,15 @@ func toInner(s *Schedule) *linecomm.Schedule {
 }
 
 // Report summarises schedule verification against the k-line model.
+// The JSON field names are the wire contract of the plan verification
+// service (internal/planserver, `sparsecube serve`).
 type Report struct {
-	Valid         bool
-	Complete      bool
-	MinimumTime   bool
-	Rounds        int
-	MaxCallLength int
-	Violations    []string
+	Valid         bool     `json:"valid"`
+	Complete      bool     `json:"complete"`
+	MinimumTime   bool     `json:"minimum_time"`
+	Rounds        int      `json:"rounds"`
+	MaxCallLength int      `json:"max_call_length"`
+	Violations    []string `json:"violations,omitempty"`
 }
 
 // reportFrom converts a validation result to the public report.
