@@ -25,6 +25,14 @@
 //	                   # (timing experiment, skipped under -exp all; the
 //	                   # trajectory defaults to BENCH_serve.json)
 //
+//	benchtab -exp mmap [-mmap-n 20] [-json BENCH_mmap.json]
+//	                   # mmap-backed parallel round-range verification:
+//	                   # one indexed plan on disk, opened memory-mapped,
+//	                   # verified at W = 1..8 workers with every Report
+//	                   # checked identical to serial (timing experiment,
+//	                   # skipped under -exp all; the curve defaults to
+//	                   # BENCH_mmap.json)
+//
 // Experiment ids match DESIGN.md's per-experiment index.
 package main
 
@@ -52,7 +60,8 @@ func main() {
 	gossipN := flag.Int("gossip-n", 22, "largest cube dimension for the -exp gossip streamed trajectory")
 	serveN := flag.Int("serve-n", 14, "cube dimension for -exp serve")
 	serveReqs := flag.Int("serve-reqs", 96, "requests per concurrency level for -exp serve")
-	jsonOut := flag.String("json", "", "also write the multicore/serve trajectory as JSON to this file")
+	mmapN := flag.Int("mmap-n", 20, "cube dimension for -exp mmap")
+	jsonOut := flag.String("json", "", "also write the multicore/serve/mmap trajectory as JSON to this file")
 	flag.Parse()
 
 	procList, err := parseProcs(*procs)
@@ -61,10 +70,16 @@ func main() {
 		os.Exit(2)
 	}
 	want := strings.ToLower(*exp)
-	if *jsonOut == "" && (want == "serve" || want == "exp-serve") {
-		// The serve trajectory is the acceptance artifact; record it by
-		// default so `benchtab -exp serve` always leaves the curve behind.
-		*jsonOut = "BENCH_serve.json"
+	if *jsonOut == "" {
+		// The serve and mmap trajectories are acceptance artifacts; record
+		// them by default so running the experiment always leaves the curve
+		// behind.
+		switch want {
+		case "serve", "exp-serve":
+			*jsonOut = "BENCH_serve.json"
+		case "mmap", "exp-mmap":
+			*jsonOut = "BENCH_mmap.json"
+		}
 	}
 
 	experiments := []experiment{
@@ -127,15 +142,25 @@ func main() {
 				}
 			}
 		}},
+		{"mmap", func(t bool) {
+			tb, res := analysis.RunMmap(*mmapN, []int{1, 2, 3, 4, 5, 6, 7, 8}, 3)
+			emit(tb, t)
+			if *jsonOut != "" {
+				if err := writeMmapJSON(*jsonOut, res); err != nil {
+					fmt.Fprintln(os.Stderr, "benchtab:", err)
+					os.Exit(1)
+				}
+			}
+		}},
 	}
 
 	found := false
 	for _, e := range experiments {
-		// multicore and serve are timing experiments (GOMAXPROCS churn,
-		// repeated million-vertex runs, wall-clock HTTP throughput):
+		// multicore, serve and mmap are timing experiments (GOMAXPROCS
+		// churn, repeated million-vertex runs, wall-clock measurement):
 		// meaningful only in isolation, so they never ride along with
 		// -exp all.
-		if want == "all" && (e.id == "multicore" || e.id == "serve") {
+		if want == "all" && (e.id == "multicore" || e.id == "serve" || e.id == "mmap") {
 			continue
 		}
 		if want == "all" || want == e.id || "exp-"+e.id == want {
@@ -190,6 +215,10 @@ func writeMulticoreJSON(path string, res *analysis.MulticoreResult) error {
 }
 
 func writeServeJSON(path string, res *analysis.ServeResult) error {
+	return writeJSONFile(path, res.WriteJSON)
+}
+
+func writeMmapJSON(path string, res *analysis.MmapResult) error {
 	return writeJSONFile(path, res.WriteJSON)
 }
 

@@ -11,16 +11,21 @@
 //	sparsecube export    -k 2 -n 6 [-format dot|edges]
 //	sparsecube bounds    -n 20
 //	sparsecube plan      -k 3 -n 20 -source 0 [-scheme broadcast|gossip] [-index] -o plan.shcp
-//	sparsecube replay    -in plan.shcp [-quiet]
-//	sparsecube serve     [-addr :8388] [-max-upload N]
+//	sparsecube replay    -in plan.shcp [-quiet] [-par W]
+//	sparsecube serve     [-addr :8388] [-max-upload N] [-spill-dir DIR]
 //
 // plan streams a scheme to disk in the compact binary round format
 // without materialising it (-index appends the per-round byte index a
 // serving process uses for random access); replay decodes the file and
 // re-verifies it against the cube reconstructed from the stored
-// parameters — the write-once/verify-many pair. serve exposes the same
-// verification engine over HTTP to many concurrent sessions (see
-// internal/planserver for the endpoint contract).
+// parameters — the write-once/verify-many pair. With -par W, replay
+// memory-maps the file and splits verification across W round-range
+// workers (0 picks GOMAXPROCS; requires -index at plan time for actual
+// parallelism), the Report identical to the serial pass. serve exposes
+// the same verification engine over HTTP to many concurrent sessions
+// (see internal/planserver for the endpoint contract); -spill-dir makes
+// uploads spill to disk and serve off memory-mapped files instead of
+// heap copies.
 //
 // Results go to stdout; diagnostics (violation listings, warnings,
 // errors) go to stderr, so scripts can parse the one without the other.
@@ -64,16 +69,18 @@ func main() {
 	out := fs.String("o", "plan.shcp", "plan output file")
 	in := fs.String("in", "", "plan file to replay")
 	index := fs.Bool("index", false, "append the per-round byte index for random-access serving")
+	par := fs.Int("par", -1, "replay: verify across this many round-range workers over a memory-mapped plan (0 = GOMAXPROCS, -1 = serial streamed replay)")
 	addr := fs.String("addr", ":8388", "serve: listen address")
 	maxUpload := fs.Int64("max-upload", planserver.DefaultMaxUpload, "serve: largest accepted upload in bytes")
 	maxN := fs.Int("max-n", planserver.DefaultMaxN, "serve: largest cube dimension verified")
+	spillDir := fs.String("spill-dir", "", "serve: spill uploaded plans to this directory and serve them memory-mapped")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
 	switch cmd {
 	case "replay":
-		if err := runReplay(os.Stdout, os.Stderr, *in, *quiet); err != nil {
+		if err := runReplay(os.Stdout, os.Stderr, *in, *quiet, *par); err != nil {
 			fatal(err)
 		}
 		return
@@ -88,9 +95,14 @@ func main() {
 		return
 	case "serve":
 		fmt.Fprintf(os.Stderr, "sparsecube: serving plan verification on %s\n", *addr)
+		opts := []planserver.Option{planserver.WithMaxUpload(*maxUpload), planserver.WithMaxN(*maxN)}
+		if *spillDir != "" {
+			fmt.Fprintf(os.Stderr, "sparsecube: spilling uploaded plans to %s (served memory-mapped)\n", *spillDir)
+			opts = append(opts, planserver.WithSpillDir(*spillDir))
+		}
 		srv := &http.Server{
 			Addr:    *addr,
-			Handler: planserver.New(planserver.WithMaxUpload(*maxUpload), planserver.WithMaxN(*maxN)).Handler(),
+			Handler: planserver.New(opts...).Handler(),
 			// The peers are untrusted: never let a dribbling client hold a
 			// connection open unboundedly. ReadTimeout stays generous —
 			// plan uploads are legitimately large streams.
@@ -290,18 +302,39 @@ func runPlan(w, errw io.Writer, cube *sparsehypercube.Cube, schemeName string, s
 // reconstructed from the stored parameters. The verification summary
 // goes to w (stdout); violation listings are diagnostics and go to
 // errw (stderr), so a script parsing the summary never sees them.
-func runReplay(w, errw io.Writer, in string, quiet bool) error {
+//
+// par < 0 is the classic serial streamed replay (one forward pass, no
+// random access needed). par >= 0 memory-maps the file and verifies it
+// through the round-range engine with that many workers (0 picks
+// GOMAXPROCS); the Report is identical either way.
+func runReplay(w, errw io.Writer, in string, quiet bool, par int) error {
 	if in == "" {
 		return fmt.Errorf("replay needs -in <plan file>")
 	}
-	f, err := os.Open(in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	plan, err := sparsehypercube.ReadPlan(f)
-	if err != nil {
-		return err
+	var plan *sparsehypercube.Plan
+	if par >= 0 {
+		p, err := sparsehypercube.OpenPlanFile(in, sparsehypercube.WithVerifyWorkers(par))
+		if err != nil {
+			return err
+		}
+		defer p.Close()
+		if !p.Indexed() {
+			fmt.Fprintf(errw, "sparsecube: warning: %s has no round index (write it with `plan -index`); -par verifies serially\n", in)
+		} else if _, custom := p.Scheme().(sparsehypercube.PlanVerifier); custom {
+			fmt.Fprintf(errw, "sparsecube: warning: %s scheme verifies under a custom model; -par verifies serially\n", p.Scheme().Name())
+		}
+		plan = p
+	} else {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		p, err := sparsehypercube.ReadPlan(f)
+		if err != nil {
+			return err
+		}
+		plan = p
 	}
 	cube := plan.Cube()
 	fmt.Fprintf(w, "plan: %s scheme from %d, k = %d, dims = %v, order = %d\n",

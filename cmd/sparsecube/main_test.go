@@ -56,7 +56,7 @@ func TestPlanReplayRoundTrip(t *testing.T) {
 		t.Errorf("plan output: %q", out.String())
 	}
 	out.Reset()
-	if err := runReplay(&out, &errOut, path, false); err != nil {
+	if err := runReplay(&out, &errOut, path, false, -1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "minimum time: true") {
@@ -75,7 +75,7 @@ func TestPlanReplayRoundTrip(t *testing.T) {
 	}
 	out.Reset()
 	errOut.Reset()
-	if err := runReplay(&out, &errOut, trunc, false); err == nil {
+	if err := runReplay(&out, &errOut, trunc, false, -1); err == nil {
 		t.Fatal("truncated plan replayed successfully")
 	}
 	if strings.Contains(out.String(), "replay:") {
@@ -91,7 +91,7 @@ func TestPlanReplayRoundTrip(t *testing.T) {
 	if err := runPlan(&out, &errOut, cube, "nonesuch", 0, path, false); err == nil {
 		t.Fatal("unknown scheme accepted")
 	}
-	if err := runReplay(&out, &errOut, "", true); err == nil {
+	if err := runReplay(&out, &errOut, "", true, -1); err == nil {
 		t.Fatal("missing -in accepted")
 	}
 }
@@ -118,11 +118,81 @@ func TestIndexedPlanReplayRoundTrip(t *testing.T) {
 		t.Fatalf("indexed plan (%d B) not larger than plain (%d B)", len(ib), len(pb))
 	}
 	out.Reset()
-	if err := runReplay(&out, &errOut, indexed, false); err != nil {
+	if err := runReplay(&out, &errOut, indexed, false, -1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "minimum time: true") {
 		t.Errorf("indexed replay output: %q", out.String())
+	}
+}
+
+// TestParallelReplay drives `replay -par`: the memory-mapped parallel
+// path must print exactly the summary the serial path prints, and
+// -par on an unindexed plan must warn on stderr yet still verify.
+func TestParallelReplay(t *testing.T) {
+	cube, err := buildCube(2, 10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed := filepath.Join(t.TempDir(), "indexed.shcp")
+	plain := filepath.Join(t.TempDir(), "plain.shcp")
+	var out, errOut strings.Builder
+	if err := runPlan(&out, &errOut, cube, "broadcast", 3, indexed, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := runPlan(&out, &errOut, cube, "broadcast", 3, plain, false); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := runReplay(&out, &errOut, indexed, false, -1); err != nil {
+		t.Fatal(err)
+	}
+	serial := out.String()
+	for _, par := range []int{0, 1, 4} {
+		out.Reset()
+		errOut.Reset()
+		if err := runReplay(&out, &errOut, indexed, false, par); err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != serial {
+			t.Errorf("-par %d summary diverged:\n%q\n%q", par, out.String(), serial)
+		}
+		if strings.Contains(errOut.String(), "warning") {
+			t.Errorf("-par %d warned on an indexed plan: %q", par, errOut.String())
+		}
+	}
+
+	// Unindexed plan: warn (stderr only), verify serially, same summary.
+	out.Reset()
+	errOut.Reset()
+	if err := runReplay(&out, &errOut, plain, false, 4); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != serial {
+		t.Errorf("unindexed -par summary diverged:\n%q\n%q", out.String(), serial)
+	}
+	if !strings.Contains(errOut.String(), "no round index") {
+		t.Errorf("missing unindexed warning: %q", errOut.String())
+	}
+
+	// An indexed gossip plan verifies under its custom model — -par must
+	// say so instead of silently running serial.
+	gossip := filepath.Join(t.TempDir(), "gossip.shcp")
+	cube8, err := buildCube(2, 8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runPlan(&out, &errOut, cube8, "gossip", 0, gossip, true); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if err := runReplay(&out, &errOut, gossip, false, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "custom model") {
+		t.Errorf("missing custom-model warning: %q", errOut.String())
 	}
 }
 
@@ -177,7 +247,7 @@ func TestGossipPlanReplayRoundTrip(t *testing.T) {
 		t.Errorf("plan output: %q", out.String())
 	}
 	out.Reset()
-	if err := runReplay(&out, &errOut, path, false); err != nil {
+	if err := runReplay(&out, &errOut, path, false, -1); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()

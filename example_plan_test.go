@@ -1,0 +1,116 @@
+package sparsehypercube_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sparsehypercube"
+)
+
+// Write once with the serving index, then let any number of concurrent
+// verifiers replay the single copy through ReadPlanAt. On indexed
+// plans Verify is automatically parallel (round ranges split across
+// workers) with a Report identical to the serial pass.
+func ExamplePlan_WriteIndexedTo() {
+	cube, err := sparsehypercube.New(2, 10)
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if _, err := cube.Plan(sparsehypercube.BroadcastScheme{Source: 0}).WriteIndexedTo(&buf); err != nil {
+		panic(err)
+	}
+	plan, err := sparsehypercube.ReadPlanAt(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("indexed:", plan.Indexed())
+	fmt.Println("valid:", plan.Verify().Valid)
+	// Output:
+	// indexed: true
+	// valid: true
+}
+
+// ReadPlanAt returns a reusable Plan: unlike ReadPlan (single-use
+// stream), every Verify replays the bytes through its own decoder, so
+// one copy serves many concurrent verifiers.
+func ExampleReadPlanAt() {
+	cube, err := sparsehypercube.New(2, 9)
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if _, err := cube.Plan(sparsehypercube.BroadcastScheme{Source: 7}).WriteIndexedTo(&buf); err != nil {
+		panic(err)
+	}
+	plan, err := sparsehypercube.ReadPlanAt(bytes.NewReader(buf.Bytes()), int64(buf.Len()),
+		sparsehypercube.WithVerifyWorkers(4))
+	if err != nil {
+		panic(err)
+	}
+	first, second := plan.Verify(), plan.Verify() // reusable: both replay
+	fmt.Println("rounds:", first.Rounds)
+	fmt.Println("reports agree:", first.MinimumTime == second.MinimumTime)
+	// Output:
+	// rounds: 9
+	// reports agree: true
+}
+
+// OpenPlanFile serves a plan straight off a read-only memory mapping
+// (positional reads where the platform lacks mmap): verifiers share
+// the one page-cache copy of the file.
+func ExampleOpenPlanFile() {
+	cube, err := sparsehypercube.New(2, 9)
+	if err != nil {
+		panic(err)
+	}
+	dir, err := os.MkdirTemp("", "planfile")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "plan.shcp")
+	f, err := os.Create(path)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := cube.Plan(sparsehypercube.BroadcastScheme{Source: 0}).WriteIndexedTo(f); err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+
+	plan, err := sparsehypercube.OpenPlanFile(path)
+	if err != nil {
+		panic(err)
+	}
+	defer plan.Close()
+	rep := plan.Verify()
+	fmt.Println("valid:", rep.Valid)
+	fmt.Println("minimum time:", rep.MinimumTime)
+	// Output:
+	// valid: true
+	// minimum time: true
+}
+
+// Gather-scatter dissemination from a restricted source set: only the
+// listed vertices hold tokens, which shrinks the verification token
+// axis far below the all-to-all regime.
+func ExampleMultiSourceScheme() {
+	cube, err := sparsehypercube.New(2, 8)
+	if err != nil {
+		panic(err)
+	}
+	scheme := sparsehypercube.MultiSourceScheme{Root: 0, Sources: []uint64{0, 5, 9}}
+	rep := cube.Plan(scheme).Verify()
+	fmt.Println("rounds:", rep.Rounds)
+	fmt.Println("valid:", rep.Valid)
+	fmt.Println("complete:", rep.Complete)
+	// Output:
+	// rounds: 16
+	// valid: true
+	// complete: true
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"time"
+
+	"sparsehypercube"
+)
+
+// MmapResult is the machine-readable form of RunMmap, written as
+// BENCH_mmap.json: the parallel round-range verification curve over one
+// memory-mapped indexed plan, W = 1..8.
+type MmapResult struct {
+	Experiment string    `json:"experiment"`
+	HostCPUs   int       `json:"host_cpus"`
+	GoVersion  string    `json:"go_version"`
+	K          int       `json:"k"`
+	N          int       `json:"n"`
+	PlanBytes  int64     `json:"plan_bytes"`
+	Runs       []MmapRun `json:"runs"`
+}
+
+// MmapRun is one worker count's measurements (best of the repeats,
+// milliseconds). Match records the acceptance invariant: the Report at
+// this worker count is reflect.DeepEqual to the serial one.
+type MmapRun struct {
+	Workers  int     `json:"workers"`
+	VerifyMs float64 `json:"verify_ms"`
+	Match    bool    `json:"match"`
+}
+
+// RunMmap measures mmap-backed parallel plan verification end to end:
+// one (k = 2, n) indexed broadcast plan is written to disk once, then
+// for each worker count W the file is opened through OpenPlanFile (a
+// read-only memory mapping where the platform has one) and verified by
+// the round-range engine. Every Report is checked DeepEqual against the
+// serial W = 1 pass — the byte-identity contract — while the table
+// records the scaling curve.
+func RunMmap(n int, workers []int, repeats int) (*Table, *MmapResult) {
+	t := &Table{
+		ID:      "EXP-MMAP",
+		Title:   fmt.Sprintf("mmap'd parallel round-range verification, n = %d (best of %d)", n, repeats),
+		Headers: []string{"workers", "verify ms", "speedup", "match"},
+	}
+	res := &MmapResult{
+		Experiment: "mmap",
+		HostCPUs:   runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		K:          2,
+		N:          n,
+	}
+	cube, err := sparsehypercube.New(res.K, n)
+	if err != nil {
+		t.Note("construction failed: %v", err)
+		return t, res
+	}
+	dir, err := os.MkdirTemp("", "mmapbench")
+	if err != nil {
+		t.Note("temp dir failed: %v", err)
+		return t, res
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "plan.shcp")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Note("create failed: %v", err)
+		return t, res
+	}
+	res.PlanBytes, err = cube.Plan(sparsehypercube.BroadcastScheme{Source: 0}).WriteIndexedTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Note("plan encoding failed: %v", err)
+		return t, res
+	}
+
+	var serial sparsehypercube.Report
+	haveSerial := false
+	var base float64
+	for _, w := range workers {
+		if w < 1 {
+			continue
+		}
+		plan, err := sparsehypercube.OpenPlanFile(path, sparsehypercube.WithVerifyWorkers(w))
+		if err != nil {
+			t.Note("open (W=%d) failed: %v", w, err)
+			continue
+		}
+		run := MmapRun{Workers: w}
+		var rep sparsehypercube.Report
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			rep = plan.Verify()
+			ms := time.Since(start).Seconds() * 1e3
+			if r == 0 || ms < run.VerifyMs {
+				run.VerifyMs = ms
+			}
+		}
+		plan.Close()
+		// The baseline is strictly the W = 1 pass; without it, match
+		// cannot be claimed for any parallel run. The baseline row's own
+		// match reduces to its Report being valid — the cross-check is
+		// only meaningful for w > 1.
+		if w == 1 {
+			serial, haveSerial = rep, true
+		}
+		run.Match = haveSerial && rep.Valid && reflect.DeepEqual(rep, serial)
+		if base == 0 {
+			base = run.VerifyMs
+		}
+		res.Runs = append(res.Runs, run)
+		t.AddRow(w, run.VerifyMs, fmt.Sprintf("%.2fx", base/run.VerifyMs), run.Match)
+	}
+	t.Note("host: %d CPU(s), %s; one %d-byte indexed plan (k = %d, n = %d) on disk, opened memory-mapped per worker count; match = Report valid and DeepEqual to the serial W = 1 baseline (for the baseline row itself this reduces to the Report being valid); speedup relative to the first run.",
+		res.HostCPUs, res.GoVersion, res.PlanBytes, res.K, res.N)
+	return t, res
+}
+
+// WriteJSON writes the mmap result as indented JSON.
+func (m *MmapResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,145 @@
+package linecomm
+
+import (
+	"iter"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sparsehypercube/internal/topo"
+)
+
+// dimHypercube wraps the materialised Q_n as a DimensionedNetwork so the
+// range tests exercise the bitvec engine; the bare GraphNetwork form
+// exercises the map engine.
+type dimHypercube struct {
+	GraphNetwork
+	n int
+}
+
+func (d dimHypercube) N() int { return d.n }
+
+// rangeStream yields rounds [lo, hi) of a materialised schedule.
+func rangeStream(s *Schedule, lo, hi int) iter.Seq[Round] {
+	return func(yield func(Round) bool) {
+		for _, r := range s.Rounds[lo:hi] {
+			if !yield(r) {
+				return
+			}
+		}
+	}
+}
+
+// validateInRanges is the reference parallel pipeline over a
+// materialised schedule: collect per-range informed deltas, prefix-union
+// them into seeds, validate each range seeded, merge.
+func validateInRanges(net Network, k int, source uint64, s *Schedule, workers int) *Result {
+	rounds := len(s.Rounds)
+	bounds := make([]int, workers+1)
+	for w := range workers + 1 {
+		bounds[w] = w * rounds / workers
+	}
+	deltas := make([][]uint64, workers)
+	for w := range workers {
+		deltas[w] = CollectInformedStream(net, rangeStream(s, bounds[w], bounds[w+1]))
+	}
+	parts := make([]*Result, workers)
+	var seed []uint64
+	for w := range workers {
+		parts[w] = ValidateStreamSeeded(net, k, source, seed, bounds[w],
+			rangeStream(s, bounds[w], bounds[w+1]), DefaultOptions(), 1)
+		seed = append(seed, deltas[w]...)
+	}
+	return MergeRangeResults(net.Order(), parts)
+}
+
+// TestRangeValidationMatchesSerial: splitting a schedule into seeded
+// round ranges and merging must reproduce the serial ValidateStream
+// Result exactly — on the intact schedule and on every catalogue
+// mutation, under both disjointness engines.
+func TestRangeValidationMatchesSerial(t *testing.T) {
+	const n = 6
+	g := topo.Hypercube(n)
+	for _, net := range []struct {
+		name string
+		net  Network
+	}{
+		{"map-engine", GraphNetwork{G: g}},
+		{"bitvec-engine", dimHypercube{GraphNetwork{G: g}, n}},
+	} {
+		t.Run(net.name, func(t *testing.T) {
+			base := binomialSchedule(n)
+			schedules := []*Schedule{base}
+			rng := rand.New(rand.NewSource(7))
+			for _, m := range mutationsForQn(n) {
+				s := cloneSchedule(base)
+				if m.mut(rng, s) {
+					schedules = append(schedules, s)
+				}
+			}
+			for si, s := range schedules {
+				serial := ValidateStream(net.net, 1, s.Source, s.Stream())
+				for _, workers := range []int{2, 3, len(s.Rounds)} {
+					got := validateInRanges(net.net, 1, s.Source, s, workers)
+					if !reflect.DeepEqual(serial, got) {
+						t.Fatalf("schedule %d, %d workers: merged range Result diverges\nserial: %+v\nmerged: %+v",
+							si, workers, serial, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestValidateStreamOrderZero: an order-0 network must report the
+// source as out of range — not panic in MinimumRounds and not claim
+// completeness vacuously (the pre-refactor early-return behaviour).
+func TestValidateStreamOrderZero(t *testing.T) {
+	res := ValidateStream(emptyNet{}, 1, 0, (&Schedule{}).Stream())
+	if res.Complete || res.MinimumTime {
+		t.Fatalf("order-0 network judged complete: %+v", res)
+	}
+	if len(res.Violations) != 1 || res.Violations[0].Kind != VertexOutOfRange {
+		t.Fatalf("want one VertexOutOfRange violation, got %+v", res.Violations)
+	}
+	merged := MergeRangeResults(0, []*Result{res})
+	if merged.Complete || merged.MinimumTime {
+		t.Fatalf("order-0 merge judged complete: %+v", merged)
+	}
+}
+
+// emptyNet is a 0-vertex network.
+type emptyNet struct{}
+
+func (emptyNet) Order() uint64            { return 0 }
+func (emptyNet) HasEdge(u, v uint64) bool { return false }
+
+// TestCollectInformedMatchesValidator: the structural collector must
+// inform exactly the receivers the full validator informs — on valid
+// and mutated schedules alike.
+func TestCollectInformedMatchesValidator(t *testing.T) {
+	const n = 5
+	net := GraphNetwork{G: topo.Hypercube(n)}
+	base := binomialSchedule(n)
+	rng := rand.New(rand.NewSource(11))
+	schedules := []*Schedule{base}
+	for _, m := range mutationsForQn(n) {
+		s := cloneSchedule(base)
+		if m.mut(rng, s) {
+			schedules = append(schedules, s)
+		}
+	}
+	for si, s := range schedules {
+		// Serial validation's informed count from source 0...
+		serial := ValidateStream(net, 1, 0, s.Stream())
+		// ...must equal |{0} ∪ collected receivers|.
+		informed := map[uint64]bool{0: true}
+		for _, v := range CollectInformedStream(net, s.Stream()) {
+			informed[v] = true
+		}
+		if uint64(len(informed)) != serial.Informed {
+			t.Fatalf("schedule %d: collector implies %d informed, validator says %d",
+				si, len(informed), serial.Informed)
+		}
+	}
+}

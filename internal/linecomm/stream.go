@@ -77,39 +77,29 @@ func ValidateStream(net Network, k int, source uint64, rounds iter.Seq[Round]) *
 // ValidateStreamOpts is ValidateStream under the generalised model of
 // ValidateOpts.
 func ValidateStreamOpts(net Network, k int, source uint64, rounds iter.Seq[Round], opts Options) *Result {
-	if opts.EdgeCapacity < 1 || opts.ReceiverCapacity < 1 {
-		panic("linecomm: capacities must be >= 1")
-	}
-	res := &Result{}
+	res := ValidateStreamSeeded(net, k, source, nil, 0, rounds, opts, 0)
 	order := net.Order()
-	if source >= order {
-		res.Violations = append(res.Violations, Violation{
-			Round: -1, Call: -1, Kind: VertexOutOfRange,
-			Msg: fmt.Sprintf("source %d outside [0,%d)", source, order),
-		})
-		return res
-	}
-	var st roundState
+	// An order-0 network is never "complete" (the source-out-of-range
+	// violation is already in res), and the guard keeps MinimumRounds —
+	// undefined at 0 — from being evaluated.
+	res.Complete = order > 0 && res.Informed == order
+	res.MinimumTime = res.Complete && len(res.InformedPerRound) == MinimumRounds(order)
+	return res
+}
+
+// newRoundState picks the disjointness engine for one validation run:
+// flat bit sets on dimensioned networks under Definition 1 capacities,
+// the general per-round maps otherwise.
+func newRoundState(net Network, order, source uint64, opts Options) roundState {
 	if dn, ok := net.(DimensionedNetwork); ok &&
 		opts.EdgeCapacity == 1 && opts.ReceiverCapacity == 1 &&
 		dn.N() >= 1 && order <= maxStreamBits/uint64(dn.N()) &&
 		// Reject inconsistent implementations (Order beyond the address
 		// width would alias edge slots): fall back to the map engine.
 		order <= uint64(1)<<uint(dn.N()) {
-		st = newBitvecState(order, dn.N(), source)
-	} else {
-		st = newMapState(source, opts)
+		return newBitvecState(order, dn.N(), source)
 	}
-	v := &streamValidator{net: net, k: k, order: order, opts: opts, st: st, res: res}
-	nRounds := 0
-	for round := range rounds {
-		v.validateRound(nRounds, round)
-		nRounds++
-	}
-	res.Informed = st.informedCount()
-	res.Complete = res.Informed == order
-	res.MinimumTime = res.Complete && nRounds == MinimumRounds(order)
-	return res
+	return newMapState(source, opts)
 }
 
 // roundState tracks the informed set and the per-round disjointness
@@ -137,18 +127,23 @@ type roundState interface {
 	// the informed count.
 	endRound() uint64
 	informedCount() uint64
+	// seedInformed marks vs informed before any round runs — the range
+	// validator's way of entering mid-schedule. Duplicates (and the
+	// source) are fine; counting stays exact.
+	seedInformed(vs []uint64)
 }
 
 // streamValidator drives the fill/merge cycle and owns the reusable
 // buffers, so steady-state validation of a valid schedule allocates
 // (amortised) nothing per call.
 type streamValidator struct {
-	net   Network
-	k     int
-	order uint64
-	opts  Options
-	st    roundState
-	res   *Result
+	net        Network
+	k          int
+	order      uint64
+	opts       Options
+	st         roundState
+	res        *Result
+	fillShards int // fill-phase goroutine budget; <= 0 means GOMAXPROCS
 
 	stages     []uint8
 	shardViols [][]Violation
@@ -175,7 +170,10 @@ func (v *streamValidator) fillBlock(ri, base int, blk Round) ([]uint8, []Violati
 	}
 	stages := v.stages[:len(blk)]
 
-	workers := runtime.GOMAXPROCS(0)
+	workers := v.fillShards
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if w := (len(blk) + streamShardChunk - 1) / streamShardChunk; w < workers {
 		workers = w
 	}
@@ -350,6 +348,12 @@ func newMapState(source uint64, opts Options) *mapState {
 
 func (m *mapState) isInformed(v uint64) bool { return m.informed[v] }
 
+func (m *mapState) seedInformed(vs []uint64) {
+	for _, v := range vs {
+		m.informed[v] = true
+	}
+}
+
 func (m *mapState) beginRound(r Round) {
 	m.edges = make(map[edgeKey]int, len(r)*2)
 	m.recvs = make(map[uint64]int, len(r))
@@ -430,6 +434,14 @@ func newBitvecState(order uint64, n int, source uint64) *bitvecState {
 }
 
 func (b *bitvecState) isInformed(v uint64) bool { return b.informed.Get(int(v)) }
+
+func (b *bitvecState) seedInformed(vs []uint64) {
+	for _, v := range vs {
+		if !b.informed.TestAndSet(int(v)) {
+			b.count++
+		}
+	}
+}
 
 func (b *bitvecState) beginRound(r Round) { b.round = r }
 

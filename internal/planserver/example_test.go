@@ -1,0 +1,74 @@
+package planserver_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"sparsehypercube"
+	"sparsehypercube/internal/planserver"
+)
+
+// The service's two verification shapes end to end: the one-shot
+// POST /v1/verify (stream in, Report out, nothing retained) and the
+// write-once/verify-many pair POST /v1/plans + POST /v1/plans/{id}/verify
+// (upload validated and cached once, then any number of verifiers
+// replay the one copy).
+func ExampleServer_Handler() {
+	ts := httptest.NewServer(planserver.New().Handler())
+	defer ts.Close()
+
+	cube, err := sparsehypercube.New(2, 8)
+	if err != nil {
+		panic(err)
+	}
+	var plan bytes.Buffer
+	if _, err := cube.Plan(sparsehypercube.BroadcastScheme{Source: 3}).WriteIndexedTo(&plan); err != nil {
+		panic(err)
+	}
+
+	// One-shot: the body is a schedio plan file, the answer its Report.
+	resp, err := http.Post(ts.URL+"/v1/verify", "application/octet-stream", bytes.NewReader(plan.Bytes()))
+	if err != nil {
+		panic(err)
+	}
+	var rep sparsehypercube.Report
+	json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	fmt.Println("one-shot:", resp.StatusCode, "valid:", rep.Valid)
+
+	// Upload once: cached under its content hash, metadata returned.
+	resp, err = http.Post(ts.URL+"/v1/plans", "application/octet-stream", bytes.NewReader(plan.Bytes()))
+	if err != nil {
+		panic(err)
+	}
+	var info planserver.PlanInfo
+	json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	fmt.Println("upload:", resp.StatusCode, "rounds:", info.Rounds, "indexed:", info.Indexed)
+
+	// Verify many: each request replays the one cached copy.
+	resp, err = http.Post(ts.URL+"/v1/plans/"+info.ID+"/verify", "application/json", nil)
+	if err != nil {
+		panic(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	fmt.Println("cached verify:", resp.StatusCode, "minimum time:", rep.MinimumTime)
+
+	// And drop it.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/plans/"+info.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Println("delete:", resp.StatusCode)
+	// Output:
+	// one-shot: 200 valid: true
+	// upload: 201 rounds: 8 indexed: true
+	// cached verify: 200 minimum time: true
+	// delete: 204
+}

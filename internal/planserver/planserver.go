@@ -33,6 +33,18 @@
 // 25-byte file can name a 2^26-vertex cube), so the service refuses
 // cubes past a configurable dimension bound, runs verifications under a
 // concurrency limiter, and caps the number of open sessions.
+//
+// With WithSpillDir set (`sparsecube serve -spill-dir`), uploaded plans
+// spill to disk instead of living on the heap: each validated upload is
+// written to a content-addressed file, memory-mapped read-only, and
+// every verifier replays the one page-cache copy of the bytes — cold
+// plans cost no resident memory, and a plan file can be shared with
+// other processes mapping it. The serving index itself is in-memory: a
+// restarted server starts empty and does not (yet) rescan the spill
+// directory, so files from a previous run are inert until re-uploaded
+// or cleaned up externally. Indexed uploads additionally verify with
+// the parallel round-range engine (see
+// sparsehypercube.WithVerifyWorkers), Reports unchanged.
 package planserver
 
 import (
@@ -44,6 +56,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -74,11 +88,18 @@ type Server struct {
 	maxUpload   int64
 	maxN        int
 	maxSessions int
+	spillDir    string
 	verifySem   chan struct{} // limits concurrently running verifications
 
 	mu       sync.RWMutex
 	plans    map[string]*servedPlan
 	sessions map[string]*session
+	// spilling counts in-flight spill-mode uploads per plan id. A DELETE
+	// consults it (under mu) before unlinking the content-addressed spill
+	// file: an in-flight re-upload of the same id writes the same bytes
+	// to the same path, so removal must be skipped and deferred to
+	// whoever finishes last (finishSpillLocked).
+	spilling map[string]int
 
 	sessionSeq atomic.Int64
 }
@@ -101,6 +122,20 @@ func WithMaxSessions(n int) Option {
 	return func(s *Server) { s.maxSessions = n }
 }
 
+// WithSpillDir makes uploaded plans spill to disk: each validated
+// upload is written to dir (content-addressed, <id>.shcp), memory-
+// mapped, and served straight off the mapping — the kernel page cache
+// holds the one copy of the bytes instead of the Go heap, it is shared
+// with any other process mapping the same file, and cold plans cost no
+// resident memory at all. On platforms without mmap the spilled file is
+// served through positional reads; if spilling itself fails the upload
+// degrades to the in-memory copy rather than erroring. Deleting a plan
+// removes its spill file; the mapping is unmapped only once the last
+// in-flight verifier finishes.
+func WithSpillDir(dir string) Option {
+	return func(s *Server) { s.spillDir = dir }
+}
+
 // WithVerifyConcurrency caps concurrently *running* verifications.
 // Requests beyond the cap queue; they are not rejected — any number of
 // concurrent verification requests complete, the limiter only bounds
@@ -117,6 +152,7 @@ func New(opts ...Option) *Server {
 		maxSessions: DefaultMaxSessions,
 		plans:       make(map[string]*servedPlan),
 		sessions:    make(map[string]*session),
+		spilling:    make(map[string]int),
 	}
 	for _, o := range opts {
 		o(s)
@@ -156,11 +192,38 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// servedPlan is one cached plan: the single in-memory copy of its bytes
-// and the reusable ReadPlanAt handle every verifier shares.
+// servedPlan is one cached plan: the reusable ReadPlanAt handle every
+// verifier shares, backed either by the single in-memory copy of the
+// upload or — in spill mode — by a memory-mapped file on disk.
 type servedPlan struct {
-	info PlanInfo
-	plan *sparsehypercube.Plan
+	info    PlanInfo
+	plan    *sparsehypercube.Plan
+	mapping io.Closer // spill mode: the file mapping; nil in-memory
+	path    string    // spill mode: the on-disk file; "" in-memory
+
+	// refs counts the cache's own reference plus every in-flight
+	// verifier, so a DELETE never unmaps bytes a concurrent verify is
+	// still reading.
+	refs atomic.Int64
+}
+
+// release drops one reference; the last one out closes the mapping.
+func (sp *servedPlan) release() {
+	if sp.refs.Add(-1) == 0 && sp.mapping != nil {
+		sp.mapping.Close()
+	}
+}
+
+// discard disposes of a servedPlan that never entered the cache (the
+// loser of a concurrent-upload insert race). Only the mapping is
+// closed; the spill file is finishSpillLocked's concern — the winner
+// either serves those exact bytes from the same content-addressed path
+// or, if it degraded to in-memory, the last retiring upload sweeps the
+// file.
+func (sp *servedPlan) discard() {
+	if sp.mapping != nil {
+		sp.mapping.Close()
+	}
 }
 
 // PlanInfo is the metadata envelope for a cached plan.
@@ -173,6 +236,7 @@ type PlanInfo struct {
 	Bytes   int64  `json:"bytes"`
 	Rounds  int    `json:"rounds"`
 	Indexed bool   `json:"indexed"`
+	Spilled bool   `json:"spilled,omitempty"`
 }
 
 type errorResponse struct {
@@ -254,8 +318,19 @@ func (s *Server) handlePlanUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	spillTracked := s.spillDir != ""
+	if spillTracked {
+		s.mu.Lock()
+		s.spilling[id]++
+		s.mu.Unlock()
+	}
 	sp, err = s.newServedPlan(id, data)
 	if err != nil {
+		if spillTracked {
+			s.mu.Lock()
+			s.finishSpillLocked(id)
+			s.mu.Unlock()
+		}
 		writeError(w, http.StatusBadRequest, "invalid plan: %v", err)
 		return
 	}
@@ -264,12 +339,31 @@ func (s *Server) handlePlanUpload(w http.ResponseWriter, r *http.Request) {
 	if existing, ok := s.plans[id]; ok {
 		// A concurrent identical upload won the insert race: serve its
 		// copy, and report 200 exactly as the sequential dedupe path does.
+		sp.discard()
 		sp, status = existing, http.StatusOK
 	} else {
 		s.plans[id] = sp
 	}
+	if spillTracked {
+		s.finishSpillLocked(id)
+	}
 	s.mu.Unlock()
 	writeJSON(w, status, sp.info)
+}
+
+// finishSpillLocked retires one in-flight spill for id; the last one
+// out sweeps the content-addressed file if no cache entry owns it (a
+// failed or degraded upload racing a DELETE would otherwise orphan it).
+// The caller holds s.mu.
+func (s *Server) finishSpillLocked(id string) {
+	if n := s.spilling[id] - 1; n > 0 {
+		s.spilling[id] = n
+		return
+	}
+	delete(s.spilling, id)
+	if sp, ok := s.plans[id]; !ok || sp.path == "" {
+		os.Remove(filepath.Join(s.spillDir, id+".shcp")) // best effort; usually absent
+	}
 }
 
 // newServedPlan fully validates an uploaded plan — structure, plan
@@ -292,11 +386,7 @@ func (s *Server) newServedPlan(id string, data []byte) (*servedPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := sparsehypercube.ReadPlanAt(bytes.NewReader(data), int64(len(data)))
-	if err != nil {
-		return nil, err
-	}
-	return &servedPlan{
+	sp := &servedPlan{
 		info: PlanInfo{
 			ID:      id,
 			K:       h.K,
@@ -307,14 +397,83 @@ func (s *Server) newServedPlan(id string, data []byte) (*servedPlan, error) {
 			Rounds:  rounds,
 			Indexed: at.Indexed(),
 		},
-		plan: plan,
-	}, nil
+	}
+	sp.refs.Store(1) // the cache's own reference
+	if s.spillDir != "" {
+		if plan, m, path, err := s.spillPlan(id, data); err == nil {
+			sp.plan, sp.mapping, sp.path = plan, m, path
+			sp.info.Spilled = true
+			return sp, nil
+		}
+		// Spilling is an optimisation: if the disk or the mapping is
+		// unavailable, serving from memory beats failing the upload.
+	}
+	plan, err := sparsehypercube.ReadPlanAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	sp.plan = plan
+	return sp, nil
 }
 
+// spillPlan writes a validated upload to the spill directory (written
+// to a temp name, renamed into the content-addressed path — atomic
+// naming, so a crashed upload never leaves a half-written file under
+// the served name; the data itself is not fsync'd, the mapping we
+// serve from is what matters) and opens it for serving through a
+// read-only memory mapping.
+func (s *Server) spillPlan(id string, data []byte) (*sparsehypercube.Plan, io.Closer, string, error) {
+	if err := os.MkdirAll(s.spillDir, 0o755); err != nil {
+		return nil, nil, "", err
+	}
+	path := filepath.Join(s.spillDir, id+".shcp")
+	tmp, err := os.CreateTemp(s.spillDir, "upload-*.tmp")
+	if err != nil {
+		return nil, nil, "", err
+	}
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, "", werr
+	}
+	// Failures past the rename leave the content-addressed file behind
+	// on purpose: a concurrent identical upload may have renamed its own
+	// copy onto the path, so unlinking here could strand the winner.
+	// finishSpillLocked sweeps the file once the last in-flight upload
+	// retires with no cache entry owning it.
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	m, err := schedio.OpenMapping(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, "", err
+	}
+	plan, err := sparsehypercube.ReadPlanAt(m, m.Size())
+	if err != nil {
+		m.Close()
+		return nil, nil, "", err
+	}
+	return plan, m, path, nil
+}
+
+// lookupPlan returns the cached plan with a reference acquired (under
+// the lock, so a concurrent DELETE cannot unmap it first); the caller
+// must release it.
 func (s *Server) lookupPlan(id string) (*servedPlan, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	sp, ok := s.plans[id]
+	if ok {
+		sp.refs.Add(1)
+	}
 	return sp, ok
 }
 
@@ -324,6 +483,7 @@ func (s *Server) handlePlanInfo(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown plan %q", r.PathValue("id"))
 		return
 	}
+	defer sp.release()
 	writeJSON(w, http.StatusOK, sp.info)
 }
 
@@ -336,6 +496,7 @@ func (s *Server) handlePlanVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown plan %q", r.PathValue("id"))
 		return
 	}
+	defer sp.release()
 	release := s.acquireVerify()
 	rep := sp.plan.Verify()
 	release()
@@ -345,12 +506,25 @@ func (s *Server) handlePlanVerify(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePlanDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, ok := s.plans[id]
-	delete(s.plans, id)
+	sp, ok := s.plans[id]
+	if ok {
+		delete(s.plans, id)
+		// Unlink the spill file in the same critical section — unless a
+		// re-upload of the same id is in flight, which writes the same
+		// bytes to the same content-addressed path and must be left the
+		// file (its retire sweep reclaims it if it fails). Unlinking a
+		// mapped file is safe (the pages live until the last unmap); on
+		// fallback platforms an open handle may pin the file — best
+		// effort, the handle's close is what matters.
+		if sp.path != "" && s.spilling[id] == 0 {
+			os.Remove(sp.path)
+		}
+	}
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown plan %q", id)
 		return
 	}
+	sp.release() // the cache's reference; in-flight verifiers hold their own
 	w.WriteHeader(http.StatusNoContent)
 }

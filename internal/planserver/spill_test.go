@@ -1,0 +1,228 @@
+package planserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sparsehypercube"
+)
+
+// spillUpload uploads an indexed broadcast plan to a spill-mode server
+// and returns the info envelope, the plan bytes, and the in-process
+// reference Report.
+func spillUpload(t *testing.T, ts string) (PlanInfo, []byte, sparsehypercube.Report) {
+	t.Helper()
+	cube, err := sparsehypercube.New(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := cube.Plan(sparsehypercube.BroadcastScheme{Source: 3})
+	var buf bytes.Buffer
+	if _, err := plan.WriteIndexedTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, ts+"/v1/plans", "application/octet-stream", buf.Bytes())
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", resp.StatusCode, body)
+	}
+	var info PlanInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	return info, buf.Bytes(), plan.Verify()
+}
+
+// TestSpillServesFromDisk: in spill mode an upload lands on disk, is
+// reported as spilled, and verifies off the mapped file with a Report
+// DeepEqual to in-process verification.
+func TestSpillServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	ts := newTestServer(t, WithSpillDir(dir))
+	info, data, want := spillUpload(t, ts.URL)
+	if !info.Spilled {
+		t.Fatalf("upload not spilled: %+v", info)
+	}
+	path := filepath.Join(dir, info.ID+".shcp")
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("spill file missing: %v", err)
+	}
+	if !bytes.Equal(onDisk, data) {
+		t.Fatal("spill file bytes diverge from the upload")
+	}
+	resp, body := post(t, ts.URL+"/v1/plans/"+info.ID+"/verify", "application/json", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify status %d: %s", resp.StatusCode, body)
+	}
+	if got := decodeReport(t, body); !reflect.DeepEqual(got, want) {
+		t.Fatalf("spilled verify diverges:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// Re-upload dedupes against the cached entry, 200 not 201.
+	resp, body = post(t, ts.URL+"/v1/plans", "application/octet-stream", data)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-upload status %d: %s", resp.StatusCode, body)
+	}
+
+	// DELETE removes the spill file.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/plans/"+info.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", dresp.StatusCode)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("spill file survives delete: %v", err)
+	}
+}
+
+// TestSpillDeleteDuringVerify races concurrent verifiers against a
+// DELETE of the mapped plan: every verifier must get either a correct
+// Report or a clean 404, never torn bytes or a crash — the refcount
+// keeps the mapping alive until the last reader finishes.
+func TestSpillDeleteDuringVerify(t *testing.T) {
+	dir := t.TempDir()
+	ts := newTestServer(t, WithSpillDir(dir))
+	info, _, want := spillUpload(t, ts.URL)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		// Plain client code, t.Errorf only: t.Fatal (which the post/
+		// decodeReport helpers use) must not run off the test goroutine.
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/plans/"+info.ID+"/verify", "application/json", nil)
+			if err != nil {
+				t.Errorf("verify request: %v", err)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Errorf("reading verify response: %v", err)
+				return
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var got sparsehypercube.Report
+				if err := json.Unmarshal(body, &got); err != nil {
+					t.Errorf("report not JSON: %q: %v", body, err)
+				} else if !reflect.DeepEqual(got, want) {
+					t.Errorf("report diverged under delete race: %+v", got)
+				}
+			case http.StatusNotFound:
+				// Deleted first: fine.
+			default:
+				t.Errorf("status %d: %s", resp.StatusCode, body)
+			}
+		}()
+		if i == 8 {
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/plans/"+info.ID, nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	}
+	wg.Wait()
+}
+
+// TestSpillDeleteSkipsInflightReupload pins the DELETE/re-upload race
+// criterion: while a spill of the same id is in flight, DELETE must
+// leave the content-addressed file alone (the re-upload writes those
+// exact bytes), and the last retiring spill sweeps it if no cache
+// entry claims it.
+func TestSpillDeleteSkipsInflightReupload(t *testing.T) {
+	dir := t.TempDir()
+	s := New(WithSpillDir(dir))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	info, _, _ := spillUpload(t, ts.URL)
+	path := filepath.Join(dir, info.ID+".shcp")
+
+	// Simulate a concurrent re-upload mid-spill.
+	s.mu.Lock()
+	s.spilling[info.ID]++
+	s.mu.Unlock()
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/plans/"+info.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("spill file removed despite in-flight re-upload: %v", err)
+	}
+
+	// The in-flight upload retires without inserting (say it failed):
+	// the sweep must reclaim the now-unowned file.
+	s.mu.Lock()
+	s.finishSpillLocked(info.ID)
+	s.mu.Unlock()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("unowned spill file not swept: %v", err)
+	}
+}
+
+// TestSpillSweepWhenWinnerDegraded pins the insert-race criterion: a
+// loser that spilled while the winner serves from memory must not
+// orphan its file — the retire sweep removes it because the cache
+// entry owns no path.
+func TestSpillSweepWhenWinnerDegraded(t *testing.T) {
+	dir := t.TempDir()
+	s := New(WithSpillDir(dir))
+	const id = "deadbeef"
+	path := filepath.Join(dir, id+".shcp")
+	if err := os.WriteFile(path, []byte("spilled by the race loser"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.plans[id] = &servedPlan{info: PlanInfo{ID: id}} // winner, in-memory
+	s.spilling[id] = 1                                // the loser, about to retire
+	s.finishSpillLocked(id)
+	s.mu.Unlock()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("loser's spill file not swept under a memory-only winner: %v", err)
+	}
+	if len(s.spilling) != 0 {
+		t.Fatalf("spilling map not drained: %v", s.spilling)
+	}
+}
+
+// TestSpillDegradesToMemory: an unusable spill directory must not fail
+// uploads — the plan serves from memory, unspilled.
+func TestSpillDegradesToMemory(t *testing.T) {
+	blocked := filepath.Join(t.TempDir(), "file-not-dir")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, WithSpillDir(filepath.Join(blocked, "sub")))
+	info, _, want := spillUpload(t, ts.URL)
+	if info.Spilled {
+		t.Fatalf("upload claims spilled into an unusable dir: %+v", info)
+	}
+	resp, body := post(t, ts.URL+"/v1/plans/"+info.ID+"/verify", "application/json", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify status %d: %s", resp.StatusCode, body)
+	}
+	if got := decodeReport(t, body); !reflect.DeepEqual(got, want) {
+		t.Fatalf("degraded verify diverges: %+v", got)
+	}
+}

@@ -1,0 +1,73 @@
+package schedio
+
+// CRC-32 combination: crc32Combine(crcA, crcB, lenB) computes the CRC
+// of the concatenation A||B from the CRCs of A and B alone, so W
+// workers can checksum W byte ranges of one plan independently and the
+// results still pin the file's single stored footer. The algorithm is
+// the classic GF(2) matrix one (zlib's crc32_combine): appending lenB
+// zero bytes to A's CRC is a linear operation, represented as a 32x32
+// bit matrix raised to the lenB-th power by repeated squaring.
+
+// crcPoly is the reflected IEEE CRC-32 polynomial, matching
+// hash/crc32.IEEE in the bit order the running CRC uses.
+const crcPoly = 0xedb88320
+
+// gf2Times multiplies the GF(2) matrix mat by the bit vector vec.
+func gf2Times(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; vec >>= 1 {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		i++
+	}
+	return sum
+}
+
+// gf2Square sets dst to mat squared.
+func gf2Square(dst, mat *[32]uint32) {
+	for i := range dst {
+		dst[i] = gf2Times(mat, mat[i])
+	}
+}
+
+// crc32Combine returns the CRC-32 (IEEE) of A||B given crcA = CRC(A),
+// crcB = CRC(B) and lenB = len(B).
+func crc32Combine(crcA, crcB uint32, lenB int64) uint32 {
+	if lenB <= 0 {
+		return crcA ^ crcB
+	}
+	var even, odd [32]uint32
+	// odd is the operator for one zero *bit* appended: a right shift
+	// folding through the polynomial.
+	odd[0] = crcPoly
+	row := uint32(1)
+	for i := 1; i < 32; i++ {
+		odd[i] = row
+		row <<= 1
+	}
+	gf2Square(&even, &odd) // even: two zero bits
+	gf2Square(&odd, &even) // odd: four zero bits
+	// The first squaring inside the loop makes even the one-zero-byte
+	// operator; each further squaring doubles the byte count, so the
+	// operator applied at bit k of lenB appends 1<<k zero bytes.
+	for {
+		gf2Square(&even, &odd)
+		if lenB&1 != 0 {
+			crcA = gf2Times(&even, crcA)
+		}
+		lenB >>= 1
+		if lenB == 0 {
+			break
+		}
+		gf2Square(&odd, &even)
+		if lenB&1 != 0 {
+			crcA = gf2Times(&odd, crcA)
+		}
+		lenB >>= 1
+		if lenB == 0 {
+			break
+		}
+	}
+	return crcA ^ crcB
+}

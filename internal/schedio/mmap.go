@@ -1,0 +1,86 @@
+package schedio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Mapping is a read-only random-access view of a plan file: the file's
+// bytes memory-mapped where the platform supports it (one page-cache
+// copy shared by every reader, and across processes mapping the same
+// file), plain positional reads elsewhere. It implements io.ReaderAt —
+// the shape OpenPlanAt and ReadPlanAt consume — and is safe for
+// concurrent use, so any number of verifiers can replay one mapped
+// plan at zero per-reader memory.
+//
+// Close releases the mapping and closes the underlying file. Reading a
+// Mapping whose file is truncated by another process after mapping is
+// undefined (the usual mmap caveat); plan files are written once and
+// served immutable, which is the intended use.
+type Mapping struct {
+	f    *os.File
+	data []byte // nil on the fallback path
+	size int64
+}
+
+// forceFallback disables memory mapping so tests exercise the portable
+// positional-read path on every platform.
+var forceFallback = false
+
+// OpenMapping maps f read-only. The Mapping takes ownership of f (Close
+// closes it). Platforms without mmap support — and files that cannot be
+// mapped, such as empty ones — fall back transparently to positional
+// reads through the same interface; Mapped reports which path is live.
+func OpenMapping(f *os.File) (*Mapping, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("schedio: mapping %s: %w", f.Name(), err)
+	}
+	m := &Mapping{f: f, size: st.Size()}
+	if m.size > 0 && m.size == int64(int(m.size)) && !forceFallback {
+		if data, err := mapFile(f, m.size); err == nil {
+			m.data = data
+		}
+	}
+	return m, nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (m *Mapping) ReadAt(p []byte, off int64) (int, error) {
+	if m.data == nil {
+		return m.f.ReadAt(p, off)
+	}
+	if off < 0 {
+		return 0, errors.New("schedio: negative read offset")
+	}
+	if off >= m.size {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Size returns the mapped file's size in bytes.
+func (m *Mapping) Size() int64 { return m.size }
+
+// Mapped reports whether the view is an actual memory mapping (false on
+// platforms without mmap and for files that could not be mapped).
+func (m *Mapping) Mapped() bool { return m.data != nil }
+
+// Close unmaps the view (when mapped) and closes the underlying file.
+func (m *Mapping) Close() error {
+	var err error
+	if m.data != nil {
+		err = unmapFile(m.data)
+		m.data = nil
+	}
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

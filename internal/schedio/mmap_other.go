@@ -1,0 +1,22 @@
+//go:build !(darwin || dragonfly || freebsd || linux || netbsd || openbsd || solaris)
+
+package schedio
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile on platforms without syscall.Mmap: always refuse, so every
+// Mapping runs the positional-read fallback. Functionality (and the
+// Reports it produces) is identical; only the zero-copy sharing is
+// lost.
+func mapFile(*os.File, int64) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+// unmapFile is never reached on fallback-only platforms (no mapFile
+// success to undo), but must exist for the portable Close path.
+func unmapFile([]byte) error {
+	return nil
+}

@@ -1,0 +1,176 @@
+package schedio
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTempPlan writes an encoded plan to a temp file and returns its
+// path and bytes.
+func writeTempPlan(t *testing.T, indexed bool) (string, []byte) {
+	t.Helper()
+	data := encodePlan(t, 2, 6, 0, indexed)
+	path := filepath.Join(t.TempDir(), "plan.shcp")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+// mappingModes runs a subtest twice: once on the platform's real path
+// (mmap where available) and once with the positional-read fallback
+// forced, so the fallback is exercised on every platform — not only
+// the ones without syscall.Mmap.
+func mappingModes(t *testing.T, run func(t *testing.T)) {
+	t.Run("native", run)
+	t.Run("fallback", func(t *testing.T) {
+		forceFallback = true
+		defer func() { forceFallback = false }()
+		run(t)
+	})
+}
+
+func TestMappingReadAt(t *testing.T) {
+	path, data := writeTempPlan(t, true)
+	mappingModes(t, func(t *testing.T) {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := OpenMapping(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		if forceFallback && m.Mapped() {
+			t.Fatal("fallback mode produced a mapping")
+		}
+		if m.Size() != int64(len(data)) {
+			t.Fatalf("Size = %d, want %d", m.Size(), len(data))
+		}
+		// Whole-file and sliding-window reads match the bytes.
+		got := make([]byte, len(data))
+		if n, err := m.ReadAt(got, 0); n != len(data) || (err != nil && err != io.EOF) {
+			t.Fatalf("ReadAt full: n=%d err=%v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("full read diverges from file bytes")
+		}
+		win := make([]byte, 7)
+		for off := int64(0); off < int64(len(data))-7; off += 13 {
+			if _, err := m.ReadAt(win, off); err != nil {
+				t.Fatalf("ReadAt(%d): %v", off, err)
+			}
+			if !bytes.Equal(win, data[off:off+7]) {
+				t.Fatalf("window at %d diverges", off)
+			}
+		}
+		// Tail semantics: a short read at the end returns io.EOF.
+		if n, err := m.ReadAt(win, int64(len(data))-3); n != 3 || err != io.EOF {
+			t.Errorf("tail read: n=%d err=%v, want 3, EOF", n, err)
+		}
+		if _, err := m.ReadAt(win, int64(len(data))); err != io.EOF {
+			t.Errorf("read at end: err=%v, want EOF", err)
+		}
+		if _, err := m.ReadAt(win, -1); err == nil {
+			t.Error("negative offset accepted")
+		}
+	})
+}
+
+// openMappedPlan composes os.Open + OpenMapping + OpenPlanAt the way
+// the facade's OpenPlanFile and the planserver spill path do.
+func openMappedPlan(t *testing.T, path string) (*PlanAt, *Mapping) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapping(f)
+	if err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	p, err := OpenPlanAt(m, m.Size())
+	if err != nil {
+		m.Close()
+		t.Fatal(err)
+	}
+	return p, m
+}
+
+func TestMappingServesPlanAt(t *testing.T) {
+	path, data := writeTempPlan(t, true)
+	mappingModes(t, func(t *testing.T) {
+		p, m := openMappedPlan(t, path)
+		defer m.Close()
+		if !p.Indexed() {
+			t.Fatal("mapped plan lost its index")
+		}
+		if _, err := p.Check(); err != nil {
+			t.Fatalf("Check over mapping: %v", err)
+		}
+		// Random access and range decode work off the mapping.
+		if _, err := p.Round(p.NumRounds() - 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.CheckRangeCRCs(collectRangeCRCs(t, p, 3)); err != nil {
+			t.Fatal(err)
+		}
+		// The reference: the same plan over a bytes.Reader.
+		ref, err := OpenPlanAt(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.NumRounds() != p.NumRounds() {
+			t.Fatalf("rounds %d via mapping, %d via memory", p.NumRounds(), ref.NumRounds())
+		}
+	})
+}
+
+func TestMappingEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapping(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Mapped() {
+		t.Error("empty file claims a mapping")
+	}
+	if m.Size() != 0 {
+		t.Errorf("Size = %d", m.Size())
+	}
+	if _, err := m.ReadAt(make([]byte, 1), 0); err == nil {
+		t.Error("read from empty mapping succeeded")
+	}
+}
+
+func TestMappedGarbageRejected(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.shcp")
+	if err := os.WriteFile(bad, []byte("not a plan at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapping(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := OpenPlanAt(m, m.Size()); err == nil {
+		t.Error("garbage file accepted")
+	}
+}

@@ -1,0 +1,20 @@
+//go:build darwin || dragonfly || freebsd || linux || netbsd || openbsd || solaris
+
+package schedio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared: every Mapping of
+// the same plan file — across goroutines and across processes — reads
+// the one page-cache copy.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// unmapFile releases a mapFile mapping.
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

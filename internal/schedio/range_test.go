@@ -1,0 +1,207 @@
+package schedio
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sparsehypercube/internal/linecomm"
+)
+
+func TestCRC32Combine(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	buf := make([]byte, 4096)
+	rng.Read(buf)
+	for _, split := range []int{0, 1, 7, 100, 2048, 4095, 4096} {
+		a, b := buf[:split], buf[split:]
+		got := crc32Combine(crc32.ChecksumIEEE(a), crc32.ChecksumIEEE(b), int64(len(b)))
+		if want := crc32.ChecksumIEEE(buf); got != want {
+			t.Errorf("split %d: combined %08x, direct %08x", split, got, want)
+		}
+	}
+	// Three-way association, as CheckRangeCRCs chains it.
+	crc := crc32.ChecksumIEEE(buf[:100])
+	crc = crc32Combine(crc, crc32.ChecksumIEEE(buf[100:1000]), 900)
+	crc = crc32Combine(crc, crc32.ChecksumIEEE(buf[1000:]), int64(len(buf)-1000))
+	if want := crc32.ChecksumIEEE(buf); crc != want {
+		t.Errorf("chained combine %08x, direct %08x", crc, want)
+	}
+}
+
+func TestRoundRangeMatchesStream(t *testing.T) {
+	data := encodePlan(t, 2, 6, 0, true)
+	_, s, err := DecodeAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := OpenPlanAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.NumRounds()
+	if n != len(s.Rounds) {
+		t.Fatalf("NumRounds = %d, want %d", n, len(s.Rounds))
+	}
+	for _, split := range [][2]int{{0, n}, {0, 1}, {n - 1, n}, {1, n - 1}} {
+		rr, err := p.Range(split[0], split[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := split[0]
+		for round := range rr.Rounds() {
+			if !reflect.DeepEqual(linecomm.CloneRound(round), s.Rounds[i]) {
+				t.Fatalf("range %v: round %d diverges", split, i)
+			}
+			i++
+		}
+		if i != split[1] {
+			t.Fatalf("range %v yielded %d rounds", split, i-split[0])
+		}
+		if _, err := rr.CRC(); err != nil {
+			t.Fatalf("range %v: %v", split, err)
+		}
+	}
+
+	// DisableCRC: status still reported, checksum unavailable.
+	rrNo, err := p.Range(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrNo.DisableCRC()
+	if err := rrNo.Err(); err == nil {
+		t.Error("Err nil before any drain")
+	}
+	for range rrNo.Rounds() {
+	}
+	if err := rrNo.Err(); err != nil {
+		t.Errorf("CRC-less drain: %v", err)
+	}
+	if _, err := rrNo.CRC(); err == nil {
+		t.Error("CRC available despite DisableCRC")
+	}
+
+	// Bounds and misuse.
+	if _, err := p.Range(-1, 1); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := p.Range(0, n+1); err == nil {
+		t.Error("hi beyond rounds accepted")
+	}
+	if _, err := p.Range(2, 2); err == nil {
+		t.Error("empty range accepted")
+	}
+	rr, _ := p.Range(0, n)
+	for range rr.Rounds() {
+		break // abandon mid-stream
+	}
+	if _, err := rr.CRC(); err == nil {
+		t.Error("CRC available without a full drain")
+	}
+	for range rr.Rounds() {
+	}
+	if _, err := rr.CRC(); err == nil || !strings.Contains(err.Error(), "consumed") {
+		t.Errorf("second Rounds call: err = %v", err)
+	}
+
+	// A plain (unindexed) plan has no ranges.
+	plain := encodePlan(t, 2, 6, 0, false)
+	pp, err := OpenPlanAt(bytes.NewReader(plain), int64(len(plain)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pp.Range(0, 1); err == nil {
+		t.Error("Range on unindexed plan accepted")
+	}
+	if err := pp.CheckRangeCRCs(nil); err == nil {
+		t.Error("CheckRangeCRCs on unindexed plan accepted")
+	}
+}
+
+// collectRangeCRCs drains every range of a W-way split and returns the
+// RangeCRC parts, failing the test on any decode error.
+func collectRangeCRCs(t *testing.T, p *PlanAt, workers int) []RangeCRC {
+	t.Helper()
+	n := p.NumRounds()
+	var parts []RangeCRC
+	for w := range workers {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		rr, err := p.Range(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for range rr.Rounds() {
+		}
+		crc, err := rr.CRC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, RangeCRC{CRC: crc, Bytes: rr.Bytes()})
+	}
+	return parts
+}
+
+func TestCheckRangeCRCs(t *testing.T) {
+	data := encodePlan(t, 2, 6, 0, true)
+	p, err := OpenPlanAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, p.NumRounds()} {
+		if err := p.CheckRangeCRCs(collectRangeCRCs(t, p, workers)); err != nil {
+			t.Errorf("%d workers: %v", workers, err)
+		}
+	}
+
+	// Incomplete coverage must be refused.
+	parts := collectRangeCRCs(t, p, 2)
+	if err := p.CheckRangeCRCs(parts[:1]); err == nil {
+		t.Error("partial coverage accepted")
+	}
+	// A wrong per-range CRC must fail the footer comparison.
+	bad := append([]RangeCRC(nil), parts...)
+	bad[0].CRC ^= 1
+	if err := p.CheckRangeCRCs(bad); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Errorf("corrupted range CRC: err = %v", err)
+	}
+
+	// A flipped byte inside a round span surfaces either as a range
+	// decode error or as a CRC mismatch — never silence.
+	for off := int(p.offs[0]); off < int(p.offs[len(p.offs)-1]); off += 11 {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x5a
+		mp, err := OpenPlanAt(bytes.NewReader(mut), int64(len(mut)))
+		if err != nil {
+			continue // index disagreement caught at open: fine
+		}
+		caught := false
+		var mparts []RangeCRC
+		n := mp.NumRounds()
+		for w := range 3 {
+			lo, hi := w*n/3, (w+1)*n/3
+			if lo == hi {
+				continue
+			}
+			rr, rerr := mp.Range(lo, hi)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			for range rr.Rounds() {
+			}
+			crc, rerr := rr.CRC()
+			if rerr != nil {
+				caught = true
+				break
+			}
+			mparts = append(mparts, RangeCRC{CRC: crc, Bytes: rr.Bytes()})
+		}
+		if !caught && mp.CheckRangeCRCs(mparts) == nil {
+			t.Fatalf("flipped byte at %d slipped through range verification", off)
+		}
+	}
+}

@@ -7,6 +7,11 @@
 //
 // # Format
 //
+// The normative, externally consumable specification of the wire format
+// — byte-level worked examples (executed by format_doc_test.go, so the
+// spec cannot drift from this code), the index trailer, and the
+// versioning/compatibility policy — is docs/FORMAT.md. In brief:
+//
 // All integers are unsigned LEB128 varints in canonical (minimal) form;
 // the decoder rejects non-minimal encodings, so every valid byte stream
 // has exactly one decoding and re-encoding a decoded plan reproduces the

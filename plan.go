@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"os"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"sparsehypercube/internal/core"
@@ -133,11 +136,13 @@ func (s storedScheme) Rounds(*Cube) iter.Seq[[]Call] {
 // the others fail with a clean single-use violation instead of racing
 // on the reader.
 type Plan struct {
-	cube   *Cube
-	scheme Scheme
-	dec    *schedio.Decoder // round source for stream-replayed plans (single use)
-	at     *schedio.PlanAt  // round source for random-access replays (reusable)
-	copied bool
+	cube    *Cube
+	scheme  Scheme
+	dec     *schedio.Decoder // round source for stream-replayed plans (single use)
+	at      *schedio.PlanAt  // round source for random-access replays (reusable)
+	copied  bool
+	workers int       // Verify round-range workers: 0 auto, 1 serial
+	closer  io.Closer // mapping owned by OpenPlanFile plans, else nil
 
 	decClaimed atomic.Bool           // dec's single consumption slot
 	replayErr  atomic.Pointer[error] // latest at-replay decode failure
@@ -155,6 +160,22 @@ type PlanOption func(*Plan)
 // default for convenience.
 func WithCopiedRounds() PlanOption {
 	return func(p *Plan) { p.copied = true }
+}
+
+// WithVerifyWorkers sets how many round-range workers Verify may use on
+// an indexed random-access plan: 1 (or any negative value) forces the
+// serial streamed pass, 0 (the default) picks GOMAXPROCS, anything
+// larger pins the worker count. Only plans that replay through
+// ReadPlanAt (or OpenPlanFile) from a file carrying the per-round index
+// (WriteIndexedTo) can be split; every other plan verifies serially
+// regardless of this option.
+func WithVerifyWorkers(w int) PlanOption {
+	return func(p *Plan) {
+		if w < 0 {
+			w = 1 // negative means serial, as in the CLI's -par convention
+		}
+		p.workers = w
+	}
 }
 
 // Plan binds a scheme to this cube.
@@ -254,13 +275,26 @@ func (p *Plan) Materialize() *Schedule {
 	return out
 }
 
-// Verify checks the plan against its scheme's correctness model in one
-// streamed pass: the k-line broadcast validator (edge existence, call
-// lengths, per-round edge- and receiver-disjointness, caller knowledge,
-// completion, minimality) unless the scheme is a PlanVerifier. For
-// replayed plans a decode failure is folded into the report as a
-// violation, so a truncated or corrupted file can never verify.
+// Verify checks the plan against its scheme's correctness model: the
+// k-line broadcast validator (edge existence, call lengths, per-round
+// edge- and receiver-disjointness, caller knowledge, completion,
+// minimality) unless the scheme is a PlanVerifier. For replayed plans a
+// decode failure is folded into the report as a violation, so a
+// truncated or corrupted file can never verify.
+//
+// On an indexed random-access plan (ReadPlanAt or OpenPlanFile over a
+// WriteIndexedTo file) Verify is automatically parallel: the round
+// stream is split by index into contiguous ranges checked by
+// WithVerifyWorkers workers (GOMAXPROCS by default), and the merged
+// Report is identical — violation for violation, byte for byte — to
+// the serial pass. Any decode or checksum anomaly on the fast path
+// falls back to the authoritative serial pass, so corrupted files
+// report exactly as they always did. Every other plan verifies in one
+// streamed serial pass.
 func (p *Plan) Verify() Report {
+	if rep, ok := p.verifyParallel(); ok {
+		return rep
+	}
 	var rep Report
 	inner, errf := p.roundSource()
 	if pv, ok := p.scheme.(PlanVerifier); ok {
@@ -278,6 +312,123 @@ func (p *Plan) Verify() Report {
 		rep.Violations = append(rep.Violations, fmt.Sprintf("replay: %v", err))
 	}
 	return rep
+}
+
+// verifyParallel is the indexed fast path of Verify: split the round
+// stream into contiguous index ranges, scan them in parallel for the
+// receivers they inform (the only state crossing a range boundary) and
+// their span CRCs, then run one seeded stream validator per range and
+// merge. ok is false when the plan is not eligible — not random-access,
+// not indexed, a custom-verifier scheme, fewer than two rounds or
+// workers — or when any worker sees a decode/integrity anomaly; the
+// caller then runs the serial pass, whose Report is authoritative (and,
+// for clean plans, identical to the merged one by construction).
+func (p *Plan) verifyParallel() (Report, bool) {
+	if p.at == nil || !p.at.Indexed() {
+		return Report{}, false
+	}
+	if _, ok := p.scheme.(PlanVerifier); ok {
+		return Report{}, false
+	}
+	workers := p.workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rounds := p.at.NumRounds()
+	if workers < 2 || rounds < 2 {
+		return Report{}, false
+	}
+	workers = min(workers, rounds)
+	order := p.cube.Order()
+	source := p.scheme.Origin()
+	if source >= order {
+		return Report{}, false // trivial, and the serial path words the violation
+	}
+	bounds := make([]int, workers+1)
+	for w := range workers + 1 {
+		bounds[w] = w * rounds / workers
+	}
+	errs := make([]error, workers)
+	run := func(f func(w int) error) bool {
+		var wg sync.WaitGroup
+		for w := range workers {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[w] = f(w)
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Pass 1: per range, the receivers its calls inform and the CRC of
+	// its byte span. Informing is purely structural, so ranges are
+	// independent here. The final range's delta seeds nothing — only
+	// the span CRC matters there, so it just drains.
+	deltas := make([][]uint64, workers)
+	crcs := make([]schedio.RangeCRC, workers)
+	if !run(func(w int) error {
+		rr, err := p.at.Range(bounds[w], bounds[w+1])
+		if err != nil {
+			return err
+		}
+		if w < workers-1 {
+			deltas[w] = linecomm.CollectInformedStream(p.cube.inner, rr.Rounds())
+		} else {
+			for range rr.Rounds() {
+			}
+		}
+		crc, err := rr.CRC()
+		if err != nil {
+			return err
+		}
+		crcs[w] = schedio.RangeCRC{CRC: crc, Bytes: rr.Bytes()}
+		return nil
+	}) {
+		return Report{}, false
+	}
+	if err := p.at.CheckRangeCRCs(crcs); err != nil {
+		return Report{}, false
+	}
+	// Prefix-union the deltas: range w's seed is everything informed by
+	// ranges [0, w). One backing array, sized exactly, so the seed
+	// slices stay aliases of stable storage.
+	total := 0
+	for _, d := range deltas {
+		total += len(d)
+	}
+	all := make([]uint64, 0, total)
+	seeds := make([][]uint64, workers)
+	for w := range workers {
+		seeds[w] = all
+		all = append(all, deltas[w]...)
+	}
+
+	// Pass 2: full validation per range, seeded with its boundary set.
+	// The range split is the parallelism; each validator gets its share
+	// of the cores for fill-phase sharding rather than GOMAXPROCS each.
+	fillShards := max(1, runtime.GOMAXPROCS(0)/workers)
+	parts := make([]*linecomm.Result, workers)
+	if !run(func(w int) error {
+		rr, err := p.at.Range(bounds[w], bounds[w+1])
+		if err != nil {
+			return err
+		}
+		rr.DisableCRC() // pass 1 already pinned this span's checksum
+		parts[w] = linecomm.ValidateStreamSeeded(p.cube.inner, p.cube.K(), source,
+			seeds[w], bounds[w], rr.Rounds(), linecomm.DefaultOptions(), fillShards)
+		return rr.Err()
+	}) {
+		return Report{}, false
+	}
+	res := linecomm.MergeRangeResults(order, parts)
+	return reportFrom(res, len(res.InformedPerRound)), true
 }
 
 // Err reports the decode status of a replayed plan: nil for generative
@@ -363,7 +514,10 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 //
 // Unlike ReadPlan, decode failures of one consumption do not poison the
 // handle; each Verify folds its own replay status into its Report.
-func ReadPlanAt(r io.ReaderAt, size int64) (*Plan, error) {
+//
+// When the file carries the round index, Verify on the returned plan
+// splits it across round-range workers (see WithVerifyWorkers).
+func ReadPlanAt(r io.ReaderAt, size int64, opts ...PlanOption) (*Plan, error) {
 	at, err := schedio.OpenPlanAt(r, size)
 	if err != nil {
 		return nil, err
@@ -372,7 +526,57 @@ func ReadPlanAt(r io.ReaderAt, size int64) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{cube: cube, scheme: scheme, at: at}, nil
+	p := &Plan{cube: cube, scheme: scheme, at: at}
+	for _, o := range opts {
+		o(p)
+	}
+	return p, nil
+}
+
+// OpenPlanFile opens the plan file at path for random-access replay
+// through a read-only memory mapping — every verifier (in this process
+// and any other mapping the same file) shares the one page-cache copy
+// of the bytes — falling back transparently to positional file reads on
+// platforms without mmap. The returned Plan behaves exactly like a
+// ReadPlanAt plan: reusable, safe for concurrent use, automatically
+// parallel on indexed files. Call Close to release the mapping.
+func OpenPlanFile(path string, opts ...PlanOption) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := schedio.OpenMapping(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	p, err := ReadPlanAt(m, m.Size(), opts...)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	p.closer = m
+	return p, nil
+}
+
+// Close releases the file mapping held by a plan opened with
+// OpenPlanFile. It is a no-op (and returns nil) for every other plan.
+// A closed plan must not be consumed again.
+func (p *Plan) Close() error {
+	if p.closer == nil {
+		return nil
+	}
+	c := p.closer
+	p.closer = nil
+	return c.Close()
+}
+
+// Indexed reports whether the plan replays from a file carrying the
+// per-round byte index (WriteIndexedTo) through ReadPlanAt or
+// OpenPlanFile — the precondition for parallel Verify and per-round
+// random access. Generative and stream-replayed plans report false.
+func (p *Plan) Indexed() bool {
+	return p.at != nil && p.at.Indexed()
 }
 
 // bindHeader reconstructs the cube a stored plan was generated on
