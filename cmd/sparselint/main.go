@@ -1,0 +1,86 @@
+// Command sparselint is the repo's invariant checker: a multichecker
+// carrying the custom analyzers in internal/lint, which mechanize the
+// hand-enforced rules the serving pipeline depends on (streaming
+// discipline, bounded decoder allocation, mapping lifetimes, lock
+// hygiene, the 4xx error envelope). CI runs it over the full tree and
+// fails on any finding.
+//
+// Usage:
+//
+//	sparselint [-list] [-json] [packages]
+//
+// Packages default to ./... relative to the working directory. Exit
+// status is 1 when diagnostics were reported, 2 on operational errors.
+// Deliberate violations are suppressed in-source with a mandatory
+// reason:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line above it. See docs/LINTING.md for
+// each analyzer's invariant and provenance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"sparsehypercube/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("sparselint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit diagnostics as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-17s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := lint.NewLoader(".")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sparselint:", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, analyzers)
+	if *asJSON {
+		type jsonDiag struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiag{Analyzer: d.Analyzer, File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column, Message: d.Message}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sparselint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+// TestListExits exercises the -list path.
+func TestListExits(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+}
+
+// TestFullTreeClean pins the repo invariant CI enforces: every analyzer
+// over every package, zero findings. A violation anywhere in the tree —
+// a Materialize in planserver, an uncapped make in a decoder — fails
+// this test before it fails CI.
+func TestFullTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	if code := run([]string{"sparsehypercube/..."}); code != 0 {
+		t.Fatalf("sparselint over the full tree exited %d (want 0); run `go run ./cmd/sparselint ./...` from the module root for the findings", code)
+	}
+}

@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"testing"
+
+	"sparsehypercube/internal/lint"
+	"sparsehypercube/internal/lint/linttest"
+)
+
+// Each analyzer runs over a fixture package holding both violations
+// (carrying // want annotations) and the sanctioned pattern the
+// invariant points to (carrying none). Restricted analyzers load their
+// fixtures under restricted package paths; the facade fixture checks
+// that the same constructs pass under an unrestricted path.
+
+func TestStreamDisciplineFixture(t *testing.T) {
+	linttest.Run(t, lint.StreamDiscipline, "testdata/src/streamdiscipline/planserver", "internal/planserver")
+}
+
+func TestStreamDisciplineFacadeAllowed(t *testing.T) {
+	linttest.Run(t, lint.StreamDiscipline, "testdata/src/streamdiscipline/facade", "facade")
+}
+
+func TestBoundedAllocFixture(t *testing.T) {
+	linttest.Run(t, lint.BoundedAlloc, "testdata/src/boundedalloc/decoder", "decoder")
+}
+
+func TestMapCloseFixture(t *testing.T) {
+	linttest.Run(t, lint.MapClose, "testdata/src/mapclose/user", "user")
+}
+
+func TestLockHeldFixture(t *testing.T) {
+	linttest.Run(t, lint.LockHeld, "testdata/src/lockheld/planserver", "internal/planserver")
+}
+
+func TestLockHeldOutsidePlanserver(t *testing.T) {
+	// The same file under an unrestricted path must report nothing:
+	// lockheld polices the serving registry, not the whole module.
+	linttest.RunNone(t, lint.LockHeld, "testdata/src/lockheld/planserver", "other")
+}
+
+func TestErrEnvelopeFixture(t *testing.T) {
+	linttest.Run(t, lint.ErrEnvelope, "testdata/src/errenvelope/planserver", "internal/planserver")
+}

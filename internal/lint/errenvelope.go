@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// ErrEnvelope enforces the planserver error contract PR 4 established:
+// every decode or validation failure answers with the structured
+// {"error": ...} JSON envelope and a 4xx status — clients parse the
+// envelope, and a malformed upload is the client's fault, never a
+// server error. Within internal/planserver:
+//
+//   - http.Error is forbidden (plain-text body, no envelope; route
+//     through writeError)
+//   - WriteHeader with a constant 5xx status is forbidden (a naked 500
+//     turns bad input into a fake server failure)
+//   - the envelope helpers themselves (writeError/writeJSON) must not
+//     be handed a constant 5xx either
+var ErrEnvelope = &Analyzer{
+	Name: "errenvelope",
+	Doc:  "require planserver failures to use the structured 4xx envelope, never http.Error or a naked 5xx",
+	Run:  runErrEnvelope,
+}
+
+func runErrEnvelope(pass *Pass) {
+	p := pass.Pkg
+	if !pathHasSuffix(p.PkgPath, "internal/planserver") {
+		return
+	}
+	p.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.callee(call)
+		if fn != nil && funcPkgPath(fn) == "net/http" && fn.Name() == "Error" {
+			pass.Reportf(call.Pos(), "http.Error bypasses the structured error envelope: use writeError (docs/LINTING.md#errenvelope)")
+			return true
+		}
+		// WriteHeader(5xx) on a ResponseWriter, by method name + arg.
+		if sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr); selOK &&
+			sel.Sel.Name == "WriteHeader" && len(call.Args) == 1 {
+			if code, ok := p.constStatus(call.Args[0]); ok && code >= 500 {
+				pass.Reportf(call.Pos(), "naked WriteHeader(%d): failures must go through the 4xx envelope — a 5xx blames the server for the client's input (docs/LINTING.md#errenvelope)", code)
+			}
+			return true
+		}
+		// The envelope helpers handed a constant 5xx defeat the contract
+		// from the inside.
+		if fn != nil && (fn.Name() == "writeError" || fn.Name() == "writeJSON") &&
+			pathHasSuffix(funcPkgPath(fn), "internal/planserver") && len(call.Args) >= 2 {
+			if code, ok := p.constStatus(call.Args[1]); ok && code >= 500 {
+				pass.Reportf(call.Pos(), "%s with constant status %d: decode/validation failures are 4xx (docs/LINTING.md#errenvelope)", fn.Name(), code)
+			}
+		}
+		return true
+	})
+}
+
+// constStatus evaluates e as a constant integer status code.
+func (p *Package) constStatus(e ast.Expr) (int64, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

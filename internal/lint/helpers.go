@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callee resolves the function or method a call invokes, or nil for
+// calls through function values, conversions, and built-ins.
+func (p *Package) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the package a function belongs
+// to ("" for builtins and error.Error).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isFunc reports whether fn is the package-level function name in a
+// package whose path is pkg or ends in "/"+pkg.
+func isFunc(fn *types.Func, pkg, name string) bool {
+	return fn != nil && fn.Name() == name &&
+		fn.Type().(*types.Signature).Recv() == nil &&
+		pathHasSuffix(funcPkgPath(fn), pkg)
+}
+
+// recvNamed returns the defining package path and type name of a
+// method's receiver (dereferenced), or ("", "") for non-methods.
+func recvNamed(fn *types.Func) (pkgPath, typeName string) {
+	if fn == nil {
+		return "", ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", ""
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil {
+		pkgPath = obj.Pkg().Path()
+	}
+	return pkgPath, obj.Name()
+}
+
+// isMethod reports whether fn is the named method on the named type of
+// a package matched by path suffix. An empty pkg matches any package —
+// used for repo types exercised from fixture packages.
+func isMethod(fn *types.Func, pkg, typeName, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	rp, rt := recvNamed(fn)
+	if rt != typeName {
+		return false
+	}
+	return pkg == "" || pathHasSuffix(rp, pkg)
+}
+
+// usesObject reports whether obj is referenced anywhere under node.
+func (p *Package) usesObject(node ast.Node, obj types.Object) bool {
+	if node == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// objectOf resolves an identifier expression to its object (through
+// parens), or nil.
+func (p *Package) objectOf(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// namedType returns the defining package path and name of an
+// expression's type (pointers dereferenced), or ("", "").
+func (p *Package) namedType(e ast.Expr) (pkgPath, typeName string) {
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return "", ""
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil {
+		pkgPath = obj.Pkg().Path()
+	}
+	return pkgPath, obj.Name()
+}
+
+// isConstExpr reports whether e is a compile-time constant (a literal
+// or a named constant — the shape of a cap like maxRoundCalls).
+func (p *Package) isConstExpr(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// eachFuncBody visits every function and method body in the package.
+func (p *Package) eachFuncBody(fn func(decl *ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package lint is sparselint's analysis engine: a small, stdlib-only
+// reimplementation of the golang.org/x/tools/go/analysis shape
+// (Analyzer, Pass, Report) plus a package loader and a suppression
+// mechanism, carrying the custom analyzers that mechanize this repo's
+// hand-enforced invariants:
+//
+//   - streamdiscipline: streaming hot paths never materialise a schedule
+//   - boundedalloc: allocations are never sized from an unchecked varint
+//   - mapclose: mappings and refcount acquisitions reach their release
+//   - lockheld: planserver locks are never held across blocking calls
+//   - errenvelope: planserver failures answer with the 4xx envelope
+//
+// The x/tools analysis framework itself is deliberately not a
+// dependency: the module is stdlib-only, and the subset these analyzers
+// need — parsed files, full type information, position-addressed
+// diagnostics — is covered by go/ast, go/types and the gc export data
+// the build cache already holds (see load.go). The Analyzer/Pass shape
+// is kept close to x/tools so the analyzers could migrate to a real
+// multichecker without rewriting their Run functions.
+//
+// Each invariant, the PR that established it, and the suppression
+// syntax are documented in docs/LINTING.md.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check: a Run function over a type-checked
+// package, reporting diagnostics through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow
+	// suppression comments. Lower-case, no spaces.
+	Name string
+
+	// Doc is the one-line invariant statement shown by sparselint -list.
+	Doc string
+
+	// Run inspects pass.Files and reports violations via pass.Report.
+	Run func(pass *Pass)
+}
+
+// Analyzers returns every sparselint analyzer, in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		StreamDiscipline,
+		BoundedAlloc,
+		MapClose,
+		LockHeld,
+		ErrEnvelope,
+	}
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	// report collects diagnostics; Run uses Reportf.
+	diags *[]Diagnostic
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics (suppressed ones removed) in file/line order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := pkg.suppressions()
+		for _, a := range analyzers {
+			var raw []Diagnostic
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			a.Run(pass)
+			for _, d := range raw {
+				if !allowed.covers(a.Name, d.Pos) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// allowRe matches the suppression comment form:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory: a suppression is a documented decision, not an off
+// switch.
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z]+)\s+\S`)
+
+// suppressionSet maps "file:line" to the analyzer names allowed there.
+type suppressionSet map[string][]string
+
+func (s suppressionSet) covers(analyzer string, pos token.Position) bool {
+	for _, key := range []string{
+		fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+		fmt.Sprintf("%s:%d", pos.Filename, pos.Line-1), // comment on the line above
+	} {
+		for _, name := range s[key] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// suppressions scans every comment in the package for //lint:allow
+// markers; a marker covers diagnostics on its own line and on the line
+// directly below it (so it can sit on the flagged line or above it).
+func (p *Package) suppressions() suppressionSet {
+	set := suppressionSet{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(strings.TrimSpace(c.Text))
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				set[key] = append(set[key], m[1])
+			}
+		}
+	}
+	return set
+}
+
+// pathHasSuffix reports whether the package import path is pkg or ends
+// with "/"+pkg — the scoping test every path-restricted analyzer uses,
+// written so that analysistest fixtures (loaded under short paths like
+// "internal/planserver") scope identically to the real tree
+// ("sparsehypercube/internal/planserver").
+func pathHasSuffix(path, pkg string) bool {
+	return path == pkg || strings.HasSuffix(path, "/"+pkg)
+}
+
+// fileBase returns the base filename a node lives in.
+func (p *Package) fileBase(pos token.Pos) string {
+	name := p.Fset.Position(pos).Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// inspect walks every file in the package.
+func (p *Package) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

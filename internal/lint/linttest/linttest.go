@@ -1,0 +1,117 @@
+// Package linttest runs lint analyzers over fixture packages and
+// checks their diagnostics against // want annotations — the
+// analysistest idiom, reimplemented over internal/lint's loader so the
+// fixtures type-check against the real module (they import the real
+// sparsehypercube packages) without any framework dependency.
+//
+// A fixture is a directory of Go files under testdata. A line expecting
+// a diagnostic carries a trailing comment:
+//
+//	m, _ := schedio.OpenMapping(f) // want `never reaches Close`
+//
+// where the backquoted text is a regexp that must match the message of
+// a diagnostic reported on that line. Every diagnostic must be wanted
+// and every want must be matched; sanctioned-pattern lines simply carry
+// no annotation.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sparsehypercube/internal/lint"
+)
+
+// sharedLoader caches export data and type-checked imports across every
+// fixture in the test binary.
+var sharedLoader = lint.NewLoader(".")
+
+// Run loads the fixture package in dir under pkgPath, applies the
+// analyzer, and compares diagnostics against the fixture's // want
+// annotations.
+func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg, err := sharedLoader.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// RunNone asserts the analyzer reports nothing for the fixture,
+// ignoring its // want annotations — for loading a violation fixture
+// under a package path outside the analyzer's scope.
+func RunNone(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg, err := sharedLoader.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, d := range lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a}) {
+		t.Errorf("unexpected diagnostic outside analyzer scope: %s", d)
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRe extracts the pattern from a // want `...` or // want "..." comment.
+var wantRe = regexp.MustCompile("// want (?:`([^`]+)`|\"([^\"]+)\")")
+
+func collectWants(pkg *lint.Package) ([]want, error) {
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "// want ") {
+					continue
+				}
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks packages. Imports resolve through the
+// gc export data the go command's build cache holds (`go list -export`)
+// — the same data `go vet` drivers consume — so loading needs no
+// network, no GOPATH sources, and no third-party framework. One Loader
+// shares its importer cache across every package it loads.
+type Loader struct {
+	// Dir is the directory go list runs in (the module root or below).
+	Dir string
+
+	fset *token.FileSet
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// NewLoader returns a Loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{Dir: dir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup)
+	return l
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Incomplete bool
+}
+
+// goList runs the go command and decodes its JSON package stream.
+func (l *Loader) goList(args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json=ImportPath,Dir,GoFiles,Export,Incomplete"}, args...)...)
+	cmd.Dir = l.Dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding: %v", strings.Join(args, " "), err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load resolves patterns (as the go command does: "./...", explicit
+// import paths) and returns every matched package parsed and fully
+// type-checked. Only the package proper is linted — _test.go files are
+// the sanctioned home of materialisation and mock I/O, so they are not
+// loaded.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	// One -export -deps pass primes the export map for every dependency,
+	// so type-checking never shells out per import.
+	deps, err := l.goList(append([]string{"-export", "-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	for _, p := range deps {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.mu.Unlock()
+
+	targets, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var paths []string
+		for _, f := range t.GoFiles {
+			paths = append(paths, filepath.Join(t.Dir, f))
+		}
+		pkg, err := l.check(t.ImportPath, t.Dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the single package in dir under an explicit import
+// path — the analysistest entry point, where fixture packages live
+// under testdata (invisible to go list) but must scope as if they were
+// real tree packages (e.g. "internal/planserver").
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range ents {
+		if name := e.Name(); strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			paths = append(paths, filepath.Join(dir, name))
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return l.check(pkgPath, dir, paths)
+}
+
+// check parses files and type-checks them as one package.
+func (l *Loader) check(pkgPath, dir string, paths []string) (*Package, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// lookup feeds the gc importer export data for one import path, shelling
+// out lazily for paths the priming pass did not cover (fixture imports).
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		pkgs, err := l.goList("-export", path)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkgs) != 1 || pkgs[0].Export == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		file = pkgs[0].Export
+		l.mu.Lock()
+		l.exports[path] = file
+		l.mu.Unlock()
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockHeld protects planserver's serving locks — the ceiling the
+// ROADMAP's sharded-session-registry work raises — from the classic
+// latency inversion: a mutex held across a blocking call serialises
+// every other request behind one slow disk or one slow client. Within
+// internal/planserver, no sync.Mutex or sync.RWMutex may be held across
+// file I/O, http.ResponseWriter writes (directly or through a helper
+// that takes the writer), or mmap syscalls.
+//
+// The walk is lexical and per-function: Lock()/RLock() opens a held
+// region, the matching Unlock()/RUnlock() closes it (including inside a
+// branch — statements after the unlock in that branch are unheld), and
+// defer Unlock() holds the lock to the end of the function. Blocking
+// calls inside a held region are flagged. Holding a lock across a call
+// into another *function* that blocks is out of scope (the callee's own
+// body is linted instead); deliberate holds — e.g. unlinking a spill
+// file inside the registry's critical section — carry a //lint:allow
+// lockheld annotation explaining why.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "forbid holding planserver mutexes across blocking calls (file I/O, response writes, mmap)",
+	Run:  runLockHeld,
+}
+
+// blockingOSFuncs are package-level os functions that hit the filesystem.
+var blockingOSFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Mkdir": true,
+	"MkdirAll": true, "ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Stat": true, "Lstat": true, "Truncate": true, "Chmod": true,
+}
+
+// blockingFileMethods are *os.File methods that hit the descriptor.
+var blockingFileMethods = map[string]bool{
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"Close": true, "Sync": true, "Seek": true, "Stat": true,
+	"Truncate": true, "ReadFrom": true, "WriteTo": true,
+}
+
+// blockingIOFuncs are io helpers that drain or fill a stream.
+var blockingIOFuncs = map[string]bool{
+	"ReadAll": true, "Copy": true, "CopyN": true, "CopyBuffer": true,
+	"ReadFull": true, "WriteString": true,
+}
+
+func runLockHeld(pass *Pass) {
+	if !pathHasSuffix(pass.Pkg.PkgPath, "internal/planserver") {
+		return
+	}
+	pass.Pkg.eachFuncBody(func(decl *ast.FuncDecl) {
+		w := &lockWalk{pass: pass, p: pass.Pkg}
+		w.walkSeq(decl.Body.List, map[string]bool{})
+	})
+}
+
+type lockWalk struct {
+	pass *Pass
+	p    *Package
+}
+
+// walkSeq walks one statement sequence with the set of mutexes held on
+// entry. held maps the lock expression's printed form ("s.mu",
+// "sess.sendMu") to true; branches get their own copy so an unlock
+// inside a branch unheld only that path.
+func (w *lockWalk) walkSeq(stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		w.walkStmt(stmt, held)
+	}
+}
+
+func (w *lockWalk) walkStmt(stmt ast.Stmt, held map[string]bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, locks := w.lockOp(s.X); key != "" {
+			if locks {
+				held[key] = true
+			} else {
+				delete(held, key)
+			}
+			return
+		}
+		w.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock(): the lock stays held for the rest of the
+		// function (conservatively, for the rest of this walk).
+		if key, locks := w.lockOp(s.Call); key != "" && !locks {
+			return // held remains set; nothing to flag in the defer itself
+		}
+		w.checkExpr(s.Call, held)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.checkExpr(rhs, held)
+		}
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			w.checkExpr(res, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		w.walkSeq(s.Body.List, copyHeld(held))
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			w.walkSeq(e.List, copyHeld(held))
+		case *ast.IfStmt:
+			w.walkStmt(e, copyHeld(held))
+		}
+	case *ast.BlockStmt:
+		w.walkSeq(s.List, held)
+	case *ast.ForStmt:
+		w.walkSeq(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, held)
+		w.walkSeq(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkSeq(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkSeq(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.GoStmt:
+		// A spawned goroutine does not run under the caller's lock.
+	case *ast.SendStmt, *ast.SelectStmt, *ast.DeclStmt, *ast.IncDecStmt,
+		*ast.BranchStmt, *ast.LabeledStmt, *ast.EmptyStmt:
+		// Channel operations are synchronisation, not the I/O class this
+		// analyzer polices; declarations and control markers carry no calls.
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// lockOp classifies mu.Lock/RLock (locks=true) and mu.Unlock/RUnlock
+// (locks=false) calls on sync.Mutex/RWMutex values, returning the lock
+// expression's printed form as the region key.
+func (w *lockWalk) lockOp(e ast.Expr) (key string, locks bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	var isLock bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		isLock = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false
+	}
+	if pkg, name := w.p.namedType(sel.X); !(pathHasSuffix(pkg, "sync") && (name == "Mutex" || name == "RWMutex")) {
+		return "", false
+	}
+	return exprKey(sel.X), isLock
+}
+
+// exprKey renders a lock expression as a stable string key.
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprKey(e.X)
+	default:
+		return "?"
+	}
+}
+
+// checkExpr flags blocking calls anywhere under e while any lock is held.
+func (w *lockWalk) checkExpr(e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closure body runs when called, not here
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if reason := w.blockingCall(call); reason != "" {
+			w.pass.Reportf(call.Pos(), "%s while holding %s: move it outside the critical section (docs/LINTING.md#lockheld)", reason, heldNames(held))
+		}
+		return true
+	})
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// blockingCall classifies a call as blocking, returning a description
+// ("" if not blocking). Three classes: filesystem (os package and
+// *os.File methods, io stream helpers), client-paced network writes
+// (anything handed an http.ResponseWriter, including this package's
+// envelope helpers), and mmap syscalls (schedio.OpenMapping,
+// Mapping.Close, raw syscall package calls).
+func (w *lockWalk) blockingCall(call *ast.CallExpr) string {
+	fn := w.p.callee(call)
+	if fn != nil {
+		pkg := funcPkgPath(fn)
+		if recv, typeN := recvNamed(fn); recv != "" {
+			switch {
+			case recv == "os" && typeN == "File" && blockingFileMethods[fn.Name()]:
+				return "os.File." + fn.Name()
+			case pathHasSuffix(recv, "internal/schedio") && typeN == "Mapping" && fn.Name() == "Close":
+				return "Mapping.Close (munmap)"
+			case recv == "net/http" && typeN == "ResponseWriter":
+				return "ResponseWriter." + fn.Name()
+			}
+		} else {
+			switch {
+			case pkg == "os" && blockingOSFuncs[fn.Name()]:
+				return "os." + fn.Name()
+			case pkg == "io" && blockingIOFuncs[fn.Name()]:
+				return "io." + fn.Name()
+			case pkg == "syscall":
+				return "syscall." + fn.Name()
+			case pathHasSuffix(pkg, "internal/schedio") && fn.Name() == "OpenMapping":
+				return "schedio.OpenMapping (mmap)"
+			case pkg == "net/http" && fn.Name() == "Error":
+				return "http.Error"
+			}
+		}
+	}
+	// A call handed an http.ResponseWriter writes to the client at the
+	// client's pace — writeJSON/writeError and friends included. The
+	// ResponseWriter method set itself is matched above; here any
+	// argument whose static type is the interface counts.
+	for _, arg := range call.Args {
+		if w.isResponseWriter(arg) {
+			return "response write"
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && w.isResponseWriter(sel.X) {
+		return "response write"
+	}
+	return ""
+}
+
+// isResponseWriter reports whether e's static type is net/http.ResponseWriter.
+func (w *lockWalk) isResponseWriter(e ast.Expr) bool {
+	tv, ok := w.p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ResponseWriter" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}

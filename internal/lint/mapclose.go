@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapClose mechanizes the resource discipline PR 5's refcounted-unmap
+// tests probe dynamically: every mapping and refcount acquisition must
+// reach its release. Tracked acquisitions and their releases:
+//
+//   - schedio.OpenMapping          -> Close   (munmap + file close)
+//   - sparsehypercube.OpenPlanFile -> Close   (plan owns the mapping)
+//   - planserver lookupPlan        -> release (servedPlan refcount)
+//   - planserver spillPlan         -> Close   (the returned io.Closer)
+//
+// The check is intra-function and ownership-based: after an
+// acquisition, the handle must be deferred-released, explicitly
+// released, or have its ownership transferred — returned to the caller,
+// stored into a field or composite literal (a longer-lived owner takes
+// over). An if-branch that returns without doing any of those leaks the
+// handle on that path and is flagged; so is falling off the end of the
+// function with the handle still owned. The failure-check branch
+// immediately following the acquisition (if err != nil / if !ok) is
+// exempt — the handle is invalid there.
+var MapClose = &Analyzer{
+	Name: "mapclose",
+	Doc:  "require mapping and refcount acquisitions to reach Close/release on every path",
+	Run:  runMapClose,
+}
+
+// acquisition describes one tracked acquisition function.
+type acquisition struct {
+	pkg     string // package path suffix ("" = any, for methods)
+	typeN   string // receiver type for methods, "" for functions
+	name    string
+	result  int    // index of the handle in the result list
+	release string // method that releases the handle
+}
+
+var acquisitions = []acquisition{
+	{pkg: "internal/schedio", name: "OpenMapping", result: 0, release: "Close"},
+	{pkg: "sparsehypercube", name: "OpenPlanFile", result: 0, release: "Close"},
+	{pkg: "", typeN: "Server", name: "lookupPlan", result: 0, release: "release"},
+	{pkg: "", typeN: "Server", name: "spillPlan", result: 1, release: "Close"},
+}
+
+// matchAcquisition resolves a call to the acquisition it performs.
+func (p *Package) matchAcquisition(call *ast.CallExpr) *acquisition {
+	fn := p.callee(call)
+	if fn == nil {
+		return nil
+	}
+	for i := range acquisitions {
+		a := &acquisitions[i]
+		if a.typeN == "" {
+			if isFunc(fn, a.pkg, a.name) {
+				return a
+			}
+		} else if isMethod(fn, a.pkg, a.typeN, a.name) {
+			return a
+		}
+	}
+	return nil
+}
+
+func runMapClose(pass *Pass) {
+	pass.Pkg.eachFuncBody(func(decl *ast.FuncDecl) {
+		checkMapClose(pass, decl.Body)
+	})
+}
+
+// checkMapClose finds acquisition statements and runs the ownership
+// walk over the statements that follow each within its block. Nested
+// blocks are visited for their own acquisitions too.
+func checkMapClose(pass *Pass, body *ast.BlockStmt) {
+	p := pass.Pkg
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			assign, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(assign.Rhs) != 1 {
+				continue
+			}
+			call, ok := assign.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			acq := p.matchAcquisition(call)
+			if acq == nil {
+				continue
+			}
+			if acq.result >= len(assign.Lhs) {
+				continue
+			}
+			handle := p.objectOf(assign.Lhs[acq.result])
+			if handle == nil { // assigned to _ or a field: owner elsewhere
+				continue
+			}
+			// The sibling objects (err, ok) guard the failure branch.
+			siblings := map[types.Object]bool{}
+			for j, lhs := range assign.Lhs {
+				if j != acq.result {
+					if obj := p.objectOf(lhs); obj != nil {
+						siblings[obj] = true
+					}
+				}
+			}
+			w := &ownershipWalk{pass: pass, p: p, handle: handle, release: acq.release, siblings: siblings}
+			st := w.walkSeq(block.List[i+1:], true)
+			if !st.done() {
+				pass.Reportf(call.Pos(), "%s handle %q never reaches %s or an ownership transfer on the fall-through path (docs/LINTING.md#mapclose)", acq.name, handle.Name(), acq.release)
+			}
+		}
+		return true
+	})
+}
+
+// ownState is the walk's verdict for one path.
+type ownState struct {
+	released bool // released (or defer-released) on this path
+	escaped  bool // ownership transferred: returned, stored in a field/literal
+}
+
+func (s ownState) done() bool { return s.released || s.escaped }
+
+type ownershipWalk struct {
+	pass     *Pass
+	p        *Package
+	handle   types.Object
+	release  string
+	siblings map[types.Object]bool
+}
+
+// walkSeq walks a statement sequence that follows the acquisition.
+// first marks the sequence directly after the acquisition statement,
+// where the leading failure-check branch is exempt.
+func (w *ownershipWalk) walkSeq(stmts []ast.Stmt, first bool) ownState {
+	var st ownState
+	for i, stmt := range stmts {
+		if st.done() {
+			return st
+		}
+		switch s := stmt.(type) {
+		case *ast.DeferStmt:
+			if w.releasesHandle(s.Call) || w.deferBodyReleases(s.Call) {
+				st.released = true
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && w.releasesHandle(call) {
+				st.released = true
+			}
+		case *ast.AssignStmt:
+			if w.transfersOwnership(s) {
+				st.escaped = true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if w.p.usesObject(res, w.handle) {
+					st.escaped = true
+				}
+			}
+			if !st.done() {
+				w.pass.Reportf(s.Pos(), "return leaks %q: no %s or ownership transfer on this path (docs/LINTING.md#mapclose)", w.handle.Name(), w.release)
+				st.escaped = true // report once per path
+			}
+			return st
+		case *ast.IfStmt:
+			if first && i == 0 && w.isFailureGuard(s) {
+				continue // if err != nil { ... } right after acquiring: handle invalid there
+			}
+			w.walkBranch(s)
+		case *ast.BlockStmt:
+			sub := w.walkSeq(s.List, false)
+			st.released = st.released || sub.released
+			st.escaped = st.escaped || sub.escaped
+		default:
+			// Loops, switches, selects: accept any release or transfer
+			// inside (path-insensitive on purpose — the sequential walk
+			// is where the leak class lives).
+			if w.containsReleaseOrTransfer(stmt) {
+				st.released = true
+			}
+		}
+	}
+	return st
+}
+
+// walkBranch checks an if/else chain mid-sequence: any branch that
+// terminates must settle the handle before doing so. Branches that fall
+// through contribute nothing (the sequence after the if still runs).
+func (w *ownershipWalk) walkBranch(s *ast.IfStmt) {
+	w.walkSeq(s.Body.List, false)
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		w.walkSeq(e.List, false)
+	case *ast.IfStmt:
+		w.walkBranch(e)
+	}
+}
+
+// isFailureGuard reports whether the if condition tests a sibling of
+// the acquisition (err != nil, !ok) — the branch where the handle never
+// became valid.
+func (w *ownershipWalk) isFailureGuard(s *ast.IfStmt) bool {
+	for obj := range w.siblings {
+		if w.p.usesObject(s.Cond, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// releasesHandle reports whether call is handle.Close() / handle.release().
+func (w *ownershipWalk) releasesHandle(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != w.release {
+		return false
+	}
+	return w.p.objectOf(sel.X) == w.handle
+}
+
+// deferBodyReleases handles defer func() { ... m.Close() ... }().
+func (w *ownershipWalk) deferBodyReleases(call *ast.CallExpr) bool {
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	return w.containsReleaseOrTransfer(lit.Body)
+}
+
+// transfersOwnership reports whether the assignment stores the handle
+// into a longer-lived owner: a field or element on the left, or a
+// composite literal mentioning the handle on the right.
+func (w *ownershipWalk) transfersOwnership(s *ast.AssignStmt) bool {
+	for i, rhs := range s.Rhs {
+		viaLiteral := false
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			if cl, ok := n.(*ast.CompositeLit); ok && w.p.usesObject(cl, w.handle) {
+				viaLiteral = true
+			}
+			return !viaLiteral
+		})
+		if viaLiteral {
+			return true
+		}
+		if !w.p.usesObject(rhs, w.handle) {
+			continue
+		}
+		// Parallel assignment: the LHS owning the handle is the one at
+		// the same position (or any LHS for the collapsed 1:N form).
+		check := s.Lhs
+		if len(s.Rhs) == len(s.Lhs) {
+			check = s.Lhs[i : i+1]
+		}
+		for _, lhs := range check {
+			switch ast.Unparen(lhs).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsReleaseOrTransfer scans a subtree for any release call,
+// ownership transfer, or defer of either.
+func (w *ownershipWalk) containsReleaseOrTransfer(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if w.releasesHandle(s) {
+				found = true
+			}
+		case *ast.AssignStmt:
+			if w.transfersOwnership(s) {
+				found = true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if w.p.usesObject(res, w.handle) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

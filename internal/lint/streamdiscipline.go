@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// StreamDiscipline enforces the O(frontier) memory guarantee of the
+// streaming pipeline (PR 1): the serving and analysis layers, and the
+// stream validators themselves, must never materialise a schedule —
+// every consumer works round-at-a-time off an iterator. Materialisation
+// belongs to the facade (Plan.Materialize exists for callers that want
+// a snapshot), to examples, and to tests.
+//
+// Restricted scope: internal/planserver, internal/analysis, and the
+// linecomm stream validators (stream.go, gossipstream.go, range.go).
+// Flagged there:
+//
+//   - Plan.Materialize calls
+//   - Schedule composite literals (sparsehypercube.Schedule and
+//     linecomm.Schedule)
+//   - schedio.DecodeAll calls (decode-to-materialised convenience)
+var StreamDiscipline = &Analyzer{
+	Name: "streamdiscipline",
+	Doc:  "forbid schedule materialisation in streaming hot paths (planserver, analysis, stream validators)",
+	Run:  runStreamDiscipline,
+}
+
+// streamValidatorFiles are the linecomm files that implement the
+// streaming validators; the rest of linecomm (the serial engine, the
+// JSON envelope) legitimately builds Schedules.
+var streamValidatorFiles = map[string]bool{
+	"stream.go":       true,
+	"gossipstream.go": true,
+	"range.go":        true,
+}
+
+func runStreamDiscipline(pass *Pass) {
+	p := pass.Pkg
+	wholePkg := pathHasSuffix(p.PkgPath, "internal/planserver") ||
+		pathHasSuffix(p.PkgPath, "internal/analysis")
+	validatorFiles := pathHasSuffix(p.PkgPath, "internal/linecomm")
+	if !wholePkg && !validatorFiles {
+		return
+	}
+	inScope := func(n ast.Node) bool {
+		return wholePkg || streamValidatorFiles[p.fileBase(n.Pos())]
+	}
+	p.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !inScope(n) {
+				return true
+			}
+			fn := p.callee(n)
+			if isMethod(fn, "sparsehypercube", "Plan", "Materialize") {
+				pass.Reportf(n.Pos(), "Plan.Materialize in a streaming hot path: consume Rounds instead (O(frontier) discipline, docs/LINTING.md#streamdiscipline)")
+			}
+			if isFunc(fn, "internal/schedio", "DecodeAll") {
+				pass.Reportf(n.Pos(), "schedio.DecodeAll materialises the whole plan: stream through Decoder.Rounds instead (docs/LINTING.md#streamdiscipline)")
+			}
+		case *ast.CompositeLit:
+			if !inScope(n) {
+				return true
+			}
+			if pkg, name := p.namedType(n); name == "Schedule" &&
+				(pathHasSuffix(pkg, "sparsehypercube") || pathHasSuffix(pkg, "internal/linecomm")) {
+				pass.Reportf(n.Pos(), "Schedule literal in a streaming hot path: build rounds through an iterator instead (docs/LINTING.md#streamdiscipline)")
+			}
+		}
+		return true
+	})
+}

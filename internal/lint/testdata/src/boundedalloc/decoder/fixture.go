@@ -1,0 +1,78 @@
+// Fixture: boundedalloc — allocations sized from wire varints must be
+// compared against a cap first (the maxRoundCalls discipline), or
+// storage must grow only as bytes are read.
+package decoder
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+)
+
+const maxEntries = 1 << 20
+
+// unboundedMake sizes an allocation straight from the wire.
+func unboundedMake(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil // want `allocation sized from varint-decoded "n"`
+}
+
+// unboundedThroughConversion: taint survives int(v).
+func unboundedThroughConversion(r *bytes.Reader) ([]int, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	count := int(v)
+	return make([]int, 0, count), nil // want `allocation sized from varint-decoded "count"`
+}
+
+// cappedMake is the sanctioned pattern: the count is checked against a
+// named cap before it sizes anything.
+func cappedMake(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxEntries {
+		return nil, errTooBig
+	}
+	return make([]byte, n), nil
+}
+
+// appendGrown is the other sanctioned pattern: storage grows only as
+// bytes are actually read, so a hostile count costs nothing.
+func appendGrown(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for i := uint64(0); i < n; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// localUvarint mirrors schedio's decoder method: a method named uvarint
+// is a taint source by name, matching the repo's canonical decoder.
+type dec struct{ r *bytes.Reader }
+
+func (d *dec) uvarint() (uint64, error) { return binary.ReadUvarint(d.r) }
+
+func unboundedFromMethod(d *dec) ([]uint64, error) {
+	count, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return make([]uint64, count), nil // want `allocation sized from varint-decoded "count"`
+}
+
+var errTooBig = errors.New("too big")

@@ -1,0 +1,51 @@
+// Fixture: errenvelope — planserver failures answer through the
+// structured 4xx envelope, never http.Error or a naked 5xx. Loaded as
+// "internal/planserver".
+package planserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON and writeError mirror the real envelope helpers; the
+// variable status inside them is the sanctioned pattern.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// plainTextError bypasses the envelope entirely.
+func plainTextError(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusBadRequest) // want `http.Error bypasses the structured error envelope`
+}
+
+// nakedServerError blames the server for the client's input.
+func nakedServerError(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusInternalServerError) // want `naked WriteHeader\(500\)`
+}
+
+// envelopeWith5xx defeats the contract from inside the helpers.
+func envelopeWith5xx(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusBadGateway, "decode: %v", err) // want `writeError with constant status 502`
+}
+
+// properEnvelope is the sanctioned path: a structured 4xx.
+func properEnvelope(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusBadRequest, "invalid plan: %v", err)
+}
+
+// successStatus: non-error statuses through WriteHeader are fine.
+func successStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNoContent)
+}

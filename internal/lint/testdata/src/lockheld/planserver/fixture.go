@@ -1,0 +1,88 @@
+// Fixture: lockheld — no mutex held across blocking calls (file I/O,
+// response writes, mmap) in planserver. Loaded as "internal/planserver".
+package planserver
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+
+	"sparsehypercube/internal/schedio"
+)
+
+type registry struct {
+	mu    sync.RWMutex
+	paths map[string]string
+}
+
+// removesUnderLock unlinks a file inside the critical section.
+func (r *registry) removesUnderLock(id string) {
+	r.mu.Lock()
+	path := r.paths[id]
+	delete(r.paths, id)
+	os.Remove(path) // want `os.Remove while holding r.mu`
+	r.mu.Unlock()
+}
+
+// removesAfterUnlock is the sanctioned shape: decide under the lock,
+// act after it.
+func (r *registry) removesAfterUnlock(id string) {
+	r.mu.Lock()
+	path := r.paths[id]
+	delete(r.paths, id)
+	r.mu.Unlock()
+	os.Remove(path)
+}
+
+// writeJSON mirrors planserver's envelope helper: anything handed the
+// ResponseWriter writes at the client's pace.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "%v", v)
+}
+
+// respondsUnderDeferredLock holds the lock (via defer) across a
+// response write.
+func (r *registry) respondsUnderDeferredLock(w http.ResponseWriter, id string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	writeJSON(w, http.StatusOK, r.paths[id]) // want `response write while holding r.mu`
+}
+
+// respondsAfterSnapshot snapshots under the lock and writes after.
+func (r *registry) respondsAfterSnapshot(w http.ResponseWriter, id string) {
+	r.mu.RLock()
+	path := r.paths[id]
+	r.mu.RUnlock()
+	writeJSON(w, http.StatusOK, path)
+}
+
+// unlockInBranch: statements after the in-branch unlock are unheld on
+// that path, while the fall-through stays held.
+func (r *registry) unlockInBranch(w http.ResponseWriter, id string, full bool) {
+	r.mu.Lock()
+	if full {
+		r.mu.Unlock()
+		writeJSON(w, http.StatusTooManyRequests, "full") // sanctioned: unlocked on this path
+		return
+	}
+	r.paths[id] = id
+	r.mu.Unlock()
+}
+
+// mapsUnderLock performs an mmap syscall inside the critical section.
+func (r *registry) mapsUnderLock(f *os.File) (*schedio.Mapping, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return schedio.OpenMapping(f) // want `schedio.OpenMapping \(mmap\) while holding r.mu`
+}
+
+// annotatedHold is deliberately held and suppressed with a reason; the
+// runner must see no diagnostic here.
+func (r *registry) annotatedHold(id string) {
+	r.mu.Lock()
+	//lint:allow lockheld the unlink must stay in this critical section for the fixture
+	os.Remove(r.paths[id])
+	r.mu.Unlock()
+}

@@ -1,0 +1,91 @@
+// Fixture: mapclose — mappings and refcount acquisitions must reach
+// their release (or an ownership transfer) on every path.
+package user
+
+import (
+	"os"
+
+	"sparsehypercube"
+	"sparsehypercube/internal/schedio"
+)
+
+// leaksOnErrorBranch acquires a mapping, then returns out of a later
+// branch without closing it — the PR 5 leak class.
+func leaksOnErrorBranch(f *os.File, bad bool) (*schedio.Mapping, error) {
+	m, err := schedio.OpenMapping(f)
+	if err != nil {
+		return nil, err // exempt: the handle never became valid
+	}
+	if bad {
+		return nil, os.ErrInvalid // want `return leaks "m"`
+	}
+	return m, nil
+}
+
+// leaksOnFallThrough acquires and then simply forgets the handle.
+func leaksOnFallThrough(path string) {
+	p, err := sparsehypercube.OpenPlanFile(path) // want `OpenPlanFile handle "p" never reaches Close`
+	if err != nil {
+		return
+	}
+	_ = p.Indexed()
+}
+
+// deferredClose is the canonical sanctioned pattern.
+func deferredClose(f *os.File) (int64, error) {
+	m, err := schedio.OpenMapping(f)
+	if err != nil {
+		return 0, err
+	}
+	defer m.Close()
+	return m.Size(), nil
+}
+
+// closedOnEveryPath releases explicitly on the failure branch and
+// transfers ownership to a field on the success path.
+type holder struct{ m *schedio.Mapping }
+
+func (h *holder) adopt(f *os.File, bad bool) error {
+	m, err := schedio.OpenMapping(f)
+	if err != nil {
+		return err
+	}
+	if bad {
+		m.Close()
+		return os.ErrInvalid
+	}
+	h.m = m
+	return nil
+}
+
+// refcountRelease mirrors planserver's lookupPlan contract: the
+// acquired reference is released via defer, and the not-found branch is
+// exempt.
+type plan struct{}
+
+func (*plan) release() {}
+
+type Server struct{ plans map[string]*plan }
+
+func (s *Server) lookupPlan(id string) (*plan, bool) {
+	sp, ok := s.plans[id]
+	return sp, ok
+}
+
+func (s *Server) serves(id string) bool {
+	sp, ok := s.lookupPlan(id)
+	if !ok {
+		return false
+	}
+	defer sp.release()
+	return true
+}
+
+// droppedRef takes a reference and forgets to release it.
+func (s *Server) droppedRef(id string) {
+	sp, ok := s.lookupPlan(id) // want `lookupPlan handle "sp" never reaches release`
+	if !ok {
+		return
+	}
+	_ = sp
+}

@@ -1,0 +1,18 @@
+// Fixture: the same materialising constructs as the planserver fixture,
+// loaded under an unrestricted package path — the facade, examples and
+// tests are the sanctioned home of materialisation, so streamdiscipline
+// must report nothing here.
+package facade
+
+import (
+	"sparsehypercube"
+	"sparsehypercube/internal/linecomm"
+)
+
+func materialiseForSnapshot(plan *sparsehypercube.Plan) *sparsehypercube.Schedule {
+	return plan.Materialize() // sanctioned: facade-level snapshot
+}
+
+func buildSchedule(rounds []linecomm.Round) *linecomm.Schedule {
+	return &linecomm.Schedule{Source: 0, Rounds: rounds} // sanctioned outside hot paths
+}

@@ -1,0 +1,36 @@
+// Fixture: streamdiscipline violations inside a restricted package
+// (loaded as "internal/planserver"). The same constructs are sanctioned
+// in the facade fixture, which loads under an unrestricted path.
+package planserver
+
+import (
+	"bytes"
+
+	"sparsehypercube"
+	"sparsehypercube/internal/linecomm"
+	"sparsehypercube/internal/schedio"
+)
+
+func materialisesInHotPath(plan *sparsehypercube.Plan) int {
+	sched := plan.Materialize() // want `Plan.Materialize in a streaming hot path`
+	return len(sched.Rounds)
+}
+
+func buildsScheduleInHotPath(rounds []linecomm.Round) *linecomm.Schedule {
+	return &linecomm.Schedule{Source: 0, Rounds: rounds} // want `Schedule literal in a streaming hot path`
+}
+
+func decodesAllInHotPath(data []byte) error {
+	_, _, err := schedio.DecodeAll(bytes.NewReader(data)) // want `schedio.DecodeAll materialises the whole plan`
+	return err
+}
+
+// streamsProperly is the sanctioned pattern: consume the round iterator
+// without ever holding the whole schedule.
+func streamsProperly(plan *sparsehypercube.Plan) int {
+	rounds := 0
+	for range plan.Rounds() {
+		rounds++
+	}
+	return rounds
+}
