@@ -144,9 +144,14 @@ func (s *Server) handleSessionRounds(w http.ResponseWriter, r *http.Request) {
 		writeError(w, uploadStatus(err), "round batch: %v", err)
 		return
 	}
+	// The channel sends must stay inside the critical section (close
+	// cannot race a send), but the response write must not: a slow
+	// client draining its response would otherwise hold sendMu and
+	// serialise every other producer behind it. Snapshot the counter
+	// under the lock, answer after it.
 	sess.sendMu.Lock()
-	defer sess.sendMu.Unlock()
 	if sess.closed {
+		sess.sendMu.Unlock()
 		writeError(w, http.StatusConflict, "session %s already closed", sess.id)
 		return
 	}
@@ -158,7 +163,9 @@ func (s *Server) handleSessionRounds(w http.ResponseWriter, r *http.Request) {
 		sess.ch <- calls
 	}
 	sess.received += len(batch)
-	writeJSON(w, http.StatusOK, roundsResponse{ID: sess.id, Accepted: len(batch), Received: sess.received})
+	received := sess.received
+	sess.sendMu.Unlock()
+	writeJSON(w, http.StatusOK, roundsResponse{ID: sess.id, Accepted: len(batch), Received: received})
 }
 
 func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
