@@ -517,6 +517,7 @@ func (s *Server) handlePlanDelete(w http.ResponseWriter, r *http.Request) {
 		// fallback platforms an open handle may pin the file — best
 		// effort, the handle's close is what matters.
 		if sp.path != "" && s.spilling[id] == 0 {
+			//lint:allow lockheld the unlink must share the delete's critical section: an upload of the same id racing outside it could re-create the path between check and remove
 			os.Remove(sp.path)
 		}
 	}
