@@ -7,6 +7,7 @@
 //	sparsecube stats     -k 2 -n 15
 //	sparsecube schedule  -k 2 -n 8 -source 0 [-quiet]
 //	sparsecube verify    -k 2 -n 10 [-sources 16]
+//	sparsecube verify    -in plan.shcp -workers http://host1:8388,http://host2:8388
 //	sparsecube neighbors -k 2 -n 8 -vertex 5
 //	sparsecube export    -k 2 -n 6 [-format dot|edges]
 //	sparsecube bounds    -n 20
@@ -25,7 +26,13 @@
 // the same verification engine over HTTP to many concurrent sessions
 // (see internal/planserver for the endpoint contract); -spill-dir makes
 // uploads spill to disk and serve off memory-mapped files instead of
-// heap copies.
+// heap copies. verify -workers is the other side of serve: it runs the
+// cheap structural pass over an indexed plan file locally, fans the
+// round ranges out to the listed planserver instances for seeded
+// validation, and stitches a Report identical to the single-process
+// verify (see internal/distverify); ranges from unreachable or slow
+// workers fall back to local validation, so the Report is the same with
+// a degraded fleet — just slower.
 //
 // Results go to stdout; diagnostics (violation listings, warnings,
 // errors) go to stderr, so scripts can parse the one without the other.
@@ -34,6 +41,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +53,7 @@ import (
 
 	"sparsehypercube"
 	"sparsehypercube/internal/core"
+	"sparsehypercube/internal/distverify"
 	"sparsehypercube/internal/graph"
 	"sparsehypercube/internal/linecomm"
 	"sparsehypercube/internal/planserver"
@@ -70,6 +79,7 @@ func main() {
 	in := fs.String("in", "", "plan file to replay")
 	index := fs.Bool("index", false, "append the per-round byte index for random-access serving")
 	par := fs.Int("par", -1, "replay: verify across this many round-range workers over a memory-mapped plan (0 = GOMAXPROCS, -1 = serial streamed replay)")
+	workers := fs.String("workers", "", "verify: comma-separated planserver base URLs to distribute an indexed plan's round ranges across (needs -in)")
 	addr := fs.String("addr", ":8388", "serve: listen address")
 	maxUpload := fs.Int64("max-upload", planserver.DefaultMaxUpload, "serve: largest accepted upload in bytes")
 	maxN := fs.Int("max-n", planserver.DefaultMaxN, "serve: largest cube dimension verified")
@@ -84,6 +94,13 @@ func main() {
 			fatal(err)
 		}
 		return
+	case "verify":
+		if *workers != "" {
+			if err := runDistVerify(os.Stdout, os.Stderr, *in, *workers, *quiet); err != nil {
+				fatal(err)
+			}
+			return
+		}
 	case "plan":
 		cube, err := buildCube(*k, *n, *dims)
 		if err != nil {
@@ -340,6 +357,52 @@ func runReplay(w, errw io.Writer, in string, quiet bool, par int) error {
 	fmt.Fprintf(w, "plan: %s scheme from %d, k = %d, dims = %v, order = %d\n",
 		plan.Scheme().Name(), plan.Scheme().Origin(), cube.K(), cube.Dims(), cube.Order())
 	rep := plan.Verify()
+	fmt.Fprintf(w, "rounds: %d, max length: %d, valid: %v, complete: %v, minimum time: %v\n",
+		rep.Rounds, rep.MaxCallLength, rep.Valid, rep.Complete, rep.MinimumTime)
+	if !rep.Valid {
+		if !quiet {
+			for _, v := range rep.Violations {
+				fmt.Fprintln(errw, " ", v)
+			}
+		}
+		return fmt.Errorf("plan failed verification (%d violations)", len(rep.Violations))
+	}
+	return nil
+}
+
+// runDistVerify verifies the plan file at in by distributing its round
+// ranges across the comma-separated planserver base URLs. The printed
+// summary matches replay's; the Report itself is identical to what a
+// single-process verify of the same file produces.
+func runDistVerify(w, errw io.Writer, in, workerList string, quiet bool) error {
+	if in == "" {
+		return fmt.Errorf("verify -workers needs -in <plan file>")
+	}
+	var endpoints []string
+	for _, e := range strings.Split(workerList, ",") {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if !strings.Contains(e, "://") {
+			e = "http://" + e
+		}
+		endpoints = append(endpoints, e)
+	}
+	c, err := distverify.New(endpoints,
+		distverify.WithPlanUpload(),
+		// Coordinator messages already carry their own "distverify:" prefix.
+		distverify.WithLogf(func(format string, args ...any) {
+			fmt.Fprintf(errw, "sparsecube: "+format+"\n", args...)
+		}))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "sparsecube: distributing round ranges across %d workers\n", len(endpoints))
+	rep, err := c.VerifyFile(context.Background(), in)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "rounds: %d, max length: %d, valid: %v, complete: %v, minimum time: %v\n",
 		rep.Rounds, rep.MaxCallLength, rep.Valid, rep.Complete, rep.MinimumTime)
 	if !rep.Valid {

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sparsehypercube/internal/planserver"
 )
 
 func TestBuildAuto(t *testing.T) {
@@ -253,5 +256,54 @@ func TestGossipPlanReplayRoundTrip(t *testing.T) {
 	got := out.String()
 	if !strings.Contains(got, "rounds: 30") || !strings.Contains(got, "complete: true") {
 		t.Errorf("gossip replay output: %q", got)
+	}
+}
+
+// TestDistVerify drives `verify -in plan.shcp -workers ...` against an
+// httptest planserver fleet: the printed summary must match what a
+// local replay prints, URLs without a scheme get http:// prefixed, and
+// the error paths (missing -in, no usable endpoints) refuse up front.
+func TestDistVerify(t *testing.T) {
+	cube, err := buildCube(2, 10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.shcp")
+	var out, errOut strings.Builder
+	if err := runPlan(&out, &errOut, cube, "broadcast", 3, path, true); err != nil {
+		t.Fatal(err)
+	}
+	var urls []string
+	for range 2 {
+		ts := httptest.NewServer(planserver.New().Handler())
+		defer ts.Close()
+		urls = append(urls, strings.TrimPrefix(ts.URL, "http://"))
+	}
+	out.Reset()
+	errOut.Reset()
+	if err := runDistVerify(&out, &errOut, path, strings.Join(urls, ","), false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "minimum time: true") {
+		t.Errorf("distverify output: %q", out.String())
+	}
+
+	var serial strings.Builder
+	if err := runReplay(&serial, &errOut, path, false, -1); err != nil {
+		t.Fatal(err)
+	}
+	if want := out.String(); !strings.HasSuffix(serial.String(), want) {
+		t.Errorf("summary diverged from serial replay:\ndist:   %q\nserial: %q", want, serial.String())
+	}
+
+	if err := runDistVerify(&out, &errOut, "", urls[0], true); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := runDistVerify(&out, &errOut, path, " , ", true); err == nil {
+		t.Error("empty worker list accepted")
+	}
+	missing := filepath.Join(t.TempDir(), "missing.shcp")
+	if err := runDistVerify(&out, &errOut, missing, urls[0], true); err == nil {
+		t.Error("missing plan file accepted")
 	}
 }

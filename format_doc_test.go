@@ -3,14 +3,22 @@ package sparsehypercube_test
 import (
 	"bytes"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"reflect"
 	"strings"
 	"testing"
 
 	"sparsehypercube"
+	"sparsehypercube/internal/distverify"
 	"sparsehypercube/internal/linecomm"
+	"sparsehypercube/internal/planserver"
+	"sparsehypercube/internal/schedio"
 )
 
 // This file executes docs/FORMAT.md: the worked-example bytes embedded
@@ -130,6 +138,83 @@ func TestFormatDocWorkedExamples(t *testing.T) {
 	rep := at.Verify()
 	if !rep.Valid || !rep.MinimumTime || rep.Rounds != 2 || rep.MaxCallLength != 1 {
 		t.Fatalf("documented plan does not verify as documented: %+v", rep)
+	}
+}
+
+// TestFormatDocRangeVerify executes the spec's range-verify envelope:
+// the documented request's span must be the literal bytes the real
+// encoder produces for rounds [1,2) with the documented CRC, and a
+// real planserver worker handed the documented request must answer
+// exactly the documented response.
+func TestFormatDocRangeVerify(t *testing.T) {
+	raw, err := os.ReadFile("docs/FORMAT.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+
+	var req distverify.RangeRequest
+	if err := json.Unmarshal([]byte(docBlock(t, doc, "json-range-request")), &req); err != nil {
+		t.Fatalf("json-range-request block: %v", err)
+	}
+
+	// The documented span is the real encoding's bytes for that range.
+	var enc bytes.Buffer
+	if _, err := specPlan(t).WriteIndexedTo(&enc); err != nil {
+		t.Fatal(err)
+	}
+	at, err := schedio.OpenPlanAt(bytes.NewReader(enc.Bytes()), int64(enc.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, err := at.RangeBytes(req.StartRound, req.EndRound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(req.Plan.Span, span) {
+		t.Fatalf("documented span %x, encoder produces %x", req.Plan.Span, span)
+	}
+	if crc := crc32.ChecksumIEEE(span); crc != req.SpanCRC {
+		t.Fatalf("documented span_crc %d, real CRC %d", req.SpanCRC, crc)
+	}
+
+	// A real worker answers the documented request with the documented
+	// response — compared as parsed envelopes and as compacted JSON, so
+	// neither field values nor wire names can drift.
+	ts := httptest.NewServer(planserver.New().Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/ranges/verify", "application/json",
+		strings.NewReader(docBlock(t, doc, "json-range-request")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("worker refused the documented request: %d: %s", resp.StatusCode, body)
+	}
+	var got, want distverify.RangeResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(docBlock(t, doc, "json-range-response")), &want); err != nil {
+		t.Fatalf("json-range-response block: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("worker answered %+v, spec documents %+v", got, want)
+	}
+	var gotC, wantC bytes.Buffer
+	if err := json.Compact(&gotC, body); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&wantC, []byte(docBlock(t, doc, "json-range-response"))); err != nil {
+		t.Fatal(err)
+	}
+	if gotC.String() != wantC.String() {
+		t.Fatalf("wire bytes diverged:\nworker: %s\nspec:   %s", gotC.String(), wantC.String())
 	}
 }
 

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"time"
+
+	"sparsehypercube"
+	"sparsehypercube/internal/distverify"
+	"sparsehypercube/internal/planserver"
+)
+
+// DistVerifyResult is the machine-readable form of RunDistVerify,
+// written as BENCH_distverify.json: the distributed round-range
+// verification curve over an httptest planserver fleet, plus the local
+// single-process baseline the stitched Reports are held identical to.
+type DistVerifyResult struct {
+	Experiment string          `json:"experiment"`
+	HostCPUs   int             `json:"host_cpus"`
+	GoVersion  string          `json:"go_version"`
+	K          int             `json:"k"`
+	N          int             `json:"n"`
+	PlanBytes  int64           `json:"plan_bytes"`
+	LocalMs    float64         `json:"local_ms"`
+	Runs       []DistVerifyRun `json:"runs"`
+}
+
+// DistVerifyRun is one fleet size's measurements (best of the repeats,
+// milliseconds). Match records the acceptance invariant: the stitched
+// Report at this fleet size is reflect.DeepEqual — and JSON
+// byte-identical — to the local single-process one.
+type DistVerifyRun struct {
+	Workers  int     `json:"workers"`
+	VerifyMs float64 `json:"verify_ms"`
+	Match    bool    `json:"match"`
+}
+
+// RunDistVerify measures distributed plan verification end to end: one
+// (k = 2, n) indexed broadcast plan is encoded once and verified
+// locally for the baseline Report, then for each fleet size F an
+// httptest fleet of F planserver workers is stood up and a distverify
+// coordinator (with plan upload, so ranges travel by content-hash id)
+// verifies the same bytes through them. Every stitched Report is
+// checked DeepEqual and JSON byte-identical against the local baseline
+// — the wire contract — while the table records the curve. On one host
+// the fleet shares the local CPUs, so the curve shows coordination
+// overhead, not cluster speedup; the match column is the point.
+func RunDistVerify(n int, fleets []int, repeats int) (*Table, *DistVerifyResult) {
+	t := &Table{
+		ID:      "EXP-DISTVERIFY",
+		Title:   fmt.Sprintf("distributed round-range verification, n = %d (best of %d)", n, repeats),
+		Headers: []string{"workers", "verify ms", "vs local", "match"},
+	}
+	res := &DistVerifyResult{
+		Experiment: "distverify",
+		HostCPUs:   runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		K:          2,
+		N:          n,
+	}
+	cube, err := sparsehypercube.New(res.K, n)
+	if err != nil {
+		t.Note("construction failed: %v", err)
+		return t, res
+	}
+	var buf bytes.Buffer
+	if _, err := cube.Plan(sparsehypercube.BroadcastScheme{Source: 0}).WriteIndexedTo(&buf); err != nil {
+		t.Note("plan encoding failed: %v", err)
+		return t, res
+	}
+	data := buf.Bytes()
+	res.PlanBytes = int64(len(data))
+
+	plan, err := sparsehypercube.ReadPlanAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Note("plan open failed: %v", err)
+		return t, res
+	}
+	var local sparsehypercube.Report
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		local = plan.Verify()
+		ms := time.Since(start).Seconds() * 1e3
+		if r == 0 || ms < res.LocalMs {
+			res.LocalMs = ms
+		}
+	}
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Note("baseline encoding failed: %v", err)
+		return t, res
+	}
+
+	for _, f := range fleets {
+		if f < 1 {
+			continue
+		}
+		servers := make([]*httptest.Server, f)
+		urls := make([]string, f)
+		for i := range servers {
+			servers[i] = httptest.NewServer(planserver.New().Handler())
+			urls[i] = servers[i].URL
+		}
+		c, err := distverify.New(urls, distverify.WithPlanUpload())
+		if err != nil {
+			t.Note("coordinator (F=%d) failed: %v", f, err)
+			continue
+		}
+		run := DistVerifyRun{Workers: f}
+		var rep sparsehypercube.Report
+		var verr error
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			rep, verr = c.Verify(context.Background(), data)
+			ms := time.Since(start).Seconds() * 1e3
+			if verr != nil {
+				break
+			}
+			if r == 0 || ms < run.VerifyMs {
+				run.VerifyMs = ms
+			}
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+		if verr != nil {
+			t.Note("verify (F=%d) failed: %v", f, verr)
+			continue
+		}
+		repJSON, err := json.Marshal(rep)
+		if err != nil {
+			t.Note("report encoding (F=%d) failed: %v", f, err)
+			continue
+		}
+		run.Match = rep.Valid && reflect.DeepEqual(rep, local) && string(repJSON) == string(localJSON)
+		res.Runs = append(res.Runs, run)
+		t.AddRow(f, run.VerifyMs, fmt.Sprintf("%.2fx", res.LocalMs/run.VerifyMs), run.Match)
+	}
+	t.Note("host: %d CPU(s), %s; one %d-byte indexed plan (k = %d, n = %d) uploaded by content hash to an httptest fleet sharing the local CPUs; local single-process baseline %.1f ms; match = stitched Report valid, DeepEqual and JSON byte-identical to the local baseline.",
+		res.HostCPUs, res.GoVersion, res.PlanBytes, res.K, res.N, res.LocalMs)
+	return t, res
+}
+
+// WriteJSON writes the distverify result as indented JSON.
+func (m *DistVerifyResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,19 @@
+package analysis
+
+import "testing"
+
+// TestRunDistVerifyMatches is a correctness smoke, not a timing run: at
+// a small dimension every fleet size's stitched Report must match the
+// local baseline (the experiment's whole point — the timing columns are
+// only meaningful on a real fleet).
+func TestRunDistVerifyMatches(t *testing.T) {
+	tb, res := RunDistVerify(8, []int{1, 2}, 1)
+	if len(res.Runs) != 2 {
+		t.Fatalf("expected 2 runs:\n%s", tb.Markdown())
+	}
+	for _, run := range res.Runs {
+		if !run.Match {
+			t.Errorf("fleet of %d diverged from the local baseline:\n%s", run.Workers, tb.Markdown())
+		}
+	}
+}

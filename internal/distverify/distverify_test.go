@@ -1,0 +1,570 @@
+package distverify_test
+
+// External test package on purpose: these tests stand up real
+// planserver fleets over httptest, and distverify itself must not
+// import planserver (planserver imports distverify's wire types).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sparsehypercube"
+	"sparsehypercube/internal/distverify"
+	"sparsehypercube/internal/linecomm"
+	"sparsehypercube/internal/planserver"
+	"sparsehypercube/internal/schedio"
+)
+
+// fleet starts n planserver workers and returns their base URLs.
+func fleet(t *testing.T, n int) ([]string, []*httptest.Server) {
+	t.Helper()
+	urls := make([]string, n)
+	servers := make([]*httptest.Server, n)
+	for i := range n {
+		ts := httptest.NewServer(planserver.New().Handler())
+		t.Cleanup(ts.Close)
+		urls[i], servers[i] = ts.URL, ts
+	}
+	return urls, servers
+}
+
+func indexedPlanBytes(t *testing.T, cube *sparsehypercube.Cube, src uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := cube.Plan(sparsehypercube.BroadcastScheme{Source: src}).WriteIndexedTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// localReport is the single-process baseline the distributed Report
+// must be byte-identical to.
+func localReport(t *testing.T, data []byte) sparsehypercube.Report {
+	t.Helper()
+	plan, err := sparsehypercube.ReadPlanAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan.Verify()
+}
+
+// checkIdentical asserts the acceptance criterion both ways: DeepEqual
+// on the Report values and equality of their JSON wire bytes.
+func checkIdentical(t *testing.T, want, got sparsehypercube.Report, format string, args ...any) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf(format+": Report diverges:\nlocal:       %+v\ndistributed: %+v", append(args, want, got)...)
+	}
+	wb, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wb, gb) {
+		t.Fatalf(format+": response bytes diverge:\nlocal:       %s\ndistributed: %s", append(args, wb, gb)...)
+	}
+}
+
+// TestDistVerifyMatchesLocal is the tentpole acceptance gate: for
+// k ∈ {1,2,3}, intact plans fanned over fleets of one and three
+// workers — inline and plan-upload modes — must stitch to the exact
+// single-process Report.
+func TestDistVerifyMatchesLocal(t *testing.T) {
+	for _, kn := range [][2]int{{1, 6}, {2, 10}, {3, 12}} {
+		k, n := kn[0], kn[1]
+		cube, err := sparsehypercube.New(k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := indexedPlanBytes(t, cube, cube.Order()/3)
+		want := localReport(t, data)
+		if !want.Valid || !want.MinimumTime {
+			t.Fatalf("k=%d: intact plan did not verify locally: %+v", k, want)
+		}
+		for _, workers := range []int{1, 3} {
+			urls, _ := fleet(t, workers)
+			for _, upload := range []bool{false, true} {
+				opts := []distverify.Option{distverify.WithLogf(t.Logf)}
+				if upload {
+					opts = append(opts, distverify.WithPlanUpload())
+				}
+				c, err := distverify.New(urls, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := c.Verify(context.Background(), data)
+				if err != nil {
+					t.Fatalf("k=%d workers=%d upload=%v: %v", k, workers, upload, err)
+				}
+				checkIdentical(t, want, got, "k=%d workers=%d upload=%v", k, workers, upload)
+			}
+		}
+	}
+}
+
+// mutateSchedule applies one named structural corruption, mirroring the
+// facade's parallel-verify test catalogue (cross-range effects on
+// purpose).
+func mutateSchedule(name string, s *sparsehypercube.Schedule, order uint64) {
+	last := len(s.Rounds) - 1
+	switch name {
+	case "drop-middle-call":
+		mid := s.Rounds[last/2]
+		s.Rounds[last/2] = mid[:len(mid)-1]
+	case "duplicate-call":
+		r := s.Rounds[last/2]
+		s.Rounds[last/2] = append(r, r[0])
+	case "retarget-receiver":
+		r := s.Rounds[last]
+		if len(r) >= 2 {
+			r[1].Path[len(r[1].Path)-1] = r[0].Path[len(r[0].Path)-1]
+		}
+	case "overlong-call":
+		c := &s.Rounds[last][0]
+		tail := c.Path[len(c.Path)-1]
+		c.Path = append(c.Path, tail^1, tail^1^2)
+	case "out-of-range-vertex":
+		c := &s.Rounds[last/2][0]
+		c.Path[len(c.Path)-1] = order + 7
+	case "uninformed-early-caller":
+		c := s.Rounds[last][0]
+		s.Rounds[last] = s.Rounds[last][1:]
+		s.Rounds[0] = append(s.Rounds[0], c)
+	}
+}
+
+func mutatedPlanBytes(t *testing.T, cube *sparsehypercube.Cube, src uint64, name string) []byte {
+	t.Helper()
+	s := cube.Plan(sparsehypercube.BroadcastScheme{Source: src}).Materialize()
+	mutateSchedule(name, s, cube.Order())
+	inner := &linecomm.Schedule{Source: s.Source, Rounds: make([]linecomm.Round, len(s.Rounds))}
+	for i, round := range s.Rounds {
+		inner.Rounds[i] = make(linecomm.Round, len(round))
+		for j, c := range round {
+			inner.Rounds[i][j] = linecomm.Call{Path: c.Path}
+		}
+	}
+	var buf bytes.Buffer
+	h := schedio.Header{K: cube.K(), Dims: cube.Dims(), Scheme: "broadcast", Source: src}
+	if _, err := schedio.EncodeIndexed(&buf, h, inner); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDistVerifyMutatedPlans: semantically broken plans must stitch to
+// byte-identical Reports — violations, their order and messages
+// included — for k ∈ {1,2,3}.
+func TestDistVerifyMutatedPlans(t *testing.T) {
+	names := []string{"drop-middle-call", "duplicate-call", "retarget-receiver",
+		"overlong-call", "out-of-range-vertex", "uninformed-early-caller"}
+	urls, _ := fleet(t, 3)
+	for _, kn := range [][2]int{{1, 6}, {2, 9}, {3, 12}} {
+		k, n := kn[0], kn[1]
+		cube, err := sparsehypercube.New(k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := distverify.New(urls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			data := mutatedPlanBytes(t, cube, 1, name)
+			want := localReport(t, data)
+			if want.Valid && want.Complete && want.MinimumTime {
+				t.Fatalf("k=%d %s: mutation went undetected", k, name)
+			}
+			got, err := c.Verify(context.Background(), data)
+			if err != nil {
+				t.Fatalf("k=%d %s: %v", k, name, err)
+			}
+			checkIdentical(t, want, got, "k=%d %s", k, name)
+		}
+	}
+}
+
+// TestDistVerifyCorruptedPlans: random byte corruption anywhere in the
+// file must leave the distributed Report identical to the local one —
+// the structural pass catches the anomaly and defers to the local
+// authoritative pass.
+func TestDistVerifyCorruptedPlans(t *testing.T) {
+	cube, err := sparsehypercube.New(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := indexedPlanBytes(t, cube, 3)
+	urls, _ := fleet(t, 2)
+	c, err := distverify.New(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		mut := append([]byte(nil), data...)
+		off := rng.Intn(len(mut))
+		mut[off] ^= byte(1 + rng.Intn(255))
+		plan, lerr := sparsehypercube.ReadPlanAt(bytes.NewReader(mut), int64(len(mut)))
+		got, derr := c.Verify(context.Background(), mut)
+		if (lerr == nil) != (derr == nil) {
+			t.Fatalf("trial %d (offset %d): open split: local err %v, distributed err %v", trial, off, lerr, derr)
+		}
+		if lerr != nil {
+			continue // corruption caught at open time, identically
+		}
+		checkIdentical(t, plan.Verify(), got, "trial %d (offset %d)", trial, off)
+	}
+}
+
+// flakyHandler wraps a worker with an injected fault on its range
+// endpoint.
+func flakyHandler(inner http.Handler, fault func(w http.ResponseWriter, r *http.Request, body []byte) bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/ranges/verify" {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		if fault(w, r, body) {
+			return // fault consumed the request
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// rewriteResponse proxies a range request to the real handler and lets
+// the fault rewrite the JSON response before it leaves.
+func rewriteResponse(inner http.Handler, rewrite func(m map[string]any)) func(w http.ResponseWriter, r *http.Request, body []byte) bool {
+	return func(w http.ResponseWriter, r *http.Request, body []byte) bool {
+		rec := httptest.NewRecorder()
+		inner.ServeHTTP(rec, r)
+		if rec.Code != http.StatusOK {
+			for k, v := range rec.Header() {
+				w.Header()[k] = v
+			}
+			w.WriteHeader(rec.Code)
+			w.Write(rec.Body.Bytes())
+			return true
+		}
+		var m map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return true
+		}
+		rewrite(m)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(m)
+		return true
+	}
+}
+
+// TestDistVerifyWorkerFaults: the acceptance criterion under injected
+// faults — timeouts, mid-run crashes, corrupt span CRCs, responses for
+// the wrong range, a fully dead fleet — retries, reassignment, or the
+// local fallback must still produce the byte-identical Report.
+func TestDistVerifyWorkerFaults(t *testing.T) {
+	cube, err := sparsehypercube.New(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := indexedPlanBytes(t, cube, 5)
+	want := localReport(t, data)
+	mutated := mutatedPlanBytes(t, cube, 5, "uninformed-early-caller")
+	wantMutated := localReport(t, mutated)
+
+	opts := func(extra ...distverify.Option) []distverify.Option {
+		return append([]distverify.Option{
+			distverify.WithRequestTimeout(500 * time.Millisecond),
+			distverify.WithBackoff(10 * time.Millisecond),
+			distverify.WithLogf(t.Logf),
+		}, extra...)
+	}
+
+	t.Run("timeout", func(t *testing.T) {
+		urls, _ := fleet(t, 2)
+		// Hold every request until the client gives up. The body must be
+		// drained first — the server only notices a client abort through
+		// its background read, which waits for the body to be consumed —
+		// and the release channel unblocks stragglers so Close can finish.
+		release := make(chan struct{})
+		hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.Copy(io.Discard, r.Body)
+			select {
+			case <-r.Context().Done():
+			case <-release:
+			}
+		}))
+		t.Cleanup(func() {
+			close(release)
+			hang.Close()
+		})
+		c, err := distverify.New(append(urls, hang.URL), opts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Verify(context.Background(), data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIdentical(t, want, got, "hanging worker")
+	})
+
+	t.Run("killed-mid-run", func(t *testing.T) {
+		urls, _ := fleet(t, 2)
+		victim := planserver.New().Handler()
+		var served atomic.Int64
+		var kill sync.Once
+		var vs *httptest.Server
+		vs = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if served.Add(1) > 1 {
+				// Die mid-run: drop the connection without a response and
+				// refuse everything after.
+				kill.Do(func() { go vs.CloseClientConnections() })
+				panic(http.ErrAbortHandler)
+			}
+			victim.ServeHTTP(w, r)
+		}))
+		t.Cleanup(vs.Close)
+		c, err := distverify.New(append(urls, vs.URL), opts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Verify(context.Background(), data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIdentical(t, want, got, "killed worker")
+	})
+
+	t.Run("corrupt-span-crc", func(t *testing.T) {
+		urls, _ := fleet(t, 2)
+		inner := planserver.New().Handler()
+		bad := httptest.NewServer(flakyHandler(inner, rewriteResponse(inner, func(m map[string]any) {
+			m["span_crc"] = float64(12345)
+		})))
+		t.Cleanup(bad.Close)
+		c, err := distverify.New(append(urls, bad.URL), opts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Verify(context.Background(), data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIdentical(t, want, got, "corrupt span crc")
+	})
+
+	t.Run("wrong-range-response", func(t *testing.T) {
+		// A worker answering for the wrong range must be rejected, not
+		// merged — run it against the mutated plan so a mis-merge would
+		// visibly scramble the violations.
+		urls, _ := fleet(t, 2)
+		inner := planserver.New().Handler()
+		bad := httptest.NewServer(flakyHandler(inner, rewriteResponse(inner, func(m map[string]any) {
+			m["start_round"] = m["start_round"].(float64) + 1
+			m["end_round"] = m["end_round"].(float64) + 1
+		})))
+		t.Cleanup(bad.Close)
+		c, err := distverify.New(append(urls, bad.URL), opts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Verify(context.Background(), mutated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIdentical(t, wantMutated, got, "wrong-range response")
+	})
+
+	t.Run("all-dead", func(t *testing.T) {
+		dead := httptest.NewServer(http.NotFoundHandler())
+		url := dead.URL
+		dead.Close() // connection refused from the first request
+		c, err := distverify.New([]string{url}, opts(distverify.WithRetries(1))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Verify(context.Background(), data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIdentical(t, want, got, "dead fleet")
+	})
+}
+
+// TestDistVerifyOutOfOrderCompletion: ranges deliberately finish in
+// reverse order (earlier ranges are slowed the most); the stitch must
+// still be positional, not arrival-ordered.
+func TestDistVerifyOutOfOrderCompletion(t *testing.T) {
+	cube, err := sparsehypercube.New(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := mutatedPlanBytes(t, cube, 1, "uninformed-early-caller")
+	want := localReport(t, mutated)
+
+	inner := planserver.New().Handler()
+	slowEarly := httptest.NewServer(flakyHandler(inner, func(w http.ResponseWriter, r *http.Request, body []byte) bool {
+		var req distverify.RangeRequest
+		if json.Unmarshal(body, &req) == nil {
+			time.Sleep(time.Duration(max(0, 20-req.StartRound)) * 5 * time.Millisecond)
+		}
+		return false
+	}))
+	t.Cleanup(slowEarly.Close)
+	c, err := distverify.New([]string{slowEarly.URL, slowEarly.URL, slowEarly.URL},
+		distverify.WithRangesPerWorker(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Verify(context.Background(), mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentical(t, want, got, "out-of-order completion")
+}
+
+// TestDistVerifyPlanUploadFallbacks: upload mode must degrade — an
+// endpoint whose upload fails is fed inline ranges; an endpoint that
+// claims an id it later 404s gets the bytes shipped inline per request.
+func TestDistVerifyPlanUploadFallbacks(t *testing.T) {
+	cube, err := sparsehypercube.New(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := indexedPlanBytes(t, cube, 2)
+	want := localReport(t, data)
+
+	inner := planserver.New().Handler()
+	noUpload := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/plans" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(noUpload.Close)
+	amnesiac := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/plans" {
+			// Accept the upload, remember nothing: every plan-id range
+			// request will 404 and the coordinator must re-ship inline.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusCreated)
+			w.Write([]byte(`{"id":"acceptedandforgotten"}`))
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(amnesiac.Close)
+
+	c, err := distverify.New([]string{noUpload.URL, amnesiac.URL},
+		distverify.WithPlanUpload(), distverify.WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Verify(context.Background(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentical(t, want, got, "upload fallbacks")
+}
+
+// TestDistVerifyLocalFallbackPaths: plans that cannot be distributed
+// verify locally with the identical Report, and real input errors still
+// surface as errors.
+func TestDistVerifyLocalFallbackPaths(t *testing.T) {
+	urls, _ := fleet(t, 1)
+	c, err := distverify.New(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := sparsehypercube.New(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A gossip plan verifies under its own model — locally.
+	var gossip bytes.Buffer
+	if _, err := cube.Plan(sparsehypercube.GossipScheme{Root: 2}).WriteIndexedTo(&gossip); err != nil {
+		t.Fatal(err)
+	}
+	want := localReport(t, gossip.Bytes())
+	got, err := c.Verify(context.Background(), gossip.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentical(t, want, got, "gossip plan")
+
+	// An unindexed plan has nothing to split.
+	var plain bytes.Buffer
+	if _, err := cube.Plan(sparsehypercube.BroadcastScheme{Source: 1}).WriteTo(&plain); err != nil {
+		t.Fatal(err)
+	}
+	want = localReport(t, plain.Bytes())
+	got, err = c.Verify(context.Background(), plain.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentical(t, want, got, "unindexed plan")
+
+	// Garbage is an open error, exactly as ReadPlanAt reports it.
+	if _, err := c.Verify(context.Background(), []byte("not a plan")); err == nil {
+		t.Error("garbage accepted")
+	}
+
+	// A cancelled context surfaces as its error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	data := indexedPlanBytes(t, cube, 0)
+	if _, err := c.Verify(ctx, data); err == nil {
+		t.Error("cancelled context produced a report")
+	}
+
+	// No workers is a construction error.
+	if _, err := distverify.New(nil); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}
+
+// TestDistVerifyFile: the file entry point verifies through a mapping
+// and matches the in-memory path.
+func TestDistVerifyFile(t *testing.T) {
+	cube, err := sparsehypercube.New(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := indexedPlanBytes(t, cube, 4)
+	dir := t.TempDir()
+	path := dir + "/plan.shcp"
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	urls, _ := fleet(t, 2)
+	c, err := distverify.New(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.VerifyFile(context.Background(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentical(t, localReport(t, data), got, "file entry point")
+	if _, err := c.VerifyFile(context.Background(), dir+"/missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

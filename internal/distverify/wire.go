@@ -1,0 +1,123 @@
+package distverify
+
+// This file is the wire contract of distributed range verification: the
+// JSON request/response envelope of planserver's POST /v1/ranges/verify
+// endpoint, documented (and executed) in docs/FORMAT.md. Planserver
+// imports these types to serve the endpoint; the coordinator in this
+// package speaks them as a client. The conversion helpers round-trip
+// linecomm values exactly — violation kinds travel by their canonical
+// names and are parsed back into the same ViolationKind — so a Report
+// stitched from responses is byte-identical to a local verification.
+
+import (
+	"fmt"
+
+	"sparsehypercube/internal/linecomm"
+)
+
+// RangeRequest asks a worker to run the seeded stream validator over
+// one contiguous round range of a plan. Exactly one of PlanID and Plan
+// must be set: PlanID names a plan previously uploaded to the worker's
+// plan cache (POST /v1/plans); Plan carries the range inline, nothing
+// pre-shared.
+type RangeRequest struct {
+	// PlanID addresses a cached indexed plan on the worker; the range is
+	// read from the worker's copy via its round index.
+	PlanID string `json:"plan_id,omitempty"`
+	// Plan carries the range inline for workers holding nothing.
+	Plan *InlinePlan `json:"plan,omitempty"`
+
+	// StartRound and EndRound delimit the absolute round range
+	// [start_round, end_round) being verified.
+	StartRound int `json:"start_round"`
+	EndRound   int `json:"end_round"`
+
+	// Seed lists the vertices (beyond the source) informed by rounds
+	// [0, start_round) — the coordinator's structural pass output,
+	// exactly what linecomm.CollectInformedStream returns for them.
+	Seed []uint64 `json:"seed,omitempty"`
+
+	// SpanCRC is the CRC-32 (IEEE) the coordinator expects of the
+	// range's encoded byte span. A worker whose bytes disagree refuses
+	// with 409 rather than verifying the wrong bytes.
+	SpanCRC uint32 `json:"span_crc"`
+}
+
+// InlinePlan is the self-contained form of a range: the cube the plan
+// binds to, the broadcast source, and the raw encoded byte span of the
+// requested rounds (schedio round encoding, as extracted by
+// PlanAt.RangeBytes; base64 in JSON).
+type InlinePlan struct {
+	K      int    `json:"k"`
+	Dims   []int  `json:"dims"`
+	Source uint64 `json:"source"`
+	Span   []byte `json:"span"`
+}
+
+// WireViolation is one validator finding on the wire. Round and Call
+// are the 0-based indices of linecomm.Violation (absolute rounds); Kind
+// is the kind's canonical name (linecomm.ViolationKind.String).
+type WireViolation struct {
+	Round int    `json:"round"`
+	Call  int    `json:"call"`
+	Kind  string `json:"kind"`
+	Msg   string `json:"msg"`
+}
+
+// RangeResponse is a worker's verdict on one range: the
+// linecomm.Result of the seeded validator, plus the echoed range bounds
+// and span CRC so a coordinator can reject a response that answers a
+// different question than it asked.
+type RangeResponse struct {
+	StartRound       int             `json:"start_round"`
+	EndRound         int             `json:"end_round"`
+	SpanCRC          uint32          `json:"span_crc"`
+	Informed         uint64          `json:"informed"`
+	InformedPerRound []uint64        `json:"informed_per_round"`
+	MaxCallLength    int             `json:"max_call_length"`
+	Violations       []WireViolation `json:"violations,omitempty"`
+}
+
+// ResponseFromResult wraps a seeded range validation result for the
+// wire.
+func ResponseFromResult(res *linecomm.Result, startRound, endRound int, spanCRC uint32) RangeResponse {
+	out := RangeResponse{
+		StartRound:       startRound,
+		EndRound:         endRound,
+		SpanCRC:          spanCRC,
+		Informed:         res.Informed,
+		InformedPerRound: res.InformedPerRound,
+		MaxCallLength:    res.MaxCallLength,
+	}
+	for _, v := range res.Violations {
+		out.Violations = append(out.Violations, WireViolation{
+			Round: v.Round, Call: v.Call, Kind: v.Kind.String(), Msg: v.Msg,
+		})
+	}
+	return out
+}
+
+// Result reconstructs the exact linecomm.Result the worker computed —
+// kinds parsed back from their names, so every Violation.String comes
+// out byte-identical. Complete and MinimumTime are whole-schedule
+// judgements and stay false, as ValidateStreamSeeded leaves them; the
+// coordinator's MergeRangeResults computes them. An unknown kind name
+// is an error: a response this code cannot represent must be rejected,
+// not guessed at.
+func (r *RangeResponse) Result() (*linecomm.Result, error) {
+	res := &linecomm.Result{
+		Informed:         r.Informed,
+		InformedPerRound: r.InformedPerRound,
+		MaxCallLength:    r.MaxCallLength,
+	}
+	for _, v := range r.Violations {
+		kind, ok := linecomm.ParseViolationKind(v.Kind)
+		if !ok {
+			return nil, fmt.Errorf("distverify: unknown violation kind %q", v.Kind)
+		}
+		res.Violations = append(res.Violations, linecomm.Violation{
+			Round: v.Round, Call: v.Call, Kind: kind, Msg: v.Msg,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,65 @@
+package distverify
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"sparsehypercube/internal/linecomm"
+)
+
+// TestWireRoundTrip: a Result must survive response-wrapping, JSON, and
+// reconstruction exactly — every violation kind by name, every index
+// and message untouched — because the coordinator's stitched Report is
+// built from the reconstruction.
+func TestWireRoundTrip(t *testing.T) {
+	res := &linecomm.Result{
+		Violations: []linecomm.Violation{
+			{Round: 3, Call: 1, Kind: linecomm.CallerUninformed, Msg: "caller 5 is not informed"},
+			{Round: 4, Call: -1, Kind: linecomm.SimulationCapExceeded, Msg: "cap"},
+			{Round: 5, Call: 0, Kind: linecomm.VertexOutOfRange, Msg: "vertex 99 outside [0,64)"},
+		},
+		InformedPerRound: []uint64{9, 17, 33},
+		Informed:         33,
+		MaxCallLength:    2,
+	}
+	wire := ResponseFromResult(res, 3, 6, 0xdeadbeef)
+	if wire.StartRound != 3 || wire.EndRound != 6 || wire.SpanCRC != 0xdeadbeef {
+		t.Fatalf("echo fields wrong: %+v", wire)
+	}
+	data, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RangeResponse
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, got) {
+		t.Fatalf("round trip diverged:\nin:  %+v\nout: %+v", res, got)
+	}
+	for i := range res.Violations {
+		if res.Violations[i].String() != got.Violations[i].String() {
+			t.Fatalf("violation %d string diverged: %q != %q",
+				i, got.Violations[i].String(), res.Violations[i].String())
+		}
+	}
+
+	// Every kind's name must parse back to itself.
+	for k := linecomm.CallerUninformed; k <= linecomm.SimulationCapExceeded; k++ {
+		parsed, ok := linecomm.ParseViolationKind(k.String())
+		if !ok || parsed != k {
+			t.Errorf("kind %d does not round-trip through %q", int(k), k.String())
+		}
+	}
+
+	// An unknown kind name is a hard error, not a guess.
+	back.Violations[0].Kind = "made-up-kind"
+	if _, err := back.Result(); err == nil {
+		t.Error("unknown violation kind accepted")
+	}
+}

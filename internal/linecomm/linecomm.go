@@ -232,6 +232,29 @@ func (k ViolationKind) String() string {
 	}
 }
 
+// violationKindNames inverts ViolationKind.String for the wire: the
+// distributed range-verify envelope carries kinds by name, and a
+// coordinator must reconstruct the exact ViolationKind (and so the
+// exact Violation.String) from a worker's response.
+var violationKindNames = map[string]ViolationKind{
+	"caller-uninformed":       CallerUninformed,
+	"caller-duplicate":        CallerDuplicate,
+	"path-invalid":            PathInvalid,
+	"path-too-long":           PathTooLong,
+	"edge-conflict":           EdgeConflict,
+	"receiver-conflict":       ReceiverConflict,
+	"receiver-informed":       ReceiverInformed,
+	"vertex-out-of-range":     VertexOutOfRange,
+	"simulation-cap-exceeded": SimulationCapExceeded,
+}
+
+// ParseViolationKind inverts ViolationKind.String. Unknown names report
+// ok false — a response carrying one must be rejected, not guessed at.
+func ParseViolationKind(s string) (ViolationKind, bool) {
+	k, ok := violationKindNames[s]
+	return k, ok
+}
+
 // Violation is one validator finding.
 type Violation struct {
 	Round int // 0-based round index

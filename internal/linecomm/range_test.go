@@ -143,3 +143,80 @@ func TestCollectInformedMatchesValidator(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeRangeResultsEdgeCases pins the merge on the degenerate
+// partitions a distributed coordinator can produce: a single range
+// covering the whole plan, and an empty range (zero rounds) appended
+// after full coverage — both must reproduce the serial Result exactly,
+// whole-schedule judgements (Complete, MinimumTime) included.
+func TestMergeRangeResultsEdgeCases(t *testing.T) {
+	const n = 6
+	net := GraphNetwork{G: topo.Hypercube(n)}
+	s := binomialSchedule(n)
+	serial := ValidateStream(net, 1, s.Source, s.Stream())
+	if !serial.Complete || !serial.MinimumTime {
+		t.Fatalf("baseline schedule broken: %+v", serial)
+	}
+
+	// A single-range partition: one seeded validator over everything.
+	whole := ValidateStreamSeeded(net, 1, s.Source, nil, 0, s.Stream(), DefaultOptions(), 1)
+	if got := MergeRangeResults(net.Order(), []*Result{whole}); !reflect.DeepEqual(serial, got) {
+		t.Fatalf("single-range merge diverges:\nserial: %+v\nmerged: %+v", serial, got)
+	}
+
+	// An empty range after full coverage: no rounds, the full informed
+	// set as seed. It contributes nothing but its (correct) final count,
+	// and the merge must still come out serial-identical.
+	delta := CollectInformedStream(net, s.Stream())
+	empty := ValidateStreamSeeded(net, 1, s.Source, delta, len(s.Rounds),
+		func(yield func(Round) bool) {}, DefaultOptions(), 1)
+	if len(empty.InformedPerRound) != 0 {
+		t.Fatalf("empty range reported rounds: %+v", empty)
+	}
+	if empty.Informed != serial.Informed {
+		t.Fatalf("empty range count %d, want %d", empty.Informed, serial.Informed)
+	}
+	if got := MergeRangeResults(net.Order(), []*Result{whole, empty}); !reflect.DeepEqual(serial, got) {
+		t.Fatalf("empty-range merge diverges:\nserial: %+v\nmerged: %+v", serial, got)
+	}
+}
+
+// TestTeeInformedMatchesCollect: consuming a stream through TeeInformed
+// must yield the untouched rounds and accumulate exactly the
+// CollectInformedStream delta — including under mutations that make
+// calls structurally dead.
+func TestTeeInformedMatchesCollect(t *testing.T) {
+	const n = 5
+	net := GraphNetwork{G: topo.Hypercube(n)}
+	base := binomialSchedule(n)
+	schedules := []*Schedule{base}
+	rng := rand.New(rand.NewSource(11))
+	for _, m := range mutationsForQn(n) {
+		s := cloneSchedule(base)
+		if m.mut(rng, s) {
+			schedules = append(schedules, s)
+		}
+	}
+	for si, s := range schedules {
+		want := CollectInformedStream(net, s.Stream())
+		var got []uint64
+		rounds := 0
+		for r := range TeeInformed(net, s.Stream(), &got) {
+			rounds += len(r) // consume; rounds must pass through untouched
+		}
+		if rounds != s.TotalCalls() {
+			t.Fatalf("schedule %d: tee dropped calls: saw %d, want %d", si, rounds, s.TotalCalls())
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("schedule %d: tee delta diverges:\nwant %v\ngot  %v", si, want, got)
+		}
+		// Early termination stops the tee mid-stream without panicking.
+		var partial []uint64
+		for range TeeInformed(net, s.Stream(), &partial) {
+			break
+		}
+		if len(partial) > len(want) {
+			t.Fatalf("schedule %d: partial tee overshot: %d > %d", si, len(partial), len(want))
+		}
+	}
+}

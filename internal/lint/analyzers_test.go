@@ -33,12 +33,21 @@ func TestLockHeldFixture(t *testing.T) {
 	linttest.Run(t, lint.LockHeld, "testdata/src/lockheld/planserver", "internal/planserver")
 }
 
+func TestLockHeldDistverifyFixture(t *testing.T) {
+	linttest.Run(t, lint.LockHeld, "testdata/src/lockheld/distverify", "internal/distverify")
+}
+
 func TestLockHeldOutsidePlanserver(t *testing.T) {
-	// The same file under an unrestricted path must report nothing:
-	// lockheld polices the serving registry, not the whole module.
+	// The same files under an unrestricted path must report nothing:
+	// lockheld polices the serving path, not the whole module.
 	linttest.RunNone(t, lint.LockHeld, "testdata/src/lockheld/planserver", "other")
+	linttest.RunNone(t, lint.LockHeld, "testdata/src/lockheld/distverify", "other")
 }
 
 func TestErrEnvelopeFixture(t *testing.T) {
 	linttest.Run(t, lint.ErrEnvelope, "testdata/src/errenvelope/planserver", "internal/planserver")
+}
+
+func TestErrEnvelopeDistverifyFixture(t *testing.T) {
+	linttest.Run(t, lint.ErrEnvelope, "testdata/src/errenvelope/distverify", "internal/distverify")
 }

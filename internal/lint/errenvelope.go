@@ -5,11 +5,13 @@ import (
 	"go/constant"
 )
 
-// ErrEnvelope enforces the planserver error contract PR 4 established:
-// every decode or validation failure answers with the structured
-// {"error": ...} JSON envelope and a 4xx status — clients parse the
-// envelope, and a malformed upload is the client's fault, never a
-// server error. Within internal/planserver:
+// ErrEnvelope enforces the planserver error contract PR 4 established
+// and the range-verify endpoint inherits: every decode or validation
+// failure answers with the structured {"error": ...} JSON envelope and
+// a 4xx status — clients (including the distverify coordinator, which
+// parses the envelope to decide between retry and refusal) treat a
+// malformed request as the client's fault, never a server error.
+// Within internal/planserver and internal/distverify:
 //
 //   - http.Error is forbidden (plain-text body, no envelope; route
 //     through writeError)
@@ -19,13 +21,13 @@ import (
 //     be handed a constant 5xx either
 var ErrEnvelope = &Analyzer{
 	Name: "errenvelope",
-	Doc:  "require planserver failures to use the structured 4xx envelope, never http.Error or a naked 5xx",
+	Doc:  "require planserver/distverify failures to use the structured 4xx envelope, never http.Error or a naked 5xx",
 	Run:  runErrEnvelope,
 }
 
 func runErrEnvelope(pass *Pass) {
 	p := pass.Pkg
-	if !pathHasSuffix(p.PkgPath, "internal/planserver") {
+	if !inServingScope(p.PkgPath) {
 		return
 	}
 	p.inspect(func(n ast.Node) bool {
@@ -49,7 +51,7 @@ func runErrEnvelope(pass *Pass) {
 		// The envelope helpers handed a constant 5xx defeat the contract
 		// from the inside.
 		if fn != nil && (fn.Name() == "writeError" || fn.Name() == "writeJSON") &&
-			pathHasSuffix(funcPkgPath(fn), "internal/planserver") && len(call.Args) >= 2 {
+			inServingScope(funcPkgPath(fn)) && len(call.Args) >= 2 {
 			if code, ok := p.constStatus(call.Args[1]); ok && code >= 500 {
 				pass.Reportf(call.Pos(), "%s with constant status %d: decode/validation failures are 4xx (docs/LINTING.md#errenvelope)", fn.Name(), code)
 			}

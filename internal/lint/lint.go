@@ -171,6 +171,14 @@ func pathHasSuffix(path, pkg string) bool {
 	return path == pkg || strings.HasSuffix(path, "/"+pkg)
 }
 
+// inServingScope reports whether a package is on the request-serving
+// path the lockheld and errenvelope invariants police: the plan server
+// and the distributed-verify coordinator that speaks to it.
+func inServingScope(pkgPath string) bool {
+	return pathHasSuffix(pkgPath, "internal/planserver") ||
+		pathHasSuffix(pkgPath, "internal/distverify")
+}
+
 // fileBase returns the base filename a node lives in.
 func (p *Package) fileBase(pos token.Pos) string {
 	name := p.Fset.Position(pos).Filename

@@ -5,13 +5,13 @@ import (
 	"go/types"
 )
 
-// LockHeld protects planserver's serving locks — the ceiling the
-// ROADMAP's sharded-session-registry work raises — from the classic
-// latency inversion: a mutex held across a blocking call serialises
-// every other request behind one slow disk or one slow client. Within
-// internal/planserver, no sync.Mutex or sync.RWMutex may be held across
-// file I/O, http.ResponseWriter writes (directly or through a helper
-// that takes the writer), or mmap syscalls.
+// LockHeld protects the serving-path locks — planserver's registry and
+// the distverify coordinator — from the classic latency inversion: a
+// mutex held across a blocking call serialises every other request
+// behind one slow disk or one slow client. Within internal/planserver
+// and internal/distverify, no sync.Mutex or sync.RWMutex may be held
+// across file I/O, http.ResponseWriter writes (directly or through a
+// helper that takes the writer), or mmap syscalls.
 //
 // The walk is lexical and per-function: Lock()/RLock() opens a held
 // region, the matching Unlock()/RUnlock() closes it (including inside a
@@ -24,7 +24,7 @@ import (
 // lockheld annotation explaining why.
 var LockHeld = &Analyzer{
 	Name: "lockheld",
-	Doc:  "forbid holding planserver mutexes across blocking calls (file I/O, response writes, mmap)",
+	Doc:  "forbid holding planserver/distverify mutexes across blocking calls (file I/O, response writes, mmap)",
 	Run:  runLockHeld,
 }
 
@@ -50,7 +50,7 @@ var blockingIOFuncs = map[string]bool{
 }
 
 func runLockHeld(pass *Pass) {
-	if !pathHasSuffix(pass.Pkg.PkgPath, "internal/planserver") {
+	if !inServingScope(pass.Pkg.PkgPath) {
 		return
 	}
 	pass.Pkg.eachFuncBody(func(decl *ast.FuncDecl) {

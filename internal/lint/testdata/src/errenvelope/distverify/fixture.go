@@ -1,0 +1,46 @@
+// Fixture: errenvelope — distverify is in scope: any HTTP surface it
+// grows (a status/debug handler beside the coordinator) must answer
+// failures with the structured 4xx envelope, never http.Error or a
+// naked 5xx. Loaded as "internal/distverify".
+package distverify
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// plainTextRefusal bypasses the envelope a coordinator client parses.
+func plainTextRefusal(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusBadRequest) // want `http.Error bypasses the structured error envelope`
+}
+
+// nakedServerError turns a malformed range request into a fake server
+// failure.
+func nakedServerError(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusInternalServerError) // want `naked WriteHeader\(500\)`
+}
+
+// envelopeWith5xx defeats the contract from inside the helper.
+func envelopeWith5xx(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusServiceUnavailable, "range: %v", err) // want `writeError with constant status 503`
+}
+
+// properRefusal is the sanctioned path: structured, 4xx.
+func properRefusal(w http.ResponseWriter, lo, hi int) {
+	writeError(w, http.StatusBadRequest, "round range [%d,%d) is empty", lo, hi)
+}

@@ -49,3 +49,14 @@ func properEnvelope(w http.ResponseWriter, err error) {
 func successStatus(w http.ResponseWriter) {
 	w.WriteHeader(http.StatusNoContent)
 }
+
+// rangeVerifyShaped mirrors the range-verify endpoint: a span checksum
+// mismatch is the client's problem (409 through the envelope —
+// sanctioned), but promoting it to a 5xx is not.
+func rangeVerifyShaped(w http.ResponseWriter, got, want uint32) {
+	if got != want {
+		writeError(w, http.StatusConflict, "span checksum mismatch: computed %08x, request claims %08x", got, want)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "span checksum mismatch") // want `writeError with constant status 500`
+}

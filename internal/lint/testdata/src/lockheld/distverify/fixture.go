@@ -1,0 +1,52 @@
+// Fixture: lockheld — the distverify coordinator is in scope: no mutex
+// held across file I/O or stream drains. Loaded as
+// "internal/distverify".
+package distverify
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"sync"
+)
+
+type tracker struct {
+	mu      sync.Mutex
+	pending map[int]bool
+}
+
+// readsUnderLock reads the plan file for a local fallback while holding
+// the dispatch bookkeeping lock.
+func (t *tracker) readsUnderLock(path string, idx int) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pending[idx] = false
+	return os.ReadFile(path) // want `os.ReadFile while holding t.mu`
+}
+
+// readsAfterUnlock is the sanctioned shape: bookkeeping under the lock,
+// I/O after it.
+func (t *tracker) readsAfterUnlock(path string, idx int) ([]byte, error) {
+	t.mu.Lock()
+	t.pending[idx] = false
+	t.mu.Unlock()
+	return os.ReadFile(path)
+}
+
+// drainsUnderLock drains a worker response body — paced by the remote
+// end — inside the critical section.
+func (t *tracker) drainsUnderLock(resp *http.Response, idx int) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.pending, idx)
+	return io.ReadAll(resp.Body) // want `io.ReadAll while holding t.mu`
+}
+
+// drainsBeforeLock drains first, then records the outcome.
+func (t *tracker) drainsBeforeLock(resp *http.Response, idx int) ([]byte, error) {
+	body, err := io.ReadAll(resp.Body)
+	t.mu.Lock()
+	delete(t.pending, idx)
+	t.mu.Unlock()
+	return body, err
+}

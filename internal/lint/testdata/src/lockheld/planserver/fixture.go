@@ -86,3 +86,16 @@ func (r *registry) annotatedHold(id string) {
 	os.Remove(r.paths[id])
 	r.mu.Unlock()
 }
+
+// rangeVerifyShaped mirrors the range-verify endpoint's lookup: the
+// registry lock covers only the map access; the validation response is
+// written after release.
+func (r *registry) rangeVerifyShaped(w http.ResponseWriter, id string) {
+	r.mu.RLock()
+	path, ok := r.paths[id]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, id) // want `response write while holding r.mu`
+	}
+	r.mu.RUnlock()
+	writeJSON(w, http.StatusOK, path)
+}

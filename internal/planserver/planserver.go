@@ -18,6 +18,11 @@
 //	                                concurrent verifiers replay the one
 //	                                cached copy through ReadPlanAt
 //	DELETE /v1/plans/{id}           drop a cached plan
+//	POST /v1/ranges/verify          verify one round range as a worker of
+//	                                a distributed verification (see
+//	                                internal/distverify): a seeded range
+//	                                validator over a cached plan's index
+//	                                or over inline range bytes
 //	POST /v1/sessions               open an incremental session: a cube
 //	                                plus a scheme name bind a streaming
 //	                                validator fed round batches
@@ -185,6 +190,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/plans", s.handlePlanUpload)
 	mux.HandleFunc("GET /v1/plans/{id}", s.handlePlanInfo)
 	mux.HandleFunc("POST /v1/plans/{id}/verify", s.handlePlanVerify)
+	mux.HandleFunc("POST /v1/ranges/verify", s.handleRangeVerify)
 	mux.HandleFunc("DELETE /v1/plans/{id}", s.handlePlanDelete)
 	mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
 	mux.HandleFunc("POST /v1/sessions/{id}/rounds", s.handleSessionRounds)
@@ -198,8 +204,9 @@ func (s *Server) Handler() http.Handler {
 type servedPlan struct {
 	info    PlanInfo
 	plan    *sparsehypercube.Plan
-	mapping io.Closer // spill mode: the file mapping; nil in-memory
-	path    string    // spill mode: the on-disk file; "" in-memory
+	at      *schedio.PlanAt // random access for range verification
+	mapping io.Closer       // spill mode: the file mapping; nil in-memory
+	path    string          // spill mode: the on-disk file; "" in-memory
 
 	// refs counts the cache's own reference plus every in-flight
 	// verifier, so a DELETE never unmaps bytes a concurrent verify is
@@ -400,8 +407,8 @@ func (s *Server) newServedPlan(id string, data []byte) (*servedPlan, error) {
 	}
 	sp.refs.Store(1) // the cache's own reference
 	if s.spillDir != "" {
-		if plan, m, path, err := s.spillPlan(id, data); err == nil {
-			sp.plan, sp.mapping, sp.path = plan, m, path
+		if plan, pat, m, path, err := s.spillPlan(id, data); err == nil {
+			sp.plan, sp.at, sp.mapping, sp.path = plan, pat, m, path
 			sp.info.Spilled = true
 			return sp, nil
 		}
@@ -412,7 +419,7 @@ func (s *Server) newServedPlan(id string, data []byte) (*servedPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp.plan = plan
+	sp.plan, sp.at = plan, at
 	return sp, nil
 }
 
@@ -422,14 +429,14 @@ func (s *Server) newServedPlan(id string, data []byte) (*servedPlan, error) {
 // the served name; the data itself is not fsync'd, the mapping we
 // serve from is what matters) and opens it for serving through a
 // read-only memory mapping.
-func (s *Server) spillPlan(id string, data []byte) (*sparsehypercube.Plan, io.Closer, string, error) {
+func (s *Server) spillPlan(id string, data []byte) (*sparsehypercube.Plan, *schedio.PlanAt, io.Closer, string, error) {
 	if err := os.MkdirAll(s.spillDir, 0o755); err != nil {
-		return nil, nil, "", err
+		return nil, nil, nil, "", err
 	}
 	path := filepath.Join(s.spillDir, id+".shcp")
 	tmp, err := os.CreateTemp(s.spillDir, "upload-*.tmp")
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, nil, "", err
 	}
 	_, werr := tmp.Write(data)
 	if cerr := tmp.Close(); werr == nil {
@@ -440,7 +447,7 @@ func (s *Server) spillPlan(id string, data []byte) (*sparsehypercube.Plan, io.Cl
 	}
 	if werr != nil {
 		os.Remove(tmp.Name())
-		return nil, nil, "", werr
+		return nil, nil, nil, "", werr
 	}
 	// Failures past the rename leave the content-addressed file behind
 	// on purpose: a concurrent identical upload may have renamed its own
@@ -449,19 +456,24 @@ func (s *Server) spillPlan(id string, data []byte) (*sparsehypercube.Plan, io.Cl
 	// retires with no cache entry owning it.
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, nil, "", err
 	}
 	m, err := schedio.OpenMapping(f)
 	if err != nil {
 		f.Close()
-		return nil, nil, "", err
+		return nil, nil, nil, "", err
 	}
 	plan, err := sparsehypercube.ReadPlanAt(m, m.Size())
 	if err != nil {
 		m.Close()
-		return nil, nil, "", err
+		return nil, nil, nil, "", err
 	}
-	return plan, m, path, nil
+	pat, err := schedio.OpenPlanAt(m, m.Size())
+	if err != nil {
+		m.Close()
+		return nil, nil, nil, "", err
+	}
+	return plan, pat, m, path, nil
 }
 
 // lookupPlan returns the cached plan with a reference acquired (under

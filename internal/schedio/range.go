@@ -1,6 +1,7 @@
 package schedio
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -12,8 +13,9 @@ import (
 )
 
 // RoundRange decodes a contiguous, index-delimited slice of a plan's
-// rounds off the PlanAt's ReaderAt — the unit of work of parallel
-// round-range verification. A RoundRange is single-use (Rounds may be
+// rounds off an io.ReaderAt — the unit of work of parallel round-range
+// verification, local (PlanAt.Range) or remote (DecodeSpan over bytes
+// shipped by RangeBytes). A RoundRange is single-use (Rounds may be
 // consumed once) but independent: concurrent RoundRanges over one
 // PlanAt share only the ReaderAt.
 //
@@ -24,7 +26,8 @@ import (
 // returns the CRC-32 of that span, so the caller can stitch the ranges
 // back into the plan's stored checksum with PlanAt.CheckRangeCRCs.
 type RoundRange struct {
-	p          *PlanAt
+	h          Header
+	r          io.ReaderAt
 	lo, hi     int
 	start, end int64
 
@@ -49,7 +52,41 @@ func (p *PlanAt) Range(lo, hi int) (*RoundRange, error) {
 	if lo < 0 || hi > len(p.offs)-1 || lo >= hi {
 		return nil, fmt.Errorf("schedio: round range [%d,%d) outside [0,%d)", lo, hi, len(p.offs)-1)
 	}
-	return &RoundRange{p: p, lo: lo, hi: hi, start: p.offs[lo], end: p.offs[hi]}, nil
+	return &RoundRange{h: p.h, r: p.r, lo: lo, hi: hi, start: p.offs[lo], end: p.offs[hi]}, nil
+}
+
+// RangeBytes returns the raw encoded byte span of rounds [lo, hi) — the
+// unit a distributed-verification coordinator ships to a remote range
+// verifier, decoded there by DecodeSpan. The span is exactly the bytes
+// the index delimits; its CRC-32 is the RangeCRC contribution of the
+// same range.
+func (p *PlanAt) RangeBytes(lo, hi int) ([]byte, error) {
+	if p.offs == nil {
+		return nil, errors.New("schedio: plan has no round index")
+	}
+	if lo < 0 || hi > len(p.offs)-1 || lo >= hi {
+		return nil, fmt.Errorf("schedio: round range [%d,%d) outside [0,%d)", lo, hi, len(p.offs)-1)
+	}
+	// The span length is bounded by the file size: offsets were checked
+	// strictly increasing and below the index start when the plan opened.
+	buf := make([]byte, p.offs[hi]-p.offs[lo])
+	if _, err := p.r.ReadAt(buf, p.offs[lo]); err != nil {
+		return nil, fmt.Errorf("schedio: reading rounds [%d,%d): %w", lo, hi, err)
+	}
+	return buf, nil
+}
+
+// DecodeSpan returns a decoder over rounds [lo, hi) of a detached byte
+// span, as produced by RangeBytes on the plan whose header is h — the
+// worker side of shipped-range verification. The span is untrusted: the
+// decode applies every structural bound of the streaming decoder, must
+// yield exactly hi-lo rounds, and must consume the span exactly (see
+// RoundRange).
+func DecodeSpan(h Header, span []byte, lo, hi int) (*RoundRange, error) {
+	if lo < 0 || lo >= hi {
+		return nil, fmt.Errorf("schedio: round range [%d,%d) is empty", lo, hi)
+	}
+	return &RoundRange{h: h, r: bytes.NewReader(span), lo: lo, hi: hi, start: 0, end: int64(len(span))}, nil
 }
 
 // Bytes returns the byte length of the range's indexed span.
@@ -66,8 +103,8 @@ func (r *RoundRange) Rounds() iter.Seq[linecomm.Round] {
 			return
 		}
 		r.claimed = true
-		d := &Decoder{h: r.p.h}
-		d.src.r = io.NewSectionReader(r.p.r, r.start, r.end-r.start)
+		d := &Decoder{h: r.h}
+		d.src.r = io.NewSectionReader(r.r, r.start, r.end-r.start)
 		if r.noCRC {
 			d.src.stopCRC() // every later fold no-ops: no checksum work
 		}

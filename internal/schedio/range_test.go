@@ -205,3 +205,107 @@ func TestCheckRangeCRCs(t *testing.T) {
 		}
 	}
 }
+
+// TestRangeBytesDecodeSpan: the shipped form of a range — raw span
+// bytes out of RangeBytes, decoded detached by DecodeSpan — must yield
+// exactly the rounds and span CRC the attached PlanAt.Range yields, and
+// both refusal paths (bad bounds, missing index, truncated or corrupted
+// spans) must error rather than mis-decode.
+func TestRangeBytesDecodeSpan(t *testing.T) {
+	data := encodePlan(t, 2, 6, 0, true)
+	p, err := OpenPlanAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.NumRounds()
+	for _, split := range [][2]int{{0, n}, {0, 1}, {n - 1, n}, {1, n - 1}} {
+		lo, hi := split[0], split[1]
+		span, err := p.RangeBytes(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attached, err := p.Range(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []linecomm.Round
+		for round := range attached.Rounds() {
+			want = append(want, linecomm.CloneRound(round))
+		}
+		wantCRC, err := attached.CRC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := crc32.ChecksumIEEE(span); got != wantCRC {
+			t.Fatalf("range %v: span checksum %08x, range CRC %08x", split, got, wantCRC)
+		}
+		detached, err := DecodeSpan(p.Header(), span, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := detached.Bytes(); got != int64(len(span)) {
+			t.Fatalf("range %v: Bytes() = %d, span is %d", split, got, len(span))
+		}
+		i := 0
+		for round := range detached.Rounds() {
+			if !reflect.DeepEqual(linecomm.CloneRound(round), want[i]) {
+				t.Fatalf("range %v: detached round %d diverges", split, lo+i)
+			}
+			i++
+		}
+		gotCRC, err := detached.CRC()
+		if err != nil {
+			t.Fatalf("range %v: detached CRC: %v", split, err)
+		}
+		if gotCRC != wantCRC {
+			t.Fatalf("range %v: detached CRC %08x, want %08x", split, gotCRC, wantCRC)
+		}
+	}
+
+	// Bounds refusals mirror Range's.
+	for _, split := range [][2]int{{-1, 1}, {2, 2}, {3, 1}, {0, n + 1}} {
+		if _, err := p.RangeBytes(split[0], split[1]); err == nil {
+			t.Errorf("RangeBytes(%d,%d) accepted", split[0], split[1])
+		}
+	}
+	if _, err := DecodeSpan(p.Header(), nil, 1, 1); err == nil {
+		t.Error("DecodeSpan accepted an empty range")
+	}
+
+	// An unindexed plan has no spans to ship.
+	plain := encodePlan(t, 2, 6, 0, false)
+	pp, err := OpenPlanAt(bytes.NewReader(plain), int64(len(plain)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pp.RangeBytes(0, 1); err == nil {
+		t.Error("RangeBytes on an unindexed plan accepted")
+	}
+
+	// A truncated span must fail the exact-byte-span check; a corrupted
+	// one must fail the decode or the drain — never silently yield.
+	span, err := p.RangeBytes(1, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc, err := DecodeSpan(p.Header(), span[:len(span)-1], 1, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range trunc.Rounds() {
+	}
+	if trunc.Err() == nil {
+		t.Error("truncated span drained cleanly")
+	}
+	bad := append([]byte(nil), span...)
+	bad[0] ^= 0xff
+	corrupt, err := DecodeSpan(p.Header(), bad, 1, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range corrupt.Rounds() {
+	}
+	if corrupt.Err() == nil {
+		t.Error("corrupted span drained cleanly")
+	}
+}

@@ -369,18 +369,32 @@ func (p *Plan) verifyParallel() (Report, bool) {
 
 	// Pass 1: per range, the receivers its calls inform and the CRC of
 	// its byte span. Informing is purely structural, so ranges are
-	// independent here. The final range's delta seeds nothing — only
-	// the span CRC matters there, so it just drains.
+	// independent here. Range 0 needs no structural pre-scan at all:
+	// its seed is always empty, so its full seeded validation runs now,
+	// teeing out the informed delta that seeds range 1 — one decode of
+	// range 0 instead of two, overlapped with the structural pass over
+	// the rest. The final range's delta seeds nothing — only the span
+	// CRC matters there, so it just drains.
+	//
+	// The range split is the parallelism; each validator gets its share
+	// of the cores for fill-phase sharding rather than GOMAXPROCS each.
+	fillShards := max(1, runtime.GOMAXPROCS(0)/workers)
 	deltas := make([][]uint64, workers)
 	crcs := make([]schedio.RangeCRC, workers)
+	parts := make([]*linecomm.Result, workers)
 	if !run(func(w int) error {
 		rr, err := p.at.Range(bounds[w], bounds[w+1])
 		if err != nil {
 			return err
 		}
-		if w < workers-1 {
+		switch {
+		case w == 0:
+			rounds := linecomm.TeeInformed(p.cube.inner, rr.Rounds(), &deltas[0])
+			parts[0] = linecomm.ValidateStreamSeeded(p.cube.inner, p.cube.K(), source,
+				nil, bounds[0], rounds, linecomm.DefaultOptions(), fillShards)
+		case w < workers-1:
 			deltas[w] = linecomm.CollectInformedStream(p.cube.inner, rr.Rounds())
-		} else {
+		default:
 			for range rr.Rounds() {
 			}
 		}
@@ -410,12 +424,12 @@ func (p *Plan) verifyParallel() (Report, bool) {
 		all = append(all, deltas[w]...)
 	}
 
-	// Pass 2: full validation per range, seeded with its boundary set.
-	// The range split is the parallelism; each validator gets its share
-	// of the cores for fill-phase sharding rather than GOMAXPROCS each.
-	fillShards := max(1, runtime.GOMAXPROCS(0)/workers)
-	parts := make([]*linecomm.Result, workers)
+	// Pass 2: full validation per remaining range, seeded with its
+	// boundary set. Range 0 was already validated during pass 1.
 	if !run(func(w int) error {
+		if w == 0 {
+			return nil
+		}
 		rr, err := p.at.Range(bounds[w], bounds[w+1])
 		if err != nil {
 			return err
