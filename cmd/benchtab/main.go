@@ -19,9 +19,12 @@
 //	                   # gather-scatter trajectory (timing experiment, so
 //	                   # it is skipped under -exp all, like multicore)
 //
-//	benchtab -exp serve [-serve-n 14] [-serve-reqs 96] [-json BENCH_serve.json]
+//	benchtab -exp serve [-serve-n 14] [-serve-reqs 96] [-serve-workers 8]
+//	         [-serve-ops 60] [-json BENCH_serve.json]
 //	                   # plan verification service throughput: concurrent
-//	                   # sessions verifying one cached plan over HTTP
+//	                   # sessions verifying one cached plan over HTTP,
+//	                   # then a lifecycle-churn phase (mixed upload/
+//	                   # verify/delete against an eviction-sized cache)
 //	                   # (timing experiment, skipped under -exp all; the
 //	                   # trajectory defaults to BENCH_serve.json)
 //
@@ -69,6 +72,8 @@ func main() {
 	gossipN := flag.Int("gossip-n", 22, "largest cube dimension for the -exp gossip streamed trajectory")
 	serveN := flag.Int("serve-n", 14, "cube dimension for -exp serve")
 	serveReqs := flag.Int("serve-reqs", 96, "requests per concurrency level for -exp serve")
+	serveWorkers := flag.Int("serve-workers", 8, "workers for the -exp serve churn phase")
+	serveOps := flag.Int("serve-ops", 60, "per-worker operations for the -exp serve churn phase")
 	mmapN := flag.Int("mmap-n", 20, "cube dimension for -exp mmap")
 	distN := flag.Int("distverify-n", 16, "cube dimension for -exp distverify")
 	jsonOut := flag.String("json", "", "also write the multicore/serve/mmap/distverify trajectory as JSON to this file")
@@ -147,6 +152,9 @@ func main() {
 		{"serve", func(t bool) {
 			tb, res := analysis.RunServe(*serveN, []int{1, 2, 4, 8, 16, 32, 64}, *serveReqs)
 			emit(tb, t)
+			ctb, churn := analysis.RunServeChurn(*serveN, *serveWorkers, *serveOps)
+			emit(ctb, t)
+			res.Churn = churn
 			if *jsonOut != "" {
 				if err := writeServeJSON(*jsonOut, res); err != nil {
 					fmt.Fprintln(os.Stderr, "benchtab:", err)

@@ -14,6 +14,8 @@
 //	sparsecube plan      -k 3 -n 20 -source 0 [-scheme broadcast|gossip] [-index] -o plan.shcp
 //	sparsecube replay    -in plan.shcp [-quiet] [-par W]
 //	sparsecube serve     [-addr :8388] [-max-upload N] [-spill-dir DIR]
+//	                     [-max-plans N] [-max-plan-bytes N] [-session-ttl D]
+//	                     [-drain-timeout D]
 //
 // plan streams a scheme to disk in the compact binary round format
 // without materialising it (-index appends the per-round byte index a
@@ -26,7 +28,13 @@
 // the same verification engine over HTTP to many concurrent sessions
 // (see internal/planserver for the endpoint contract); -spill-dir makes
 // uploads spill to disk and serve off memory-mapped files instead of
-// heap copies. verify -workers is the other side of serve: it runs the
+// heap copies, and a restart over the same directory re-verifies and
+// re-serves everything it spilled. The cached set is LRU-bounded by
+// -max-plans and -max-plan-bytes (eviction keeps the spill file; only
+// DELETE unlinks), sessions idle past -session-ttl are reaped, GET
+// /healthz and /metrics expose the operational surface, and SIGTERM
+// drains gracefully for up to -drain-timeout before the process
+// exits. verify -workers is the other side of serve: it runs the
 // cheap structural pass over an indexed plan file locally, fans the
 // round ranges out to the listed planserver instances for seeded
 // validation, and stitches a Report identical to the single-process
@@ -42,13 +50,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"sparsehypercube"
@@ -83,7 +94,11 @@ func main() {
 	addr := fs.String("addr", ":8388", "serve: listen address")
 	maxUpload := fs.Int64("max-upload", planserver.DefaultMaxUpload, "serve: largest accepted upload in bytes")
 	maxN := fs.Int("max-n", planserver.DefaultMaxN, "serve: largest cube dimension verified")
-	spillDir := fs.String("spill-dir", "", "serve: spill uploaded plans to this directory and serve them memory-mapped")
+	spillDir := fs.String("spill-dir", "", "serve: spill uploaded plans to this directory and serve them memory-mapped (rescanned on restart)")
+	maxPlans := fs.Int("max-plans", 1024, "serve: cached-plan count budget; least-recently-used plans evict past it (0 = unbounded)")
+	maxPlanBytes := fs.Int64("max-plan-bytes", 0, "serve: cached-plan byte budget, same eviction (0 = unbounded)")
+	sessionTTL := fs.Duration("session-ttl", 30*time.Minute, "serve: reap incremental sessions idle this long (0 = never)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "serve: how long a SIGTERM drain waits for in-flight work")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -112,14 +127,23 @@ func main() {
 		return
 	case "serve":
 		fmt.Fprintf(os.Stderr, "sparsecube: serving plan verification on %s\n", *addr)
-		opts := []planserver.Option{planserver.WithMaxUpload(*maxUpload), planserver.WithMaxN(*maxN)}
+		opts := []planserver.Option{
+			planserver.WithMaxUpload(*maxUpload), planserver.WithMaxN(*maxN),
+			planserver.WithMaxPlans(*maxPlans), planserver.WithMaxPlanBytes(*maxPlanBytes),
+			planserver.WithSessionTTL(*sessionTTL),
+			planserver.WithLogf(func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "sparsecube: "+format+"\n", args...)
+			}),
+		}
 		if *spillDir != "" {
-			fmt.Fprintf(os.Stderr, "sparsecube: spilling uploaded plans to %s (served memory-mapped)\n", *spillDir)
+			fmt.Fprintf(os.Stderr, "sparsecube: spilling uploaded plans to %s (served memory-mapped, reloaded on restart)\n", *spillDir)
 			opts = append(opts, planserver.WithSpillDir(*spillDir))
 		}
+		ps := planserver.New(opts...)
+		defer ps.Close()
 		srv := &http.Server{
 			Addr:    *addr,
-			Handler: planserver.New(opts...).Handler(),
+			Handler: ps.Handler(),
 			// The peers are untrusted: never let a dribbling client hold a
 			// connection open unboundedly. ReadTimeout stays generous —
 			// plan uploads are legitimately large streams.
@@ -127,7 +151,7 @@ func main() {
 			ReadTimeout:       15 * time.Minute,
 			IdleTimeout:       2 * time.Minute,
 		}
-		if err := srv.ListenAndServe(); err != nil {
+		if err := runServe(srv, ps, *drainTimeout); err != nil {
 			fatal(err)
 		}
 		return
@@ -413,6 +437,39 @@ func runDistVerify(w, errw io.Writer, in, workerList string, quiet bool) error {
 		}
 		return fmt.Errorf("plan failed verification (%d violations)", len(rep.Violations))
 	}
+	return nil
+}
+
+// runServe listens until the process is told to stop (SIGTERM or
+// ctrl-C), then drains gracefully: the listener stops accepting, the
+// http.Server waits out in-flight requests, and planserver.Drain
+// force-closes open sessions and waits for running verifications —
+// all bounded by drainTimeout.
+func runServe(srv *http.Server, ps *planserver.Server, drainTimeout time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of re-draining
+	fmt.Fprintf(os.Stderr, "sparsecube: draining (up to %s)\n", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	serr := srv.Shutdown(dctx)
+	if derr := ps.Drain(dctx); serr == nil {
+		serr = derr
+	}
+	if serr != nil {
+		return fmt.Errorf("drain incomplete: %w", serr)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "sparsecube: drained cleanly")
 	return nil
 }
 

@@ -2,12 +2,17 @@ package analysis
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -26,6 +31,9 @@ type ServeResult struct {
 	N          int        `json:"n"`
 	PlanBytes  int64      `json:"plan_bytes"`
 	Runs       []ServeRun `json:"runs"`
+
+	// Churn is the lifecycle-churn companion run, when recorded.
+	Churn *ServeChurn `json:"churn,omitempty"`
 }
 
 // ServeRun is one concurrency level's measurements.
@@ -35,6 +43,21 @@ type ServeRun struct {
 	TotalMs     float64 `json:"total_ms"`
 	MsPerReq    float64 `json:"ms_per_request"`
 	ReqPerSec   float64 `json:"requests_per_sec"`
+}
+
+// ServeChurn is the lifecycle-churn companion measurement: a mixed
+// upload/verify/delete workload against a cache budgeted below the
+// working set, so the server spills, evicts, and re-admits plans
+// continuously instead of serving one hot entry.
+type ServeChurn struct {
+	Workers   int     `json:"workers"`
+	Ops       int     `json:"ops"`
+	PlanPool  int     `json:"plan_pool"`
+	MaxPlans  int     `json:"max_plans"`
+	TotalMs   float64 `json:"total_ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Evictions int64   `json:"evictions"`
+	Spills    int64   `json:"spills"`
 }
 
 // RunServe measures the plan verification service end to end over HTTP:
@@ -161,6 +184,156 @@ func RunServe(n int, concurrencies []int, requests int) (*Table, *ServeResult) {
 	t.Note("host: %d CPU(s), %s; one cached %d-byte indexed plan (k = %d, n = %d), all responses byte-identical; speedup relative to the first concurrency level.",
 		res.HostCPUs, res.GoVersion, res.PlanBytes, res.K, res.N)
 	return t, res
+}
+
+// RunServeChurn measures the service under lifecycle churn: workers
+// uploading, verifying, and deleting a pool of plans against a spill
+// directory and a cache budget smaller than the pool, so every
+// operation contends with eviction and re-admission rather than one
+// hot cached entry. Eviction and spill counts come from the server's
+// own GET /metrics exposition — the measurement doubles as a smoke
+// test of the operational surface.
+func RunServeChurn(n, workers, opsPerWorker int) (*Table, *ServeChurn) {
+	const poolSize, maxPlans = 4, 2
+	t := &Table{
+		ID:    "EXP-SERVE-CHURN",
+		Title: fmt.Sprintf("Plan service under eviction churn, n = %d (%d workers x %d ops, %d plans through %d slots)", n, workers, opsPerWorker, poolSize, maxPlans),
+		Headers: []string{"workers", "ops", "total ms", "ops/s",
+			"evictions", "spills"},
+	}
+	res := &ServeChurn{Workers: workers, Ops: workers * opsPerWorker,
+		PlanPool: poolSize, MaxPlans: maxPlans}
+
+	cube, err := sparsehypercube.New(2, n)
+	if err != nil {
+		t.Note("construction failed: %v", err)
+		return t, res
+	}
+	pool := make([][]byte, 0, poolSize)
+	ids := make([]string, 0, poolSize)
+	for src := 0; src < poolSize; src++ {
+		var buf bytes.Buffer
+		if _, err := cube.Plan(sparsehypercube.BroadcastScheme{Source: uint64(src)}).WriteIndexedTo(&buf); err != nil {
+			t.Note("plan encoding failed: %v", err)
+			return t, res
+		}
+		pool = append(pool, buf.Bytes())
+		sum := sha256.Sum256(buf.Bytes())
+		ids = append(ids, hex.EncodeToString(sum[:]))
+	}
+
+	dir, err := os.MkdirTemp("", "serve-churn-")
+	if err != nil {
+		t.Note("spill dir: %v", err)
+		return t, res
+	}
+	defer os.RemoveAll(dir)
+	srv := planserver.New(planserver.WithSpillDir(dir), planserver.WithMaxPlans(maxPlans))
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				pi := (w*opsPerWorker + i) % poolSize
+				if i%5 == 4 {
+					req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/plans/"+ids[pi], nil)
+					resp, err := http.DefaultClient.Do(req)
+					if err != nil {
+						fail(err)
+						return
+					}
+					resp.Body.Close()
+					continue
+				}
+				resp, err := http.Post(ts.URL+"/v1/plans", "application/octet-stream", bytes.NewReader(pool[pi]))
+				if err != nil {
+					fail(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("upload status %d", resp.StatusCode))
+					return
+				}
+				resp, err = http.Post(ts.URL+"/v1/plans/"+ids[pi]+"/verify", "application/json", nil)
+				if err != nil {
+					fail(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+					fail(fmt.Errorf("verify status %d", resp.StatusCode))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.TotalMs = time.Since(start).Seconds() * 1e3
+	if firstErr != nil {
+		t.Note("churn failed: %v", firstErr)
+		return t, res
+	}
+	res.OpsPerSec = float64(res.Ops) / (res.TotalMs / 1e3)
+
+	res.Evictions, res.Spills, err = scrapeChurnCounters(ts.URL)
+	if err != nil {
+		t.Note("metrics scrape: %v", err)
+		return t, res
+	}
+	t.AddRow(res.Workers, res.Ops, res.TotalMs, res.OpsPerSec, res.Evictions, res.Spills)
+	t.Note("mixed upload+verify+delete workload; a %d-plan pool over a %d-entry budget keeps the LRU evicting throughout. Counters read back from the server's own /metrics exposition.",
+		poolSize, maxPlans)
+	return t, res
+}
+
+// scrapeChurnCounters reads the eviction and spill counters off the
+// Prometheus text exposition.
+func scrapeChurnCounters(base string) (evictions, spills int64, err error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, "planserver_plans_evicted_total "); ok {
+			if evictions, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return 0, 0, err
+			}
+		}
+		if v, ok := strings.CutPrefix(line, "planserver_plans_spilled_total "); ok {
+			if spills, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return evictions, spills, nil
 }
 
 // WriteJSON writes the serve result as indented JSON.

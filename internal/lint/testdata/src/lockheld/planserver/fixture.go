@@ -99,3 +99,54 @@ func (r *registry) rangeVerifyShaped(w http.ResponseWriter, id string) {
 	r.mu.RUnlock()
 	writeJSON(w, http.StatusOK, path)
 }
+
+// shard mirrors the sharded session registry: each shard carries its
+// own mutex, and the analyzer must track holds per shard lock — a
+// violation under sh.mu is reported against that field, and the
+// sanctioned shape (mutate under the shard lock, respond after) stays
+// clean.
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]string
+}
+
+type sharded struct {
+	shards [4]shard
+}
+
+// shardedRespondUnderLock writes the response while the shard's own
+// lock is held.
+func (s *sharded) shardedRespondUnderLock(w http.ResponseWriter, id string) {
+	sh := &s.shards[len(id)%len(s.shards)]
+	sh.mu.Lock()
+	sh.sessions[id] = id
+	writeJSON(w, http.StatusCreated, id) // want `response write while holding sh.mu`
+	sh.mu.Unlock()
+}
+
+// shardedRespondAfterUnlock is the server's real shape: the shard
+// critical section covers only the map insert.
+func (s *sharded) shardedRespondAfterUnlock(w http.ResponseWriter, id string) {
+	sh := &s.shards[len(id)%len(s.shards)]
+	sh.mu.Lock()
+	sh.sessions[id] = id
+	sh.mu.Unlock()
+	writeJSON(w, http.StatusCreated, id)
+}
+
+// shardedSweep mirrors the reaper: per-shard snapshot under each
+// shard's lock, the file work after every lock is dropped.
+func (s *sharded) shardedSweep() {
+	var stale []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.sessions {
+			stale = append(stale, id)
+		}
+		sh.mu.RUnlock()
+	}
+	for _, id := range stale {
+		os.Remove(id)
+	}
+}

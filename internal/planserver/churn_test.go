@@ -1,0 +1,327 @@
+package planserver
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"sparsehypercube"
+	"sparsehypercube/internal/linecomm"
+)
+
+// churnPlan is one member of the soak test's plan pool: the encoded
+// indexed plan, its content-hash id, the in-process reference Report,
+// and a materialised schedule for session streaming.
+type churnPlan struct {
+	id     string
+	source uint64
+	data   []byte
+	report sparsehypercube.Report
+	sched  *sparsehypercube.Schedule
+}
+
+func buildChurnPool(t *testing.T, n int, sources []uint64) []*churnPlan {
+	t.Helper()
+	cube, err := sparsehypercube.New(2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := make([]*churnPlan, 0, len(sources))
+	for _, src := range sources {
+		plan := cube.Plan(sparsehypercube.BroadcastScheme{Source: src})
+		var buf bytes.Buffer
+		if _, err := plan.WriteIndexedTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		pool = append(pool, &churnPlan{
+			id:     hex.EncodeToString(sum[:]),
+			source: src,
+			data:   buf.Bytes(),
+			report: plan.Verify(),
+			sched:  plan.Materialize(),
+		})
+	}
+	return pool
+}
+
+// soakIters returns the per-worker iteration count: quick by default,
+// scaled up in CI's dedicated soak step via SPARSECUBE_SOAK_ITERS.
+func soakIters(t *testing.T, def int) int {
+	if v := os.Getenv("SPARSECUBE_SOAK_ITERS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad SPARSECUBE_SOAK_ITERS %q", v)
+		}
+		return n
+	}
+	return def
+}
+
+// TestChurnSoak is the lifecycle-hardening headline: N goroutines
+// upload, verify, delete, and session-stream a pool of plans against a
+// spill-mode server whose cache budget is small enough that eviction
+// never stops, for (scaled) thousands of operations under -race. Every
+// verification Report must stay byte-identical to the in-process
+// reference, refcounts must settle back to exactly the cache's own,
+// and the server must drain cleanly at the end.
+func TestChurnSoak(t *testing.T) {
+	const workers = 8
+	iters := soakIters(t, 120)
+	pool := buildChurnPool(t, 7, []uint64{0, 1, 2, 3, 4, 5})
+	planBytes := int64(len(pool[0].data))
+
+	dir := t.TempDir()
+	s := New(WithSpillDir(dir),
+		WithMaxPlans(2),               // six plans churning through two slots
+		WithMaxPlanBytes(3*planBytes), // and a byte budget in the same regime
+		WithSessionTTL(time.Minute),   // reaper runs but must never fire mid-soak
+	)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// canonical[i] pins the first verify response body seen for pool[i]:
+	// every later response for the same plan must be byte-identical.
+	var (
+		canonMu   sync.Mutex
+		canonical = make([][]byte, len(pool))
+	)
+	checkReportBody := func(i int, body []byte) error {
+		var rep sparsehypercube.Report
+		if err := json.Unmarshal(body, &rep); err != nil {
+			return fmt.Errorf("report not JSON: %q: %v", body, err)
+		}
+		if !reflect.DeepEqual(rep, pool[i].report) {
+			return fmt.Errorf("plan %d report diverged from reference:\ngot  %+v\nwant %+v", i, rep, pool[i].report)
+		}
+		canonMu.Lock()
+		defer canonMu.Unlock()
+		if canonical[i] == nil {
+			canonical[i] = append([]byte(nil), body...)
+		} else if !bytes.Equal(canonical[i], body) {
+			return fmt.Errorf("plan %d response bytes diverged mid-soak", i)
+		}
+		return nil
+	}
+
+	do := func(method, url string, body []byte) (int, []byte, error) {
+		req, err := http.NewRequest(method, url, bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, data, err
+	}
+
+	worker := func(seed int64) error {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < iters; i++ {
+			pi := rng.Intn(len(pool))
+			p := pool[pi]
+			switch rng.Intn(10) {
+			case 0, 1: // delete: races other workers' verifies and uploads
+				st, body, err := do(http.MethodDelete, ts.URL+"/v1/plans/"+p.id, nil)
+				if err != nil {
+					return err
+				}
+				if st != http.StatusNoContent && st != http.StatusNotFound {
+					return fmt.Errorf("delete status %d: %s", st, body)
+				}
+			case 2: // incremental session over the same cube
+				if err := churnSession(ts.URL, p, rng, checkReportBody, pi); err != nil {
+					return err
+				}
+			default: // upload + verify; evictions and deletes surface as 404
+				if err := churnVerify(ts.URL, p, do, checkReportBody, pi); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			errs <- worker(seed)
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The budgets were genuinely undersized: churn must have evicted.
+	if n := s.metrics.plansEvicted.Load(); n == 0 {
+		t.Error("soak finished without a single eviction — the cache budget did not bite")
+	}
+
+	// Quiescent state: every surviving cache entry holds exactly the
+	// cache's own reference (no stuck refcounts), nothing mid-spill.
+	s.mu.Lock()
+	for id, sp := range s.plans {
+		if r := sp.refs.Load(); r != 1 {
+			t.Errorf("plan %s refcount stuck at %d after soak (want 1)", id[:12], r)
+		}
+	}
+	if len(s.spilling) != 0 {
+		t.Errorf("spilling map not drained: %v", s.spilling)
+	}
+	if s.lru.Len() != len(s.plans) {
+		t.Errorf("LRU/map desync: %d list entries, %d map entries", s.lru.Len(), len(s.plans))
+	}
+	s.mu.Unlock()
+
+	// The server must be fully drainable, and refuse new work after.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if n := s.sessions.open.Load(); n != 0 {
+		t.Fatalf("%d sessions still open after drain", n)
+	}
+	st, body, err := do(http.MethodPost, ts.URL+"/v1/plans", pool[0].data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain upload status %d: %s", st, body)
+	}
+	st, body, err = do(http.MethodPost, ts.URL+"/v1/sessions", []byte(`{"k":2,"n":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain session open status %d: %s", st, body)
+	}
+}
+
+// churnVerify uploads (idempotent by content address) and verifies one
+// plan, tolerating the 404s a concurrent DELETE or eviction injects by
+// re-uploading and retrying.
+func churnVerify(base string, p *churnPlan, do func(string, string, []byte) (int, []byte, error), check func(int, []byte) error, pi int) error {
+	for attempt := 0; attempt < 25; attempt++ {
+		st, body, err := do(http.MethodPost, base+"/v1/plans", p.data)
+		if err != nil {
+			return err
+		}
+		if st != http.StatusCreated && st != http.StatusOK {
+			return fmt.Errorf("upload status %d: %s", st, body)
+		}
+		st, body, err = do(http.MethodPost, base+"/v1/plans/"+p.id+"/verify", nil)
+		if err != nil {
+			return err
+		}
+		switch st {
+		case http.StatusOK:
+			return check(pi, body)
+		case http.StatusNotFound:
+			continue // deleted or evicted between upload and verify
+		default:
+			return fmt.Errorf("verify status %d: %s", st, body)
+		}
+	}
+	return fmt.Errorf("plan %d: verify still 404 after 25 upload+verify attempts", pi)
+}
+
+// churnSession opens an incremental session, streams the plan's rounds
+// in randomly sized batches, and checks the close Report.
+func churnSession(base string, p *churnPlan, rng *rand.Rand, check func(int, []byte) error, pi int) error {
+	open := fmt.Sprintf(`{"k":2,"n":7,"scheme":"broadcast","source":%d}`, p.source)
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader([]byte(open)))
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return nil // cap hit under churn: a clean refusal, not a failure
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("session open status %d: %s", resp.StatusCode, body)
+	}
+	var sr sessionResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return err
+	}
+	batch := 1 + rng.Intn(4)
+	if err := postScheduleRounds(base+"/v1/sessions/"+sr.ID+"/rounds", p.sched, batch); err != nil {
+		return err
+	}
+	resp, err = http.Post(base+"/v1/sessions/"+sr.ID+"/close", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("session close status %d: %s", resp.StatusCode, body)
+	}
+	return check(pi, body)
+}
+
+// postScheduleRounds is streamSessionRounds for worker goroutines: it
+// returns errors instead of calling t.Fatal, which must not run off
+// the test goroutine.
+func postScheduleRounds(url string, sched *sparsehypercube.Schedule, batchSize int) error {
+	for lo := 0; lo < len(sched.Rounds); lo += batchSize {
+		hi := min(lo+batchSize, len(sched.Rounds))
+		batch := make([]linecomm.Round, 0, hi-lo)
+		for _, round := range sched.Rounds[lo:hi] {
+			r := make(linecomm.Round, len(round))
+			for i, c := range round {
+				r[i] = linecomm.Call{Path: c.Path}
+			}
+			batch = append(batch, r)
+		}
+		var buf bytes.Buffer
+		if err := linecomm.WriteRoundBatch(&buf, batch); err != nil {
+			return err
+		}
+		resp, err := http.Post(url, "application/json", &buf)
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("rounds status %d: %s", resp.StatusCode, body)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package planserver
+
+// Plan-cache eviction: the plans map is fronted by an LRU list with a
+// count budget and a byte budget (either zero = unbounded). Uploads and
+// lookups bump their entry to the front; whenever an insert pushes the
+// cache over budget, entries fall off the back until it fits again —
+// except the most recent one, which is always admitted (a byte budget
+// smaller than a single plan must not make the server refuse to serve
+// anything).
+//
+// Eviction is cache management, not deletion: an evicted entry's
+// mapping is unmapped only when its last in-flight verifier releases it
+// (the same refcount DELETE relies on), and an evicted *spilled* plan's
+// content-addressed file stays on disk — a restart's spill-dir rescan
+// (reload.go) re-indexes it, and re-uploading the same bytes just
+// renames the identical content onto the identical path. DELETE remains
+// the only path that unlinks.
+//
+// Every helper here requires s.mu held; none performs I/O or closes a
+// mapping — callers release the returned victims after unlocking, which
+// is exactly the lockheld discipline sparselint enforces.
+
+// insertPlanLocked adds a plan to the cache and returns any entries the
+// budgets push out; the caller must release each victim after
+// dropping s.mu.
+func (s *Server) insertPlanLocked(sp *servedPlan) (evicted []*servedPlan) {
+	s.plans[sp.info.ID] = sp
+	sp.elem = s.lru.PushFront(sp)
+	s.planBytes += sp.info.Bytes
+	return s.evictLocked()
+}
+
+// touchPlanLocked marks an entry most recently used.
+func (s *Server) touchPlanLocked(sp *servedPlan) {
+	if sp.elem != nil {
+		s.lru.MoveToFront(sp.elem)
+	}
+}
+
+// removePlanLocked takes an entry out of the map and the LRU
+// bookkeeping (DELETE and eviction share it). The caller still owns
+// the cache's reference and must release it after unlocking.
+func (s *Server) removePlanLocked(sp *servedPlan) {
+	delete(s.plans, sp.info.ID)
+	if sp.elem != nil {
+		s.lru.Remove(sp.elem)
+		sp.elem = nil
+	}
+	s.planBytes -= sp.info.Bytes
+}
+
+// evictLocked pops least-recently-used entries until the cache fits
+// both budgets again, always sparing the most recent entry.
+func (s *Server) evictLocked() (evicted []*servedPlan) {
+	for s.overBudgetLocked() && s.lru.Len() > 1 {
+		sp := s.lru.Back().Value.(*servedPlan)
+		s.removePlanLocked(sp)
+		s.metrics.plansEvicted.Add(1)
+		evicted = append(evicted, sp)
+	}
+	return evicted
+}
+
+func (s *Server) overBudgetLocked() bool {
+	return (s.maxPlans > 0 && s.lru.Len() > s.maxPlans) ||
+		(s.maxPlanBytes > 0 && s.planBytes > s.maxPlanBytes)
+}
+
+// releaseAll drops the cache reference of every victim evictLocked
+// returned — called with no lock held, because the last reference out
+// unmaps.
+func releaseAll(victims []*servedPlan) {
+	for _, sp := range victims {
+		sp.release()
+	}
+}

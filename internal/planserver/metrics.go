@@ -1,0 +1,118 @@
+package planserver
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's operational surface, exported in Prometheus
+// text format by GET /metrics. Everything is an atomic so the hot
+// paths record without taking any lock; the two gauges that live
+// behind s.mu (plans cached, cached bytes) are snapshotted under it
+// and rendered after release.
+type metrics struct {
+	plansSpilled     atomic.Int64 // uploads that landed on disk
+	plansEvicted     atomic.Int64 // cache entries dropped by the LRU budgets
+	plansReloaded    atomic.Int64 // spill files re-indexed at startup
+	plansQuarantined atomic.Int64 // spill files skipped at startup as unusable
+	sessionsOpened   atomic.Int64
+	sessionsReaped   atomic.Int64 // idle sessions closed by the TTL reaper
+	sessionsDrained  atomic.Int64 // sessions force-closed by Drain
+	bytesMapped      atomic.Int64 // live mmap bytes across all served plans
+
+	verify latencyHistogram
+}
+
+// verifyBuckets are the verify-latency histogram's upper bounds in
+// seconds. Verifications span sub-millisecond toy cubes to multi-second
+// million-vertex plans, so the buckets are a coarse log scale.
+var verifyBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// latencyHistogram is a fixed-bucket Prometheus histogram: cumulative
+// rendering happens at scrape time, observation is two atomic adds.
+type latencyHistogram struct {
+	counts  [len(verifyBuckets) + 1]atomic.Int64 // +1 for +Inf
+	sumNs   atomic.Int64
+	samples atomic.Int64
+}
+
+func (h *latencyHistogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(verifyBuckets) && sec > verifyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.samples.Add(1)
+}
+
+// observeVerify records one verification's wall-clock latency.
+func (s *Server) observeVerify(start time.Time) {
+	s.metrics.verify.observe(time.Since(start))
+}
+
+// handleHealthz answers liveness probes: 200 while serving, 503 once
+// draining so a load balancer pulls the instance before shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		//lint:allow errenvelope a draining instance really is unavailable server-side; 503 is the health-check contract, and the body still carries the structured envelope shape
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the Prometheus text exposition. The two
+// registry-backed gauges are snapshotted under s.mu first; the
+// response is written with no lock held.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	cached := len(s.plans)
+	cachedBytes := s.planBytes
+	s.mu.Unlock()
+
+	m := &s.metrics
+	var b strings.Builder
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("planserver_plans_cached", "Plans currently in the serving cache.", int64(cached))
+	gauge("planserver_plans_cached_bytes", "Total bytes of plans currently cached.", cachedBytes)
+	counter("planserver_plans_spilled_total", "Validated uploads spilled to disk.", m.plansSpilled.Load())
+	counter("planserver_plans_evicted_total", "Cache entries evicted by the LRU budgets.", m.plansEvicted.Load())
+	counter("planserver_plans_reloaded_total", "Spill files re-indexed at startup.", m.plansReloaded.Load())
+	counter("planserver_plans_quarantined_total", "Spill files skipped at startup as truncated, foreign, or unreadable.", m.plansQuarantined.Load())
+	gauge("planserver_sessions_open", "Incremental sessions currently open.", s.sessions.open.Load())
+	counter("planserver_sessions_opened_total", "Incremental sessions opened.", m.sessionsOpened.Load())
+	counter("planserver_sessions_reaped_total", "Idle sessions closed by the TTL reaper.", m.sessionsReaped.Load())
+	counter("planserver_sessions_drained_total", "Sessions force-closed by graceful drain.", m.sessionsDrained.Load())
+	gauge("planserver_bytes_mapped", "Bytes of live plan memory mappings.", m.bytesMapped.Load())
+
+	fmt.Fprintf(&b, "# HELP planserver_verify_seconds Wall-clock latency of one verification.\n# TYPE planserver_verify_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range verifyBuckets {
+		cum += m.verify.counts[i].Load()
+		fmt.Fprintf(&b, "planserver_verify_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += m.verify.counts[len(verifyBuckets)].Load()
+	fmt.Fprintf(&b, "planserver_verify_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "planserver_verify_seconds_sum %g\n", float64(m.verify.sumNs.Load())/1e9)
+	fmt.Fprintf(&b, "planserver_verify_seconds_count %d\n", m.verify.samples.Load())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, b.String())
+}
+
+// trimFloat renders a bucket bound the way Prometheus expects:
+// shortest decimal form, no exponent for these magnitudes.
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", f), "0"), ".")
+}

@@ -1,0 +1,215 @@
+package planserver
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sparsehypercube"
+)
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts one un-labelled sample from a scrape.
+func metricValue(t *testing.T, scrape, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(scrape, "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			return v
+		}
+	}
+	t.Fatalf("metric %s missing from scrape:\n%s", name, scrape)
+	return ""
+}
+
+// TestMetricsEndpoint drives one of everything through the server and
+// checks the Prometheus text exposition reflects it: every series
+// present, gauges tracking the live state, counters monotonic.
+func TestMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := New(WithSpillDir(dir))
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	cube, err := sparsehypercube.New(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := cube.Plan(sparsehypercube.BroadcastScheme{Source: 2}).WriteIndexedTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, ts.URL+"/v1/plans", "application/octet-stream", buf.Bytes())
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", resp.StatusCode, body)
+	}
+	id := contentHashID(buf.Bytes())
+	resp, body = post(t, ts.URL+"/v1/plans/"+id+"/verify", "application/json", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts.URL+"/v1/sessions", "application/json", []byte(`{"k":2,"n":8}`))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("session open status %d: %s", resp.StatusCode, body)
+	}
+
+	got := scrape(t, ts.URL)
+	for name, want := range map[string]string{
+		"planserver_plans_cached":                     "1",
+		"planserver_plans_cached_bytes":               fmt.Sprint(buf.Len()),
+		"planserver_plans_spilled_total":              "1",
+		"planserver_plans_evicted_total":              "0",
+		"planserver_plans_reloaded_total":             "0",
+		"planserver_plans_quarantined_total":          "0",
+		"planserver_sessions_open":                    "1",
+		"planserver_sessions_opened_total":            "1",
+		"planserver_sessions_reaped_total":            "0",
+		"planserver_sessions_drained_total":           "0",
+		"planserver_bytes_mapped":                     fmt.Sprint(buf.Len()),
+		"planserver_verify_seconds_count":             "1",
+		`planserver_verify_seconds_bucket{le="+Inf"}`: "1",
+	} {
+		if v := metricValue(t, got, name); v != want {
+			t.Errorf("%s = %s, want %s", name, v, want)
+		}
+	}
+	// Histogram buckets are cumulative and properly formed.
+	for _, le := range []string{"0.001", "0.005", "0.025", "0.1", "0.5", "2.5", "10"} {
+		metricValue(t, got, fmt.Sprintf("planserver_verify_seconds_bucket{le=%q}", le))
+	}
+	if !strings.Contains(got, "# TYPE planserver_verify_seconds histogram") {
+		t.Error("verify histogram TYPE line missing")
+	}
+
+	// Healthz flips from 200 to 503 across a drain, and the drain shows
+	// up in the session counters.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while serving: %d", hresp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	hresp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d", hresp.StatusCode)
+	}
+	got = scrape(t, ts.URL)
+	if v := metricValue(t, got, "planserver_sessions_drained_total"); v != "1" {
+		t.Errorf("sessions drained: %s, want 1", v)
+	}
+	if v := metricValue(t, got, "planserver_sessions_open"); v != "0" {
+		t.Errorf("sessions open after drain: %s, want 0", v)
+	}
+}
+
+// TestSessionReaper: a session idle past the TTL is closed by the
+// reaper and counted; an active one survives.
+func TestSessionReaper(t *testing.T) {
+	s := New(WithSessionTTL(50 * time.Millisecond))
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, body := post(t, ts.URL+"/v1/sessions", "application/json", []byte(`{"k":2,"n":8}`))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("open status %d: %s", resp.StatusCode, body)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.sessionsReaped.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle session never reaped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := s.sessions.open.Load(); n != 0 {
+		t.Fatalf("%d sessions open after reap", n)
+	}
+}
+
+// BenchmarkSessionRegistry compares the sharded registry against a
+// single-mutex map under parallel open/get/close churn — the sharded
+// path is the one the server runs; the mutex path is the baseline it
+// replaced.
+func BenchmarkSessionRegistry(b *testing.B) {
+	b.Run("sharded", func(b *testing.B) {
+		var r sessionRegistry
+		r.init()
+		var seq atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			g := seq.Add(1)
+			i := 0
+			for pb.Next() {
+				i++
+				id := fmt.Sprintf("s%d-%d", g, i)
+				sess := &session{id: id}
+				r.insert(sess, 0)
+				r.get(id)
+				r.remove(id)
+			}
+		})
+	})
+	b.Run("single-mutex", func(b *testing.B) {
+		var (
+			mu       sync.Mutex
+			sessions = map[string]*session{}
+			seq      atomic.Int64
+		)
+		b.RunParallel(func(pb *testing.PB) {
+			g := seq.Add(1)
+			i := 0
+			for pb.Next() {
+				i++
+				id := fmt.Sprintf("s%d-%d", g, i)
+				sess := &session{id: id}
+				mu.Lock()
+				sessions[id] = sess
+				mu.Unlock()
+				mu.Lock()
+				_ = sessions[id]
+				mu.Unlock()
+				mu.Lock()
+				delete(sessions, id)
+				mu.Unlock()
+			}
+		})
+	})
+}

@@ -29,6 +29,11 @@
 //	POST /v1/sessions/{id}/rounds   append a round batch (JSON envelope,
 //	                                linecomm.ReadRoundBatch)
 //	POST /v1/sessions/{id}/close    finish the stream, get the Report
+//	GET  /healthz                   liveness: 200 serving, 503 draining
+//	GET  /metrics                   Prometheus text exposition (plans
+//	                                cached/spilled/evicted, sessions
+//	                                open/reaped, verify latency
+//	                                histogram, bytes mapped)
 //
 // Every schedio byte that arrives here is untrusted: decoders cap
 // wire-driven allocation, uploads are size-limited, and malformed input
@@ -44,16 +49,29 @@
 // written to a content-addressed file, memory-mapped read-only, and
 // every verifier replays the one page-cache copy of the bytes — cold
 // plans cost no resident memory, and a plan file can be shared with
-// other processes mapping it. The serving index itself is in-memory: a
-// restarted server starts empty and does not (yet) rescan the spill
-// directory, so files from a previous run are inert until re-uploaded
-// or cleaned up externally. Indexed uploads additionally verify with
-// the parallel round-range engine (see
+// other processes mapping it. A restarted server is no longer amnesiac:
+// New rescans the spill directory, re-derives each plan id from its
+// filename, re-checks the bytes (content hash + footer/index CRC), and
+// rebuilds the in-memory index, quarantining anything truncated or
+// foreign with a logged reason (reload.go). Indexed uploads
+// additionally verify with the parallel round-range engine (see
 // sparsehypercube.WithVerifyWorkers), Reports unchanged.
+//
+// The server survives churn instead of leaking by design: the plan
+// cache is an LRU bounded by count and byte budgets (WithMaxPlans,
+// WithMaxPlanBytes — eviction is refcount-aware, so an evicted plan
+// unmaps only after its last in-flight verifier, and an evicted spilled
+// plan keeps its on-disk file for the next restart; see evict.go), idle
+// sessions are reaped after WithSessionTTL (drain.go), the session
+// registry is sharded so opens/appends/closes stop serialising on one
+// lock (registry.go), and Drain quiesces everything for a graceful
+// SIGTERM. GET /healthz and GET /metrics expose the server's health
+// (metrics.go).
 package planserver
 
 import (
 	"bytes"
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -66,6 +84,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sparsehypercube"
 	"sparsehypercube/internal/schedio"
@@ -90,15 +109,21 @@ const (
 // Server is the verification service. The zero value is not usable;
 // construct with New.
 type Server struct {
-	maxUpload   int64
-	maxN        int
-	maxSessions int
-	spillDir    string
-	verifySem   chan struct{} // limits concurrently running verifications
+	maxUpload    int64
+	maxN         int
+	maxSessions  int
+	maxPlans     int   // LRU count budget; 0 = unbounded
+	maxPlanBytes int64 // LRU byte budget; 0 = unbounded
+	sessionTTL   time.Duration
+	spillDir     string
+	verifySem    chan struct{} // limits concurrently running verifications
+	logf         func(format string, args ...any)
+	now          func() time.Time
 
-	mu       sync.RWMutex
-	plans    map[string]*servedPlan
-	sessions map[string]*session
+	mu        sync.Mutex
+	plans     map[string]*servedPlan
+	lru       *list.List // *servedPlan entries, most recent at the front
+	planBytes int64      // total bytes of cached plans
 	// spilling counts in-flight spill-mode uploads per plan id. A DELETE
 	// consults it (under mu) before unlinking the content-addressed spill
 	// file: an in-flight re-upload of the same id writes the same bytes
@@ -106,7 +131,15 @@ type Server struct {
 	// whoever finishes last (finishSpillLocked).
 	spilling map[string]int
 
+	sessions   sessionRegistry
 	sessionSeq atomic.Int64
+
+	metrics  metrics
+	draining atomic.Bool
+
+	stopReaper sync.Once
+	reaperStop chan struct{}
+	reaperDone chan struct{}
 }
 
 // Option configures a Server.
@@ -125,6 +158,35 @@ func WithMaxN(n int) Option {
 // WithMaxSessions caps concurrently open incremental sessions.
 func WithMaxSessions(n int) Option {
 	return func(s *Server) { s.maxSessions = n }
+}
+
+// WithMaxPlans bounds how many plans the cache holds: past the budget,
+// least-recently-used entries are evicted (refcount-aware — in-flight
+// verifiers finish first). 0 means unbounded.
+func WithMaxPlans(n int) Option {
+	return func(s *Server) { s.maxPlans = n }
+}
+
+// WithMaxPlanBytes bounds the cache's total plan bytes the same way.
+// The most recently used plan is always admitted even when it alone
+// exceeds the budget. 0 means unbounded.
+func WithMaxPlanBytes(n int64) Option {
+	return func(s *Server) { s.maxPlanBytes = n }
+}
+
+// WithSessionTTL makes a background reaper force-close incremental
+// sessions idle (no open/append activity) for longer than ttl, so an
+// abandoned client stops pinning validator state forever. 0 disables
+// the reaper. Servers with a TTL own a goroutine; release it with
+// Close.
+func WithSessionTTL(ttl time.Duration) Option {
+	return func(s *Server) { s.sessionTTL = ttl }
+}
+
+// WithLogf routes the server's operational diagnostics (spill-reload
+// quarantines, degraded-mode notices). Default: discarded.
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = logf }
 }
 
 // WithSpillDir makes uploaded plans spill to disk: each validated
@@ -149,22 +211,32 @@ func WithVerifyConcurrency(n int) Option {
 	return func(s *Server) { s.verifySem = make(chan struct{}, max(1, n)) }
 }
 
-// New constructs a Server.
+// New constructs a Server. With a spill directory configured, the
+// directory is rescanned and every servable plan file re-indexed
+// before New returns (see reload.go), so a restart serves what its
+// predecessor spilled.
 func New(opts ...Option) *Server {
 	s := &Server{
 		maxUpload:   DefaultMaxUpload,
 		maxN:        DefaultMaxN,
 		maxSessions: DefaultMaxSessions,
 		plans:       make(map[string]*servedPlan),
-		sessions:    make(map[string]*session),
+		lru:         list.New(),
 		spilling:    make(map[string]int),
+		logf:        func(string, ...any) {},
+		now:         time.Now,
 	}
+	s.sessions.init()
 	for _, o := range opts {
 		o(s)
 	}
 	if s.verifySem == nil {
 		s.verifySem = make(chan struct{}, max(2, runtime.NumCPU()))
 	}
+	if s.spillDir != "" {
+		s.reloadSpillDir()
+	}
+	s.startReaper()
 	return s
 }
 
@@ -195,6 +267,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
 	mux.HandleFunc("POST /v1/sessions/{id}/rounds", s.handleSessionRounds)
 	mux.HandleFunc("POST /v1/sessions/{id}/close", s.handleSessionClose)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -208,16 +282,20 @@ type servedPlan struct {
 	mapping io.Closer       // spill mode: the file mapping; nil in-memory
 	path    string          // spill mode: the on-disk file; "" in-memory
 
+	elem     *list.Element // LRU position; nil once deleted or evicted
+	mapBytes int64         // mapping size, for the bytes-mapped gauge
+	metrics  *metrics      // gauge sink; nil for unmapped plans
+
 	// refs counts the cache's own reference plus every in-flight
-	// verifier, so a DELETE never unmaps bytes a concurrent verify is
-	// still reading.
+	// verifier, so a DELETE (or an eviction) never unmaps bytes a
+	// concurrent verify is still reading.
 	refs atomic.Int64
 }
 
 // release drops one reference; the last one out closes the mapping.
 func (sp *servedPlan) release() {
-	if sp.refs.Add(-1) == 0 && sp.mapping != nil {
-		sp.mapping.Close()
+	if sp.refs.Add(-1) == 0 {
+		sp.closeMapping()
 	}
 }
 
@@ -228,9 +306,23 @@ func (sp *servedPlan) release() {
 // or, if it degraded to in-memory, the last retiring upload sweeps the
 // file.
 func (sp *servedPlan) discard() {
+	sp.closeMapping()
+}
+
+func (sp *servedPlan) closeMapping() {
 	if sp.mapping != nil {
 		sp.mapping.Close()
+		if sp.metrics != nil {
+			sp.metrics.bytesMapped.Add(-sp.mapBytes)
+		}
 	}
+}
+
+// adoptMapping hands a servedPlan its file mapping and keeps the
+// bytes-mapped gauge honest across the adopt/close pair.
+func (s *Server) adoptMapping(sp *servedPlan, m *schedio.Mapping) {
+	sp.mapping, sp.mapBytes, sp.metrics = m, m.Size(), &s.metrics
+	s.metrics.bytesMapped.Add(m.Size())
 }
 
 // PlanInfo is the metadata envelope for a cached plan.
@@ -276,6 +368,10 @@ func uploadStatus(err error) int {
 // decoder into the stream validator and returns the Report — the
 // one-shot form, nothing cached, nothing materialised.
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.refuseDraining(w)
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
 	plan, err := sparsehypercube.ReadPlan(body)
 	if err != nil {
@@ -287,7 +383,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	release := s.acquireVerify()
+	start := time.Now()
 	rep := plan.Verify()
+	s.observeVerify(start)
 	release()
 	// An over-limit body is a size-policy failure, not a verdict on the
 	// plan: a valid plan larger than the cap must get the same 413 an
@@ -307,6 +405,10 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 // by content hash, so re-uploading an already-served file is a no-op
 // that returns the existing entry.
 func (s *Server) handlePlanUpload(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.refuseDraining(w)
+		return
+	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxUpload))
 	if err != nil {
 		writeError(w, uploadStatus(err), "reading upload: %v", err)
@@ -317,9 +419,12 @@ func (s *Server) handlePlanUpload(w http.ResponseWriter, r *http.Request) {
 	sum := sha256.Sum256(data)
 	id := hex.EncodeToString(sum[:])
 
-	s.mu.RLock()
+	s.mu.Lock()
 	sp, ok := s.plans[id]
-	s.mu.RUnlock()
+	if ok {
+		s.touchPlanLocked(sp)
+	}
+	s.mu.Unlock()
 	if ok {
 		writeJSON(w, http.StatusOK, sp.info)
 		return
@@ -342,19 +447,24 @@ func (s *Server) handlePlanUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status := http.StatusCreated
+	var victims []*servedPlan
 	s.mu.Lock()
 	if existing, ok := s.plans[id]; ok {
 		// A concurrent identical upload won the insert race: serve its
 		// copy, and report 200 exactly as the sequential dedupe path does.
 		sp.discard()
 		sp, status = existing, http.StatusOK
+		s.touchPlanLocked(existing)
 	} else {
-		s.plans[id] = sp
+		victims = s.insertPlanLocked(sp)
 	}
 	if spillTracked {
 		s.finishSpillLocked(id)
 	}
 	s.mu.Unlock()
+	// The budgets' evictions unmap outside the lock, and only once the
+	// victims' last in-flight verifiers are done.
+	releaseAll(victims)
 	writeJSON(w, status, sp.info)
 }
 
@@ -408,12 +518,16 @@ func (s *Server) newServedPlan(id string, data []byte) (*servedPlan, error) {
 	sp.refs.Store(1) // the cache's own reference
 	if s.spillDir != "" {
 		if plan, pat, m, path, err := s.spillPlan(id, data); err == nil {
-			sp.plan, sp.at, sp.mapping, sp.path = plan, pat, m, path
+			sp.plan, sp.at, sp.path = plan, pat, path
+			s.adoptMapping(sp, m)
 			sp.info.Spilled = true
+			s.metrics.plansSpilled.Add(1)
 			return sp, nil
+		} else {
+			// Spilling is an optimisation: if the disk or the mapping is
+			// unavailable, serving from memory beats failing the upload.
+			s.logf("planserver: spilling %s failed, serving from memory: %v", id[:12], err)
 		}
-		// Spilling is an optimisation: if the disk or the mapping is
-		// unavailable, serving from memory beats failing the upload.
 	}
 	plan, err := sparsehypercube.ReadPlanAt(bytes.NewReader(data), int64(len(data)))
 	if err != nil {
@@ -429,7 +543,7 @@ func (s *Server) newServedPlan(id string, data []byte) (*servedPlan, error) {
 // the served name; the data itself is not fsync'd, the mapping we
 // serve from is what matters) and opens it for serving through a
 // read-only memory mapping.
-func (s *Server) spillPlan(id string, data []byte) (*sparsehypercube.Plan, *schedio.PlanAt, io.Closer, string, error) {
+func (s *Server) spillPlan(id string, data []byte) (*sparsehypercube.Plan, *schedio.PlanAt, *schedio.Mapping, string, error) {
 	if err := os.MkdirAll(s.spillDir, 0o755); err != nil {
 		return nil, nil, nil, "", err
 	}
@@ -454,37 +568,49 @@ func (s *Server) spillPlan(id string, data []byte) (*sparsehypercube.Plan, *sche
 	// copy onto the path, so unlinking here could strand the winner.
 	// finishSpillLocked sweeps the file once the last in-flight upload
 	// retires with no cache entry owning it.
-	f, err := os.Open(path)
+	plan, pat, m, err := s.openSpilled(path)
 	if err != nil {
-		return nil, nil, nil, "", err
-	}
-	m, err := schedio.OpenMapping(f)
-	if err != nil {
-		f.Close()
-		return nil, nil, nil, "", err
-	}
-	plan, err := sparsehypercube.ReadPlanAt(m, m.Size())
-	if err != nil {
-		m.Close()
-		return nil, nil, nil, "", err
-	}
-	pat, err := schedio.OpenPlanAt(m, m.Size())
-	if err != nil {
-		m.Close()
 		return nil, nil, nil, "", err
 	}
 	return plan, pat, m, path, nil
 }
 
+// openSpilled memory-maps a plan file and builds the two serving
+// handles over the one mapping — the tail of every spill and the whole
+// of a startup reload.
+func (s *Server) openSpilled(path string) (*sparsehypercube.Plan, *schedio.PlanAt, *schedio.Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m, err := schedio.OpenMapping(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	plan, err := sparsehypercube.ReadPlanAt(m, m.Size())
+	if err != nil {
+		m.Close()
+		return nil, nil, nil, err
+	}
+	pat, err := schedio.OpenPlanAt(m, m.Size())
+	if err != nil {
+		m.Close()
+		return nil, nil, nil, err
+	}
+	return plan, pat, m, nil
+}
+
 // lookupPlan returns the cached plan with a reference acquired (under
-// the lock, so a concurrent DELETE cannot unmap it first); the caller
-// must release it.
+// the lock, so a concurrent DELETE or eviction cannot unmap it first)
+// and bumps it to the front of the LRU; the caller must release it.
 func (s *Server) lookupPlan(id string) (*servedPlan, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	sp, ok := s.plans[id]
 	if ok {
 		sp.refs.Add(1)
+		s.touchPlanLocked(sp)
 	}
 	return sp, ok
 }
@@ -510,7 +636,9 @@ func (s *Server) handlePlanVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sp.release()
 	release := s.acquireVerify()
+	start := time.Now()
 	rep := sp.plan.Verify()
+	s.observeVerify(start)
 	release()
 	writeJSON(w, http.StatusOK, rep)
 }
@@ -520,7 +648,7 @@ func (s *Server) handlePlanDelete(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	sp, ok := s.plans[id]
 	if ok {
-		delete(s.plans, id)
+		s.removePlanLocked(sp)
 		// Unlink the spill file in the same critical section — unless a
 		// re-upload of the same id is in flight, which writes the same
 		// bytes to the same content-addressed path and must be left the

@@ -1,0 +1,103 @@
+package planserver
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// sessionShards is the fixed size of the session registry's shard
+// array. A power of two keeps id-hash routing a mask instead of a
+// modulo; 16 shards is far past the point where the registry lock
+// stops being the ceiling (the validator work behind each request
+// dwarfs the map access), while keeping the reaper's full sweep cheap.
+const sessionShards = 16
+
+// sessionShard is one slice of the registry: its own mutex, its own
+// map. Open/append/close on sessions that hash to different shards
+// never contend.
+type sessionShard struct {
+	mu       sync.RWMutex
+	sessions map[string]*session
+}
+
+// sessionRegistry replaces the old single-mutex sessions map: session
+// ids hash onto a fixed power-of-two shard array so concurrent
+// sessions stop serialising on one lock. The open-session cap is
+// global, enforced with an optimistic atomic counter rather than any
+// cross-shard lock.
+type sessionRegistry struct {
+	shards [sessionShards]sessionShard
+	open   atomic.Int64
+}
+
+func (r *sessionRegistry) init() {
+	for i := range r.shards {
+		r.shards[i].sessions = make(map[string]*session)
+	}
+}
+
+// shard routes an id to its shard by FNV-1a hash.
+func (r *sessionRegistry) shard(id string) *sessionShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &r.shards[h&(sessionShards-1)]
+}
+
+func (r *sessionRegistry) get(id string) (*session, bool) {
+	sh := r.shard(id)
+	sh.mu.RLock()
+	sess, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	return sess, ok
+}
+
+// insert registers a session, refusing when the global cap (maxOpen
+// > 0) is already met. The count is claimed optimistically before the
+// shard insert: a loser backs its claim out, so the cap can briefly
+// turn away an open racing a close, but can never be exceeded.
+func (r *sessionRegistry) insert(sess *session, maxOpen int) bool {
+	if n := r.open.Add(1); maxOpen > 0 && n > int64(maxOpen) {
+		r.open.Add(-1)
+		return false
+	}
+	sh := r.shard(sess.id)
+	sh.mu.Lock()
+	sh.sessions[sess.id] = sess
+	sh.mu.Unlock()
+	return true
+}
+
+// remove deregisters an id, reporting whether it was present (a close
+// racing the reaper must decrement the open count exactly once).
+func (r *sessionRegistry) remove(id string) bool {
+	sh := r.shard(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if ok {
+		r.open.Add(-1)
+	}
+	return ok
+}
+
+// snapshot copies out every registered session — the reaper's and
+// drain's sweep input. Holding no lock across the sweep itself means a
+// swept session may already be closing; forceClose tolerates that.
+func (r *sessionRegistry) snapshot() []*session {
+	var out []*session
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, sess := range sh.sessions {
+			out = append(out, sess)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}

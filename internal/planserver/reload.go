@@ -1,0 +1,140 @@
+package planserver
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Startup reload: the content-addressed spill files survive a restart,
+// so the in-memory index is rebuilt from them instead of starting
+// amnesiac. Each <id>.shcp in the spill directory has its plan id
+// re-derived from its filename, its bytes re-hashed against that id
+// (content addressing is the serving contract — a renamed file must not
+// serve foreign bytes under a trusted id), and its structure re-checked
+// the same way an upload is (OpenPlanAt header + full footer/index CRC
+// scan). Anything that fails — truncated, foreign, unreadable, past the
+// dimension bound — is quarantined: skipped with a logged reason and
+// left in place for the operator, never fatal to startup.
+
+// reloadSpillDir rescans s.spillDir and re-indexes every plan file it
+// can trust. Called from New before the server is published, so the
+// per-file insert takes s.mu only out of discipline (and to reuse the
+// budgeted insert path); all file I/O happens with no lock held.
+func (s *Server) reloadSpillDir() {
+	entries, err := os.ReadDir(s.spillDir)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.logf("planserver: spill dir %s unreadable, starting empty: %v", s.spillDir, err)
+		}
+		return
+	}
+	// Oldest first, so the LRU order after reload approximates the file
+	// history and the budgets evict the stalest plans.
+	sort.Slice(entries, func(i, j int) bool {
+		ii, ierr := entries[i].Info()
+		ji, jerr := entries[j].Info()
+		if ierr != nil || jerr != nil {
+			return ierr == nil
+		}
+		return ii.ModTime().Before(ji.ModTime())
+	})
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasPrefix(name, "upload-") && strings.HasSuffix(name, ".tmp") {
+			// A crashed upload's temp file: never renamed, so never served.
+			os.Remove(filepath.Join(s.spillDir, name))
+			continue
+		}
+		sp, err := s.reloadOne(name)
+		if err != nil {
+			s.metrics.plansQuarantined.Add(1)
+			s.logf("planserver: quarantined spill file %s: %v", name, err)
+			continue
+		}
+		s.mu.Lock()
+		var victims []*servedPlan
+		if _, dup := s.plans[sp.info.ID]; dup {
+			// Two files cannot share one content-addressed name; only a
+			// case-folding filesystem could get here. First one wins.
+			s.mu.Unlock()
+			sp.discard()
+			continue
+		}
+		victims = s.insertPlanLocked(sp)
+		s.mu.Unlock()
+		releaseAll(victims)
+		s.metrics.plansReloaded.Add(1)
+	}
+}
+
+// reloadOne re-admits a single spill file, returning a quarantine
+// reason as the error.
+func (s *Server) reloadOne(name string) (*servedPlan, error) {
+	id, ok := strings.CutSuffix(name, ".shcp")
+	if !ok {
+		return nil, fmt.Errorf("foreign file: no .shcp suffix")
+	}
+	if len(id) != sha256.Size*2 || !isLowerHex(id) {
+		return nil, fmt.Errorf("foreign file: name is not a sha256 plan id")
+	}
+	path := filepath.Join(s.spillDir, name)
+	plan, at, m, err := s.openSpilled(path)
+	if err != nil {
+		return nil, fmt.Errorf("not a servable plan: %w", err)
+	}
+	h := at.Header()
+	if err := s.checkN(h.Dims[len(h.Dims)-1]); err != nil {
+		m.Close()
+		return nil, err
+	}
+	rounds, err := at.Check()
+	if err != nil {
+		m.Close()
+		return nil, fmt.Errorf("plan check: %w", err)
+	}
+	sum := sha256.New()
+	if _, err := io.Copy(sum, io.NewSectionReader(m, 0, m.Size())); err != nil {
+		m.Close()
+		return nil, fmt.Errorf("rehashing: %w", err)
+	}
+	if got := hex.EncodeToString(sum.Sum(nil)); got != id {
+		m.Close()
+		return nil, fmt.Errorf("foreign file: content hashes to %s, name claims %s", got[:12], id[:12])
+	}
+	sp := &servedPlan{
+		info: PlanInfo{
+			ID:      id,
+			K:       h.K,
+			Dims:    h.Dims,
+			Scheme:  h.Scheme,
+			Source:  h.Source,
+			Bytes:   m.Size(),
+			Rounds:  rounds,
+			Indexed: at.Indexed(),
+			Spilled: true,
+		},
+	}
+	sp.refs.Store(1)
+	sp.plan, sp.at = plan, at
+	s.adoptMapping(sp, m)
+	return sp, nil
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,187 @@
+package planserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"sparsehypercube"
+)
+
+// reloadPool uploads a few indexed plans to a spill-mode server and
+// returns id → canonical verify response body.
+func reloadPool(t *testing.T, url string, sources []uint64) map[string][]byte {
+	t.Helper()
+	cube, err := sparsehypercube.New(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]byte, len(sources))
+	for _, src := range sources {
+		var buf bytes.Buffer
+		if _, err := cube.Plan(sparsehypercube.BroadcastScheme{Source: src}).WriteIndexedTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		resp, body := post(t, url+"/v1/plans", "application/octet-stream", buf.Bytes())
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload status %d: %s", resp.StatusCode, body)
+		}
+		var info PlanInfo
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		if !info.Spilled {
+			t.Fatalf("upload did not spill: %+v", info)
+		}
+		resp, body = post(t, url+"/v1/plans/"+info.ID+"/verify", "application/json", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("verify status %d: %s", resp.StatusCode, body)
+		}
+		want[info.ID] = body
+	}
+	return want
+}
+
+// TestRestartReloadServesSpilledPlans is the restart-recovery pin: a
+// fresh Server over a populated spill directory must serve every prior
+// plan id byte-identically, while planted garbage — a truncated file
+// under a plausible name, a valid plan renamed to a foreign id — is
+// quarantined with a logged reason, never fatal.
+func TestRestartReloadServesSpilledPlans(t *testing.T) {
+	dir := t.TempDir()
+
+	// First life: three plans spilled, canonical responses recorded.
+	s1 := New(WithSpillDir(dir))
+	ts1 := httptest.NewServer(s1.Handler())
+	want := reloadPool(t, ts1.URL, []uint64{0, 3, 5})
+	ts1.Close()
+	s1.Close()
+
+	// Plant garbage the reload must survive. The truncated file has a
+	// plausible 64-hex name; the foreign file holds a real, checkable
+	// plan whose bytes hash to a different id than its name claims.
+	truncID := strings.Repeat("ab", 32)
+	foreignID := strings.Repeat("cd", 32)
+	for id := range want {
+		data, err := os.ReadFile(filepath.Join(dir, id+".shcp"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, truncID+".shcp"), data[:len(data)/2], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, foreignID+".shcp"), data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	// A crashed upload's temp file and an unrelated stray: swept/skipped.
+	if err := os.WriteFile(filepath.Join(dir, "upload-123.tmp"), []byte("partial"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("operator scribbles"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: reload over the same directory, capturing the log.
+	var (
+		logMu sync.Mutex
+		logs  []string
+	)
+	s2 := New(WithSpillDir(dir), WithLogf(func(format string, args ...any) {
+		logMu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		logMu.Unlock()
+	}))
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+
+	if n := s2.metrics.plansReloaded.Load(); n != int64(len(want)) {
+		t.Errorf("plans reloaded: %d, want %d", n, len(want))
+	}
+	if n := s2.metrics.plansQuarantined.Load(); n != 3 {
+		t.Errorf("plans quarantined: %d, want 3 (truncated + foreign + stray)", n)
+	}
+
+	for id, body := range want {
+		resp, got := post(t, ts2.URL+"/v1/plans/"+id+"/verify", "application/json", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("restarted verify of %s: status %d: %s", id[:12], resp.StatusCode, got)
+		}
+		if !bytes.Equal(got, body) {
+			t.Errorf("plan %s not byte-identical across restart:\nbefore %s\nafter  %s", id[:12], body, got)
+		}
+	}
+
+	// The quarantined ids are not served, and their reasons were logged.
+	for _, id := range []string{truncID, foreignID} {
+		resp, body := post(t, ts2.URL+"/v1/plans/"+id+"/verify", "application/json", nil)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("quarantined %s served: status %d: %s", id[:12], resp.StatusCode, body)
+		}
+		if _, err := os.Stat(filepath.Join(dir, id+".shcp")); err != nil {
+			t.Errorf("quarantined file %s removed from disk: %v", id[:12], err)
+		}
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	quarantineLogs := 0
+	for _, line := range logs {
+		if strings.Contains(line, "quarantined") {
+			quarantineLogs++
+			if !strings.Contains(line, truncID+".shcp") &&
+				!strings.Contains(line, foreignID+".shcp") &&
+				!strings.Contains(line, "notes.txt") {
+				t.Errorf("quarantine log names no planted file: %q", line)
+			}
+		}
+	}
+	if quarantineLogs != 3 {
+		t.Errorf("quarantine log lines: %d, want 3: %q", quarantineLogs, logs)
+	}
+
+	// The crashed-upload temp file was swept; the stray left in place.
+	if _, err := os.Stat(filepath.Join(dir, "upload-123.tmp")); !os.IsNotExist(err) {
+		t.Errorf("crashed upload temp file not swept: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "notes.txt")); err != nil {
+		t.Errorf("stray non-plan file disturbed: %v", err)
+	}
+}
+
+// TestReloadRespectsBudgets: a reload over more spill files than the
+// cache budget admits must evict down to the budget, with the files
+// still on disk for a later re-admission.
+func TestReloadRespectsBudgets(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(WithSpillDir(dir))
+	ts1 := httptest.NewServer(s1.Handler())
+	want := reloadPool(t, ts1.URL, []uint64{0, 1, 2, 3})
+	ts1.Close()
+	s1.Close()
+
+	s2 := New(WithSpillDir(dir), WithMaxPlans(2))
+	defer s2.Close()
+	s2.mu.Lock()
+	cached := len(s2.plans)
+	s2.mu.Unlock()
+	if cached != 2 {
+		t.Fatalf("reload over MaxPlans=2 cached %d plans", cached)
+	}
+	if n := s2.metrics.plansEvicted.Load(); n != 2 {
+		t.Errorf("reload evictions: %d, want 2", n)
+	}
+	for id := range want {
+		if _, err := os.Stat(filepath.Join(dir, id+".shcp")); err != nil {
+			t.Errorf("spill file %s gone after budgeted reload: %v", id[:12], err)
+		}
+	}
+}

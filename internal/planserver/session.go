@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"sparsehypercube"
 	"sparsehypercube/internal/linecomm"
@@ -24,11 +25,34 @@ type session struct {
 	// closed; readers wait on done first.
 	report sparsehypercube.Report
 
+	// lastActive is the unix-nano time of the last open or append — the
+	// idle-TTL reaper's clock.
+	lastActive atomic.Int64
+
 	// sendMu serialises producers: batches append in arrival order, and
 	// close cannot race a send.
 	sendMu   sync.Mutex
 	closed   bool
 	received int
+}
+
+// forceClose ends the round stream if it is still open and waits for
+// the validator goroutine to drain, reporting whether this call did
+// the closing. The reaper and Drain share it; losing the race to a
+// client's own close (or to each other) is a clean no-op.
+func (sess *session) forceClose() bool {
+	sess.sendMu.Lock()
+	already := sess.closed
+	if !already {
+		sess.closed = true
+		close(sess.ch)
+	}
+	sess.sendMu.Unlock()
+	if already {
+		return false
+	}
+	<-sess.done
+	return true
 }
 
 // sessionRequest opens a session. Dims (explicit parameter vector)
@@ -56,6 +80,10 @@ type roundsResponse struct {
 }
 
 func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.refuseDraining(w)
+		return
+	}
 	var req sessionRequest
 	if err := decodeJSONBody(w, r, s.maxUpload, &req); err != nil {
 		writeError(w, uploadStatus(err), "session request: %v", err)
@@ -87,17 +115,14 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		ch:   make(chan []sparsehypercube.Call, 16),
 		done: make(chan struct{}),
 	}
-	s.mu.Lock()
-	// Each open session pins live validator state until closed, so the
-	// count is bounded; eviction of abandoned sessions is future work
-	// (ROADMAP), the cap keeps the leak bounded meanwhile.
-	if len(s.sessions) >= s.maxSessions {
-		s.mu.Unlock()
+	sess.lastActive.Store(s.now().UnixNano())
+	// Each open session pins live validator state until closed or
+	// reaped by the idle TTL (drain.go); the cap bounds the worst case.
+	if !s.sessions.insert(sess, s.maxSessions) {
 		writeError(w, http.StatusTooManyRequests, "session limit reached (%d open)", s.maxSessions)
 		return
 	}
-	s.sessions[sess.id] = sess
-	s.mu.Unlock()
+	s.metrics.sessionsOpened.Add(1)
 	go sess.run(cube, req)
 	writeJSON(w, http.StatusCreated, sessionResponse{ID: sess.id})
 }
@@ -126,19 +151,13 @@ func (sess *session) run(cube *sparsehypercube.Cube, req sessionRequest) {
 	close(sess.done)
 }
 
-func (s *Server) lookupSession(id string) (*session, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sess, ok := s.sessions[id]
-	return sess, ok
-}
-
 func (s *Server) handleSessionRounds(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.lookupSession(r.PathValue("id"))
+	sess, ok := s.sessions.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 		return
 	}
+	sess.lastActive.Store(s.now().UnixNano())
 	batch, err := linecomm.ReadRoundBatch(http.MaxBytesReader(w, r.Body, s.maxUpload))
 	if err != nil {
 		writeError(w, uploadStatus(err), "round batch: %v", err)
@@ -169,7 +188,7 @@ func (s *Server) handleSessionRounds(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.lookupSession(r.PathValue("id"))
+	sess, ok := s.sessions.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 		return
@@ -185,9 +204,7 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 	sess.sendMu.Unlock()
 
 	<-sess.done
-	s.mu.Lock()
-	delete(s.sessions, sess.id)
-	s.mu.Unlock()
+	s.sessions.remove(sess.id)
 	writeJSON(w, http.StatusOK, sess.report)
 }
 

@@ -14,6 +14,7 @@ package planserver
 import (
 	"hash/crc32"
 	"net/http"
+	"time"
 
 	"sparsehypercube"
 	"sparsehypercube/internal/distverify"
@@ -109,8 +110,10 @@ func (s *Server) handleRangeVerify(w http.ResponseWriter, r *http.Request) {
 	}
 
 	release := s.acquireVerify()
+	start := time.Now()
 	res := linecomm.ValidateStreamSeeded(cube, cube.K(), source, req.Seed, lo,
 		rr.Rounds(), linecomm.DefaultOptions(), 0)
+	s.observeVerify(start)
 	release()
 	// The decode is trusted no further than the bytes deserve: the range
 	// must have drained cleanly, consumed exactly its declared span, and
