@@ -1,13 +1,14 @@
 // Command sparselint is the repo's invariant checker: a multichecker
-// carrying the custom analyzers in internal/lint, which mechanize the
-// hand-enforced rules the serving pipeline depends on (streaming
+// carrying the nine custom analyzers in internal/lint, which mechanize
+// the hand-enforced rules the serving pipeline depends on (streaming
 // discipline, bounded decoder allocation, mapping lifetimes, lock
-// hygiene, the 4xx error envelope). CI runs it over the full tree and
-// fails on any finding.
+// hygiene, the 4xx error envelope, refcount balance, outbound-request
+// deadlines, goroutine exit conditions, metrics exposition
+// consistency). CI runs it over the full tree and fails on any finding.
 //
 // Usage:
 //
-//	sparselint [-list] [-json] [packages]
+//	sparselint [-list] [-json] [-stale-allows] [packages]
 //
 // Packages default to ./... relative to the working directory. Exit
 // status is 1 when diagnostics were reported, 2 on operational errors.
@@ -16,8 +17,10 @@
 //
 //	//lint:allow <analyzer> <reason>
 //
-// on the flagged line or the line above it. See docs/LINTING.md for
-// each analyzer's invariant and provenance.
+// on the flagged line or the line above it. -stale-allows additionally
+// fails on suppression comments that no longer suppress anything — a
+// fixed violation must take its annotation with it. See docs/LINTING.md
+// for each analyzer's invariant and provenance.
 package main
 
 import (
@@ -37,6 +40,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("sparselint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	asJSON := fs.Bool("json", false, "emit diagnostics as JSON")
+	staleAllows := fs.Bool("stale-allows", false, "also fail on //lint:allow comments that suppress nothing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -57,7 +61,10 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "sparselint:", err)
 		return 2
 	}
-	diags := lint.Run(pkgs, analyzers)
+	diags, stale := lint.RunChecked(pkgs, analyzers)
+	if !*staleAllows {
+		stale = nil
+	}
 	if *asJSON {
 		type jsonDiag struct {
 			Analyzer string `json:"analyzer"`
@@ -66,9 +73,16 @@ func run(args []string) int {
 			Col      int    `json:"col"`
 			Message  string `json:"message"`
 		}
-		out := make([]jsonDiag, len(diags))
-		for i, d := range diags {
-			out[i] = jsonDiag{Analyzer: d.Analyzer, File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column, Message: d.Message}
+		out := make([]jsonDiag, 0, len(diags)+len(stale))
+		for _, d := range diags {
+			out = append(out, jsonDiag{Analyzer: d.Analyzer, File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column, Message: d.Message})
+		}
+		for _, s := range stale {
+			msg := fmt.Sprintf("//lint:allow %s suppresses no diagnostic: remove it", s.Analyzer)
+			if s.Unknown {
+				msg = fmt.Sprintf("//lint:allow %s names an unknown analyzer", s.Analyzer)
+			}
+			out = append(out, jsonDiag{Analyzer: "stale-allow", File: s.Pos.Filename, Line: s.Pos.Line, Col: s.Pos.Column, Message: msg})
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -77,9 +91,12 @@ func run(args []string) int {
 		for _, d := range diags {
 			fmt.Println(d)
 		}
+		for _, s := range stale {
+			fmt.Println(s)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "sparselint: %d finding(s)\n", len(diags))
+	if n := len(diags) + len(stale); n > 0 {
+		fmt.Fprintf(os.Stderr, "sparselint: %d finding(s)\n", n)
 		return 1
 	}
 	return 0

@@ -21,3 +21,16 @@ func TestFullTreeClean(t *testing.T) {
 		t.Fatalf("sparselint over the full tree exited %d (want 0); run `go run ./cmd/sparselint ./...` from the module root for the findings", code)
 	}
 }
+
+// TestFullTreeStaleAllowsClean pins the companion invariant: every
+// //lint:allow in the tree still suppresses a live diagnostic. A
+// refactor that fixes the underlying code but leaves the annotation
+// behind fails here before the stale comment can mislead a reader.
+func TestFullTreeStaleAllowsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	if code := run([]string{"-stale-allows", "sparsehypercube/..."}); code != 0 {
+		t.Fatalf("sparselint -stale-allows over the full tree exited %d (want 0); run `go run ./cmd/sparselint -stale-allows ./...` from the module root for the findings", code)
+	}
+}

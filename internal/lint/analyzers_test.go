@@ -51,3 +51,29 @@ func TestErrEnvelopeFixture(t *testing.T) {
 func TestErrEnvelopeDistverifyFixture(t *testing.T) {
 	linttest.Run(t, lint.ErrEnvelope, "testdata/src/errenvelope/distverify", "internal/distverify")
 }
+
+func TestRefBalanceFixture(t *testing.T) {
+	linttest.Run(t, lint.RefBalance, "testdata/src/refbalance/planserver", "internal/planserver")
+}
+
+func TestCtxDeadlineFixture(t *testing.T) {
+	linttest.Run(t, lint.CtxDeadline, "testdata/src/ctxdeadline/distverify", "internal/distverify")
+}
+
+func TestGoroutineExitFixture(t *testing.T) {
+	linttest.Run(t, lint.GoroutineExit, "testdata/src/goroutineexit/planserver", "internal/planserver")
+}
+
+func TestMetricConsistencyFixture(t *testing.T) {
+	linttest.Run(t, lint.MetricConsistency, "testdata/src/metricconsistency/planserver", "internal/planserver")
+}
+
+func TestInterproceduralOutsideServingScope(t *testing.T) {
+	// The same violation fixtures under an unrestricted path must report
+	// nothing: all four interprocedural analyzers police the serving
+	// path, not the whole module.
+	linttest.RunNone(t, lint.RefBalance, "testdata/src/refbalance/planserver", "other")
+	linttest.RunNone(t, lint.CtxDeadline, "testdata/src/ctxdeadline/distverify", "other")
+	linttest.RunNone(t, lint.GoroutineExit, "testdata/src/goroutineexit/planserver", "other")
+	linttest.RunNone(t, lint.MetricConsistency, "testdata/src/metricconsistency/planserver", "other")
+}

@@ -1,0 +1,430 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The interprocedural layer: an intra-package call graph with bottom-up
+// function summaries, plus a small hand-written table of cross-package
+// facts the gc export data cannot carry (that servedPlan.release drops
+// a reference, that http.Client.Do blocks at the pace of the request
+// context, that anything handed an http.ResponseWriter writes at the
+// client's pace). Analyzers that used to stop at a function boundary —
+// lockheld's "any call handed the writer" special case, refbalance's
+// release tracking, goroutineexit's loop-forever detection,
+// metricconsistency's renderer discovery — all consult the one summary
+// table instead of re-deriving fragments of it.
+//
+// Summaries are computed per package, lazily, and cached on the
+// Package. Direct facts come from each function's own body (function
+// literals and go statements excluded — their bodies run elsewhere);
+// transitive facts propagate over intra-package call edges to a
+// fixpoint, so mutual recursion converges instead of recursing.
+
+// Summary is one function's bottom-up facts.
+type Summary struct {
+	// Blocks: the function (transitively) performs a blocking call —
+	// file I/O, a response write, an mmap syscall, a network round-trip.
+	Blocks bool
+	// BlockReason names the first blocking operation found, nested call
+	// chain included ("call into finishSpillLocked (os.Remove)").
+	BlockReason string
+	// WritesResponse: the function (transitively) writes to an
+	// http.ResponseWriter. Implies Blocks — the write is paced by the
+	// client draining it.
+	WritesResponse bool
+	// ReleasesRef: the function (transitively) drops a counted
+	// reference — it calls a release method or decrements a refs
+	// counter. refbalance treats passing a handle into such a function
+	// as settling the reference.
+	ReleasesRef bool
+	// LoopsWithoutExit: the function (transitively) enters a for-loop
+	// with no condition and no reachable return or break — spawned as a
+	// goroutine it can never exit.
+	LoopsWithoutExit bool
+	// LoopPos is the offending loop (or the call that reaches one).
+	LoopPos token.Pos
+}
+
+// Summaries is one package's summary table.
+type Summaries struct {
+	p     *Package
+	decls map[*types.Func]*ast.FuncDecl
+	sums  map[*types.Func]*Summary
+}
+
+// summaries returns the package's summary table, building it on first
+// use.
+func (p *Package) summaries() *Summaries {
+	if p.sums == nil {
+		p.sums = buildSummaries(p)
+	}
+	return p.sums
+}
+
+// of returns the summary for an intra-package function, or nil for
+// functions defined elsewhere (use baseFacts for those).
+func (s *Summaries) of(fn *types.Func) *Summary {
+	return s.sums[fn]
+}
+
+// declOf returns the declaration of an intra-package function, or nil.
+func (s *Summaries) declOf(fn *types.Func) *ast.FuncDecl {
+	return s.decls[fn]
+}
+
+// releasesRef reports whether calling fn may drop a counted reference,
+// by intra-package summary or by the hand-written cross-package table.
+func (s *Summaries) releasesRef(fn *types.Func) bool {
+	if sum := s.sums[fn]; sum != nil {
+		return sum.ReleasesRef
+	}
+	base, ok := baseFacts(fn)
+	return ok && base.ReleasesRef
+}
+
+func buildSummaries(p *Package) *Summaries {
+	s := &Summaries{
+		p:     p,
+		decls: map[*types.Func]*ast.FuncDecl{},
+		sums:  map[*types.Func]*Summary{},
+	}
+	p.eachFuncBody(func(decl *ast.FuncDecl) {
+		if fn, ok := p.Info.Defs[decl.Name].(*types.Func); ok {
+			s.decls[fn] = decl
+		}
+	})
+	for fn, decl := range s.decls {
+		s.sums[fn] = s.direct(decl)
+	}
+	// Propagate over intra-package call edges until nothing changes.
+	// Facts are monotone booleans, so the fixpoint is reached in at
+	// most depth-of-call-graph rounds, recursion included.
+	for changed := true; changed; {
+		changed = false
+		for fn, decl := range s.decls {
+			sum := s.sums[fn]
+			eachDirectCall(decl.Body, func(call *ast.CallExpr) {
+				callee := p.callee(call)
+				if callee == nil {
+					return
+				}
+				g, ok := s.sums[callee]
+				if !ok {
+					return
+				}
+				if g.Blocks && !sum.Blocks {
+					sum.Blocks = true
+					sum.BlockReason = "call into " + callee.Name() + " (" + g.BlockReason + ")"
+					changed = true
+				}
+				if g.WritesResponse && !sum.WritesResponse {
+					sum.WritesResponse = true
+					changed = true
+				}
+				if g.ReleasesRef && !sum.ReleasesRef {
+					sum.ReleasesRef = true
+					changed = true
+				}
+				if g.LoopsWithoutExit && !sum.LoopsWithoutExit {
+					sum.LoopsWithoutExit = true
+					sum.LoopPos = call.Pos()
+					changed = true
+				}
+			})
+		}
+	}
+	return s
+}
+
+// direct computes one function's own facts: its literal body, callees
+// resolved no further than the hand-written base table.
+func (s *Summaries) direct(decl *ast.FuncDecl) *Summary {
+	p := s.p
+	sum := &Summary{}
+	if loops := infiniteLoopsNoExit(decl.Body); len(loops) > 0 {
+		sum.LoopsWithoutExit = true
+		sum.LoopPos = loops[0]
+	}
+	eachDirectCall(decl.Body, func(call *ast.CallExpr) {
+		if isRefsCounterOp(p, call, false) {
+			sum.ReleasesRef = true
+		}
+		fn := p.callee(call)
+		if fn != nil {
+			if _, intra := s.decls[fn]; intra {
+				return // propagation's edge, not a direct fact
+			}
+			if base, ok := baseFacts(fn); ok {
+				mergeSummary(sum, base)
+				return
+			}
+		}
+		// An unresolved or unlisted callee handed the writer is a
+		// response write: fmt.Fprintf(w, ...), json.NewEncoder(w), a
+		// method on the writer through an interface — all paced by the
+		// client draining the response.
+		if callHandsWriter(p, call) {
+			mergeSummary(sum, Summary{Blocks: true, BlockReason: "response write", WritesResponse: true})
+		}
+	})
+	return sum
+}
+
+func mergeSummary(dst *Summary, src Summary) {
+	if src.Blocks && !dst.Blocks {
+		dst.Blocks = true
+		dst.BlockReason = src.BlockReason
+	}
+	dst.WritesResponse = dst.WritesResponse || src.WritesResponse
+	dst.ReleasesRef = dst.ReleasesRef || src.ReleasesRef
+}
+
+// eachDirectCall visits every call that runs as part of the function's
+// own activation: function-literal bodies run when (and where) the
+// literal is called, and a go statement's callee runs on another
+// goroutine, so both subtrees are skipped.
+func eachDirectCall(body *ast.BlockStmt, fn func(*ast.CallExpr)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			fn(n)
+		}
+		return true
+	})
+}
+
+// blockingOSFuncs are package-level os functions that hit the filesystem.
+var blockingOSFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Mkdir": true,
+	"MkdirAll": true, "ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Stat": true, "Lstat": true, "Truncate": true, "Chmod": true,
+}
+
+// blockingFileMethods are *os.File methods that hit the descriptor.
+var blockingFileMethods = map[string]bool{
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"Close": true, "Sync": true, "Seek": true, "Stat": true,
+	"Truncate": true, "ReadFrom": true, "WriteTo": true,
+}
+
+// blockingIOFuncs are io helpers that drain or fill a stream.
+var blockingIOFuncs = map[string]bool{
+	"ReadAll": true, "Copy": true, "CopyN": true, "CopyBuffer": true,
+	"ReadFull": true, "WriteString": true,
+}
+
+// baseFacts is the hand-written cross-package summary table: facts
+// about functions outside the analyzed package that the gc export data
+// cannot express. This is where "servedPlan.release drops a reference"
+// and "http.Client.Do blocks on the request context" live.
+func baseFacts(fn *types.Func) (Summary, bool) {
+	name := fn.Name()
+	if recv, typeN := recvNamed(fn); recv != "" {
+		switch {
+		case recv == "os" && typeN == "File" && blockingFileMethods[name]:
+			return Summary{Blocks: true, BlockReason: "os.File." + name}, true
+		case pathHasSuffix(recv, "internal/schedio") && typeN == "Mapping" && name == "Close":
+			return Summary{Blocks: true, BlockReason: "Mapping.Close (munmap)"}, true
+		case recv == "io" && (typeN == "Closer" || typeN == "ReadCloser" || typeN == "WriteCloser" || typeN == "ReadWriteCloser") && name == "Close":
+			// The serving path's io.Closer values are file mappings: Close
+			// is an munmap (or a descriptor close) behind an interface.
+			return Summary{Blocks: true, BlockReason: "io.Closer.Close"}, true
+		case recv == "net/http" && typeN == "ResponseWriter":
+			return Summary{Blocks: true, BlockReason: "ResponseWriter." + name, WritesResponse: true}, true
+		case recv == "net/http" && typeN == "Client" && name == "Do":
+			return Summary{Blocks: true, BlockReason: "http.Client.Do (round-trip paced by the request context)"}, true
+		case typeN == "servedPlan" && name == "release":
+			// planserver's refcount drop, visible to fixture packages and
+			// cross-package callers alike.
+			return Summary{ReleasesRef: true}, true
+		}
+		return Summary{}, false
+	}
+	pkg := funcPkgPath(fn)
+	switch {
+	case pkg == "os" && blockingOSFuncs[name]:
+		return Summary{Blocks: true, BlockReason: "os." + name}, true
+	case pkg == "io" && blockingIOFuncs[name]:
+		return Summary{Blocks: true, BlockReason: "io." + name}, true
+	case pkg == "syscall":
+		return Summary{Blocks: true, BlockReason: "syscall." + name}, true
+	case pathHasSuffix(pkg, "internal/schedio") && name == "OpenMapping":
+		return Summary{Blocks: true, BlockReason: "schedio.OpenMapping (mmap)"}, true
+	case pkg == "net/http" && name == "Error":
+		return Summary{Blocks: true, BlockReason: "http.Error", WritesResponse: true}, true
+	}
+	return Summary{}, false
+}
+
+// callHandsWriter reports whether the call receives an
+// http.ResponseWriter — as an argument or as the method receiver.
+func callHandsWriter(p *Package, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if p.isResponseWriter(arg) {
+			return true
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && p.isResponseWriter(sel.X) {
+		return true
+	}
+	return false
+}
+
+// isResponseWriter reports whether e's static type is net/http.ResponseWriter.
+func (p *Package) isResponseWriter(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ResponseWriter" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// isRefsCounterOp matches `<expr>.refs.Add(c)` on an atomic counter
+// field named refs — acquire=true matches a positive constant (taking a
+// reference), acquire=false a negative one (dropping it).
+func isRefsCounterOp(p *Package, call *ast.CallExpr, acquire bool) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "refs" {
+		return false
+	}
+	if pkg, name := p.namedType(sel.X); pkg != "sync/atomic" || (name != "Int64" && name != "Int32") {
+		return false
+	}
+	v, ok := p.constStatus(call.Args[0])
+	if !ok {
+		return false
+	}
+	if acquire {
+		return v > 0
+	}
+	return v < 0
+}
+
+// infiniteLoopsNoExit returns the positions of every for-loop in body
+// with no condition and no reachable exit — no return, no break
+// targeting the loop, no goto. Function literals are separate functions
+// and are not entered; a break nested inside an inner loop, switch, or
+// select targets that construct, not the loop under test.
+func infiniteLoopsNoExit(body *ast.BlockStmt) []token.Pos {
+	var bad []token.Pos
+	var scan func(st ast.Stmt, label string)
+	scanList := func(list []ast.Stmt) {
+		for _, st := range list {
+			scan(st, "")
+		}
+	}
+	scan = func(st ast.Stmt, label string) {
+		switch s := st.(type) {
+		case *ast.LabeledStmt:
+			scan(s.Stmt, s.Label.Name)
+		case *ast.ForStmt:
+			if s.Cond == nil && !loopExits(s.Body.List, label) {
+				bad = append(bad, s.Pos())
+			}
+			scanList(s.Body.List)
+		case *ast.RangeStmt:
+			scanList(s.Body.List)
+		case *ast.IfStmt:
+			scanList(s.Body.List)
+			if s.Else != nil {
+				scan(s.Else, "")
+			}
+		case *ast.BlockStmt:
+			scanList(s.List)
+		case *ast.SwitchStmt:
+			scanClauses(s.Body, scanList)
+		case *ast.TypeSwitchStmt:
+			scanClauses(s.Body, scanList)
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanList(cc.Body)
+				}
+			}
+		}
+	}
+	scanList(body.List)
+	return bad
+}
+
+func scanClauses(body *ast.BlockStmt, scanList func([]ast.Stmt)) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			scanList(cc.Body)
+		}
+	}
+}
+
+// loopExits reports whether a loop body can leave the loop: a return, a
+// goto, an unlabeled break not captured by a nested breakable
+// construct, or a labeled break naming the loop's own label.
+func loopExits(body []ast.Stmt, label string) bool {
+	exits := false
+	var walk func(st ast.Stmt, nested bool)
+	walkList := func(list []ast.Stmt, nested bool) {
+		for _, st := range list {
+			walk(st, nested)
+		}
+	}
+	walk = func(st ast.Stmt, nested bool) {
+		if exits {
+			return
+		}
+		switch s := st.(type) {
+		case *ast.ReturnStmt:
+			exits = true
+		case *ast.BranchStmt:
+			switch s.Tok {
+			case token.BREAK:
+				if (s.Label == nil && !nested) || (s.Label != nil && label != "" && s.Label.Name == label) {
+					exits = true
+				}
+			case token.GOTO:
+				exits = true
+			}
+		case *ast.LabeledStmt:
+			walk(s.Stmt, nested)
+		case *ast.BlockStmt:
+			walkList(s.List, nested)
+		case *ast.IfStmt:
+			walkList(s.Body.List, nested)
+			if s.Else != nil {
+				walk(s.Else, nested)
+			}
+		case *ast.ForStmt:
+			walkList(s.Body.List, true)
+		case *ast.RangeStmt:
+			walkList(s.Body.List, true)
+		case *ast.SwitchStmt:
+			scanClauses(s.Body, func(list []ast.Stmt) { walkList(list, true) })
+		case *ast.TypeSwitchStmt:
+			scanClauses(s.Body, func(list []ast.Stmt) { walkList(list, true) })
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkList(cc.Body, true)
+				}
+			}
+		}
+	}
+	walkList(body, false)
+	return exits
+}

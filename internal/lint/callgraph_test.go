@@ -1,0 +1,91 @@
+package lint
+
+import "testing"
+
+// TestSummaries asserts the summary layer's facts over a synthetic
+// package: direct facts from a function's own body, fixpoint
+// propagation over intra-package calls, mutual recursion, and the
+// goroutine/function-literal exclusions.
+func TestSummaries(t *testing.T) {
+	pkg, err := NewLoader(".").LoadDir("testdata/src/summary/chain", "chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := pkg.summaries()
+	byName := map[string]*Summary{}
+	for fn, sum := range sums.sums {
+		byName[fn.Name()] = sum
+	}
+	cases := []struct {
+		fn     string
+		blocks bool
+		reason string // asserted only when non-empty and deterministic
+		writes bool
+		rel    bool
+		loops  bool
+	}{
+		{fn: "unlink", blocks: true, reason: "os.Remove"},
+		{fn: "sweep", blocks: true, reason: "call into unlink (os.Remove)"},
+		{fn: "respond", blocks: true, reason: "response write", writes: true},
+		{fn: "reply", blocks: true, writes: true},
+		{fn: "note"},
+		{fn: "release", rel: true},
+		{fn: "releaseAll", rel: true},
+		{fn: "spinForever", loops: true},
+		{fn: "spinWrapper", loops: true},
+		{fn: "ping", blocks: true},
+		{fn: "pong", blocks: true},
+		{fn: "spawner"},
+		{fn: "pure"},
+	}
+	for _, c := range cases {
+		sum := byName[c.fn]
+		if sum == nil {
+			t.Fatalf("no summary for %s", c.fn)
+		}
+		if sum.Blocks != c.blocks {
+			t.Errorf("%s: Blocks = %v, want %v (reason %q)", c.fn, sum.Blocks, c.blocks, sum.BlockReason)
+		}
+		if c.reason != "" && sum.BlockReason != c.reason {
+			t.Errorf("%s: BlockReason = %q, want %q", c.fn, sum.BlockReason, c.reason)
+		}
+		if sum.WritesResponse != c.writes {
+			t.Errorf("%s: WritesResponse = %v, want %v", c.fn, sum.WritesResponse, c.writes)
+		}
+		if sum.ReleasesRef != c.rel {
+			t.Errorf("%s: ReleasesRef = %v, want %v", c.fn, sum.ReleasesRef, c.rel)
+		}
+		if sum.LoopsWithoutExit != c.loops {
+			t.Errorf("%s: LoopsWithoutExit = %v, want %v", c.fn, sum.LoopsWithoutExit, c.loops)
+		}
+		if sum.LoopsWithoutExit && !sum.LoopPos.IsValid() {
+			t.Errorf("%s: LoopsWithoutExit with no position", c.fn)
+		}
+	}
+	if len(byName) != len(cases) {
+		t.Errorf("summary count = %d, want %d", len(byName), len(cases))
+	}
+}
+
+// TestBaseFactsCrossPackage pins the hand-written table entries the
+// analyzers lean on hardest: the facts export data cannot carry.
+func TestBaseFactsCrossPackage(t *testing.T) {
+	// Resolved through a real package so the *types.Func objects are the
+	// genuine articles, not mocks.
+	pkg, err := NewLoader(".").LoadDir("testdata/src/summary/chain", "chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := pkg.summaries()
+	// unlink's summary came from baseFacts(os.Remove); respond's from
+	// the writer-argument rule. Both asserted above — here check the
+	// releasesRef bridge used by refbalance's settle rule.
+	for fn := range sums.decls {
+		if fn.Name() == "releaseAll" && !sums.releasesRef(fn) {
+			t.Errorf("releasesRef(releaseAll) = false, want true")
+		}
+		if fn.Name() == "pure" && sums.releasesRef(fn) {
+			t.Errorf("releasesRef(pure) = true, want false")
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxDeadline polices the fleet's outbound HTTP: a coordinator request
+// to a worker that can hang forever wedges a dispatch slot, so every
+// network call in planserver/distverify must be bounded by a context
+// deadline, and the deadline's cancel must run on every path (a leaked
+// cancel pins the context's timer and parent for the process lifetime).
+// Concretely:
+//
+//   - http.NewRequestWithContext must not receive context.Background()
+//     or context.TODO() (inline or via a local variable), nor a context
+//     derived with context.WithCancel — neither carries a deadline.
+//     Contexts derived locally with WithTimeout/WithDeadline pass; a
+//     caller-supplied context parameter is assumed to carry the
+//     caller's deadline and is not flagged.
+//   - every local `ctx, cancel := context.WithTimeout/WithDeadline/
+//     WithCancel(...)` must call (or defer) cancel on all paths —
+//     returning cancel or storing it into a field transfers that duty.
+//     Assigning the cancel to _ discards it and is flagged outright.
+//   - requests built with plain http.NewRequest must not reach
+//     Client.Do (no context at all), and the context-free conveniences
+//     (http.Get, Client.Post, ...) are flagged on sight.
+var CtxDeadline = &Analyzer{
+	Name: "ctxdeadline",
+	Doc:  "require outbound HTTP to carry a deadline context and its cancel to run on all paths",
+	Run:  runCtxDeadline,
+}
+
+// bareClientCalls are the context-free request conveniences: there is
+// no way to attach a deadline to them.
+var bareClientCalls = map[string]bool{
+	"Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+func runCtxDeadline(pass *Pass) {
+	p := pass.Pkg
+	if !inServingScope(p.PkgPath) {
+		return
+	}
+	sums := p.summaries()
+	p.eachFuncBody(func(decl *ast.FuncDecl) {
+		checkCtxDeadline(pass, sums, decl.Body)
+	})
+}
+
+func checkCtxDeadline(pass *Pass, sums *Summaries, body *ast.BlockStmt) {
+	p := pass.Pkg
+	// Pass 1: context and request provenance, function-wide (closures
+	// included — they capture the same variables).
+	deadlineCtx := map[types.Object]bool{} // from WithTimeout/WithDeadline
+	cancelOnly := map[types.Object]bool{}  // from WithCancel
+	bareCtx := map[types.Object]bool{}     // from Background()/TODO()
+	plainReq := map[types.Object]bool{}    // from http.NewRequest
+	type ctxAcquire struct {
+		assign *ast.AssignStmt
+		call   *ast.CallExpr
+		fnName string
+		cancel types.Object
+	}
+	var acquires []ctxAcquire
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.callee(call)
+		switch {
+		case isFunc(fn, "context", "WithTimeout") || isFunc(fn, "context", "WithDeadline") || isFunc(fn, "context", "WithCancel"):
+			if len(assign.Lhs) != 2 {
+				return true
+			}
+			ctxObj := p.objectOf(assign.Lhs[0])
+			if fn.Name() == "WithCancel" {
+				if ctxObj != nil {
+					cancelOnly[ctxObj] = true
+				}
+			} else if ctxObj != nil {
+				deadlineCtx[ctxObj] = true
+			}
+			cancelObj := p.objectOf(assign.Lhs[1])
+			if id, isIdent := assign.Lhs[1].(*ast.Ident); cancelObj == nil || (isIdent && id.Name == "_") {
+				// `ctx, _ := context.WithTimeout(...)`: nothing can ever
+				// stop the timer or release the parent. The blank
+				// identifier still carries a types.Var, so match by name.
+				pass.Reportf(call.Pos(), "context.%s's cancel function is discarded: assign it and defer cancel() (docs/LINTING.md#ctxdeadline)", fn.Name())
+				return true
+			}
+			acquires = append(acquires, ctxAcquire{assign, call, fn.Name(), cancelObj})
+		case isFunc(fn, "context", "Background") || isFunc(fn, "context", "TODO"):
+			if len(assign.Lhs) == 1 {
+				if obj := p.objectOf(assign.Lhs[0]); obj != nil {
+					bareCtx[obj] = true
+				}
+			}
+		case isFunc(fn, "net/http", "NewRequest"):
+			if obj := p.objectOf(assign.Lhs[0]); obj != nil {
+				plainReq[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Pass 2: network call sites.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.callee(call)
+		switch {
+		case isFunc(fn, "net/http", "NewRequestWithContext") && len(call.Args) > 0:
+			checkRequestCtx(pass, call, call.Args[0], deadlineCtx, cancelOnly, bareCtx)
+		case isMethod(fn, "net/http", "Client", "Do") && len(call.Args) == 1:
+			if obj := p.objectOf(call.Args[0]); obj != nil && plainReq[obj] {
+				pass.Reportf(call.Pos(), "request built with http.NewRequest carries no context: build it with http.NewRequestWithContext and a deadline (docs/LINTING.md#ctxdeadline)")
+			}
+		case fn != nil && bareClientCalls[fn.Name()] &&
+			(isMethod(fn, "net/http", "Client", fn.Name()) || isFunc(fn, "net/http", fn.Name())):
+			pass.Reportf(call.Pos(), "http.%s sends without a request context: use http.NewRequestWithContext with a deadline and Client.Do (docs/LINTING.md#ctxdeadline)", fn.Name())
+		}
+		return true
+	})
+
+	// Pass 3: every recorded cancel must settle on all paths.
+	for _, acq := range acquires {
+		frames := stmtPath(body, acq.assign)
+		if frames == nil {
+			continue
+		}
+		w := &ownershipWalk{
+			pass: pass, p: p, handle: acq.cancel,
+			settle: "cancel call", anchor: "ctxdeadline",
+			asCall: true, sums: sums,
+			guards:   condGuards(p, frames),
+			siblings: map[types.Object]bool{},
+		}
+		if st := w.walkAfter(frames); !st.done() {
+			pass.Reportf(acq.call.Pos(), "context.%s's cancel %q is never called on the fall-through path: defer it right after acquiring (docs/LINTING.md#ctxdeadline)", acq.fnName, acq.cancel.Name())
+		}
+	}
+}
+
+// checkRequestCtx judges the context argument handed to
+// http.NewRequestWithContext.
+func checkRequestCtx(pass *Pass, call *ast.CallExpr, arg ast.Expr, deadlineCtx, cancelOnly, bareCtx map[types.Object]bool) {
+	p := pass.Pkg
+	if inline, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+		fn := p.callee(inline)
+		if isFunc(fn, "context", "Background") || isFunc(fn, "context", "TODO") {
+			pass.Reportf(call.Pos(), "context.%s() flows into a network request without a deadline: derive one with context.WithTimeout (docs/LINTING.md#ctxdeadline)", fn.Name())
+		}
+		return
+	}
+	obj := p.objectOf(arg)
+	if obj == nil {
+		return
+	}
+	switch {
+	case deadlineCtx[obj]:
+		// carries a locally-derived deadline
+	case bareCtx[obj]:
+		pass.Reportf(call.Pos(), "context.Background()/TODO() flows into a network request without a deadline: derive one with context.WithTimeout (docs/LINTING.md#ctxdeadline)")
+	case cancelOnly[obj]:
+		pass.Reportf(call.Pos(), "a cancel-only context (context.WithCancel) reaches this network request without a deadline: use context.WithTimeout so a dead peer is abandoned (docs/LINTING.md#ctxdeadline)")
+	}
+	// Anything else — typically the function's own ctx parameter — is
+	// assumed to carry the caller's deadline.
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoroutineExit requires every goroutine spawned in planserver and
+// distverify — reapers, pullers, drain workers — to have a bounded
+// exit: an unconditional `for { ... }` loop must contain a reachable
+// return, a break targeting the loop, or a goto (in practice, a select
+// arm on a stop/done channel or ctx.Done() that returns). A loop whose
+// only breaks belong to an inner select/switch/loop never leaves; such
+// a goroutine survives Drain and holds its captures forever.
+//
+// The check is interprocedural through the summary layer (callgraph.go):
+// `go s.reapLoop(d)` is judged by reapLoop's own summary, and a
+// goroutine body that calls into a loop-forever helper is flagged at
+// the call.
+var GoroutineExit = &Analyzer{
+	Name: "goroutineexit",
+	Doc:  "require every spawned goroutine to select on a stop/done channel or provably terminate",
+	Run:  runGoroutineExit,
+}
+
+func runGoroutineExit(pass *Pass) {
+	p := pass.Pkg
+	if !inServingScope(p.PkgPath) {
+		return
+	}
+	sums := p.summaries()
+	p.inspect(func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+			for _, pos := range infiniteLoopsNoExit(lit.Body) {
+				pass.Reportf(pos, "goroutine loops forever without an exit condition: select on a stop/done channel or ctx.Done(), or bound the loop (docs/LINTING.md#goroutineexit)")
+			}
+			eachDirectCall(lit.Body, func(call *ast.CallExpr) {
+				if fn := p.callee(call); fn != nil {
+					if sum := sums.of(fn); sum != nil && sum.LoopsWithoutExit {
+						pass.Reportf(call.Pos(), "goroutine calls %s, which loops forever without an exit condition (docs/LINTING.md#goroutineexit)", fn.Name())
+					}
+				}
+			})
+			return true
+		}
+		if fn := p.callee(g.Call); fn != nil {
+			if sum := sums.of(fn); sum != nil && sum.LoopsWithoutExit {
+				pass.Reportf(g.Pos(), "goroutine runs %s, which loops forever without an exit condition (docs/LINTING.md#goroutineexit)", fn.Name())
+			}
+		}
+		return true
+	})
+}

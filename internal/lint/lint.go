@@ -9,6 +9,17 @@
 //   - mapclose: mappings and refcount acquisitions reach their release
 //   - lockheld: planserver locks are never held across blocking calls
 //   - errenvelope: planserver failures answer with the 4xx envelope
+//   - refbalance: refs.Add(1) acquires reach release() on every path
+//   - ctxdeadline: outbound HTTP carries a deadline ctx, cancel runs
+//   - goroutineexit: spawned goroutines have a bounded exit
+//   - metricconsistency: metrics fields are both updated and rendered
+//
+// The last four are interprocedural: they (and lockheld) share the
+// call-graph summary layer in callgraph.go, which computes bottom-up
+// per-function facts (blocks, writes the response, releases a
+// reference, loops without exit) over the intra-package call graph,
+// backed by a small hand-written table for cross-package facts the
+// export data cannot carry.
 //
 // The x/tools analysis framework itself is deliberately not a
 // dependency: the module is stdlib-only, and the subset these analyzers
@@ -53,6 +64,10 @@ func Analyzers() []*Analyzer {
 		MapClose,
 		LockHeld,
 		ErrEnvelope,
+		RefBalance,
+		CtxDeadline,
+		GoroutineExit,
+		MetricConsistency,
 	}
 }
 
@@ -88,7 +103,42 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics (suppressed ones removed) in file/line order.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunChecked(pkgs, analyzers)
+	return diags
+}
+
+// StaleAllow is a //lint:allow comment that no longer earns its keep:
+// it suppressed nothing in this run, or it names an analyzer that does
+// not exist. Stale suppressions are how documented decisions rot into
+// blind spots, so sparselint -stale-allows fails on them.
+type StaleAllow struct {
+	Analyzer string
+	Pos      token.Position
+	// Unknown: the named analyzer is not in the run's analyzer set at
+	// all — a typo, or a suppression that outlived its analyzer.
+	Unknown bool
+}
+
+func (s StaleAllow) String() string {
+	why := "suppresses no diagnostic"
+	if s.Unknown {
+		why = "names an unknown analyzer"
+	}
+	return fmt.Sprintf("%s: stale-allow: //lint:allow %s %s", s.Pos, s.Analyzer, why)
+}
+
+// RunChecked is Run plus suppression accounting: alongside the
+// surviving diagnostics it returns every //lint:allow entry that went
+// unused across the full analyzer set. Stale detection is only
+// meaningful when analyzers covers the complete registry — an entry for
+// an analyzer that simply was not run would be reported as unknown.
+func RunChecked(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []StaleAllow) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
 	var diags []Diagnostic
+	var stale []StaleAllow
 	for _, pkg := range pkgs {
 		allowed := pkg.suppressions()
 		for _, a := range analyzers {
@@ -99,6 +149,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				if !allowed.covers(a.Name, d.Pos) {
 					diags = append(diags, d)
 				}
+			}
+		}
+		for _, e := range allowed.all {
+			switch {
+			case !known[e.analyzer]:
+				stale = append(stale, StaleAllow{Analyzer: e.analyzer, Pos: e.pos, Unknown: true})
+			case !e.used:
+				stale = append(stale, StaleAllow{Analyzer: e.analyzer, Pos: e.pos})
 			}
 		}
 	}
@@ -112,7 +170,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i].Pos, stale[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return diags, stale
 }
 
 // allowRe matches the suppression comment form:
@@ -124,28 +189,42 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // switch.
 var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z]+)\s+\S`)
 
-// suppressionSet maps "file:line" to the analyzer names allowed there.
-type suppressionSet map[string][]string
+// allowEntry is one //lint:allow marker, carrying whether any
+// diagnostic actually used it (the stale-allows signal).
+type allowEntry struct {
+	analyzer string
+	pos      token.Position
+	used     bool
+}
 
-func (s suppressionSet) covers(analyzer string, pos token.Position) bool {
+// suppressionSet indexes a package's //lint:allow markers by
+// "file:line" and keeps the flat list for stale accounting.
+type suppressionSet struct {
+	byKey map[string][]*allowEntry
+	all   []*allowEntry
+}
+
+func (s *suppressionSet) covers(analyzer string, pos token.Position) bool {
+	hit := false
 	for _, key := range []string{
 		fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
 		fmt.Sprintf("%s:%d", pos.Filename, pos.Line-1), // comment on the line above
 	} {
-		for _, name := range s[key] {
-			if name == analyzer {
-				return true
+		for _, e := range s.byKey[key] {
+			if e.analyzer == analyzer {
+				e.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
 }
 
 // suppressions scans every comment in the package for //lint:allow
 // markers; a marker covers diagnostics on its own line and on the line
 // directly below it (so it can sit on the flagged line or above it).
-func (p *Package) suppressions() suppressionSet {
-	set := suppressionSet{}
+func (p *Package) suppressions() *suppressionSet {
+	set := &suppressionSet{byKey: map[string][]*allowEntry{}}
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -154,8 +233,10 @@ func (p *Package) suppressions() suppressionSet {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
+				e := &allowEntry{analyzer: m[1], pos: pos}
 				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				set[key] = append(set[key], m[1])
+				set.byKey[key] = append(set.byKey[key], e)
+				set.all = append(set.all, e)
 			}
 		}
 	}

@@ -25,6 +25,10 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+
+	// sums caches the package's call-graph summaries (callgraph.go),
+	// built on first use and shared by every analyzer in the run.
+	sums *Summaries
 }
 
 // Loader parses and type-checks packages. Imports resolve through the

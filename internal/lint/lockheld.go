@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/types"
 )
 
 // LockHeld protects the serving-path locks — planserver's registry and
@@ -17,10 +16,14 @@ import (
 // region, the matching Unlock()/RUnlock() closes it (including inside a
 // branch — statements after the unlock in that branch are unheld), and
 // defer Unlock() holds the lock to the end of the function. Blocking
-// calls inside a held region are flagged. Holding a lock across a call
-// into another *function* that blocks is out of scope (the callee's own
-// body is linted instead); deliberate holds — e.g. unlinking a spill
-// file inside the registry's critical section — carry a //lint:allow
+// calls inside a held region are flagged, and blocking is resolved
+// interprocedurally through the package summary layer (callgraph.go): a
+// call into another function in the same package blocks exactly when
+// that function's bottom-up summary says it (transitively) blocks, so a
+// helper that unlinks a spill file is caught at the locked call site,
+// while a helper that merely receives the ResponseWriter without
+// writing to it is not. Deliberate holds — e.g. unlinking a spill file
+// inside the registry's critical section — carry a //lint:allow
 // lockheld annotation explaining why.
 var LockHeld = &Analyzer{
 	Name: "lockheld",
@@ -28,33 +31,13 @@ var LockHeld = &Analyzer{
 	Run:  runLockHeld,
 }
 
-// blockingOSFuncs are package-level os functions that hit the filesystem.
-var blockingOSFuncs = map[string]bool{
-	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
-	"Remove": true, "RemoveAll": true, "Rename": true, "Mkdir": true,
-	"MkdirAll": true, "ReadFile": true, "WriteFile": true, "ReadDir": true,
-	"Stat": true, "Lstat": true, "Truncate": true, "Chmod": true,
-}
-
-// blockingFileMethods are *os.File methods that hit the descriptor.
-var blockingFileMethods = map[string]bool{
-	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
-	"Close": true, "Sync": true, "Seek": true, "Stat": true,
-	"Truncate": true, "ReadFrom": true, "WriteTo": true,
-}
-
-// blockingIOFuncs are io helpers that drain or fill a stream.
-var blockingIOFuncs = map[string]bool{
-	"ReadAll": true, "Copy": true, "CopyN": true, "CopyBuffer": true,
-	"ReadFull": true, "WriteString": true,
-}
-
 func runLockHeld(pass *Pass) {
 	if !inServingScope(pass.Pkg.PkgPath) {
 		return
 	}
+	sums := pass.Pkg.summaries()
 	pass.Pkg.eachFuncBody(func(decl *ast.FuncDecl) {
-		w := &lockWalk{pass: pass, p: pass.Pkg}
+		w := &lockWalk{pass: pass, p: pass.Pkg, sums: sums}
 		w.walkSeq(decl.Body.List, map[string]bool{})
 	})
 }
@@ -62,6 +45,7 @@ func runLockHeld(pass *Pass) {
 type lockWalk struct {
 	pass *Pass
 	p    *Package
+	sums *Summaries
 }
 
 // walkSeq walks one statement sequence with the set of mutexes held on
@@ -228,64 +212,37 @@ func heldNames(held map[string]bool) string {
 }
 
 // blockingCall classifies a call as blocking, returning a description
-// ("" if not blocking). Three classes: filesystem (os package and
-// *os.File methods, io stream helpers), client-paced network writes
-// (anything handed an http.ResponseWriter, including this package's
-// envelope helpers), and mmap syscalls (schedio.OpenMapping,
-// Mapping.Close, raw syscall package calls).
+// ("" if not blocking). An intra-package callee is judged by its
+// bottom-up summary (callgraph.go) — transitive file I/O or response
+// writes anywhere below it count, and a summary proven clean is
+// trusted even if the callee happens to receive the ResponseWriter.
+// External callees are judged by the hand-written base-facts table
+// (filesystem, io stream helpers, mmap/syscall, ResponseWriter method
+// set, http.Client.Do). Only a callee no table knows — a function
+// value, an unlisted external — falls back to the writer-argument
+// heuristic: handing it the ResponseWriter is presumed a client-paced
+// response write.
 func (w *lockWalk) blockingCall(call *ast.CallExpr) string {
 	fn := w.p.callee(call)
 	if fn != nil {
-		pkg := funcPkgPath(fn)
-		if recv, typeN := recvNamed(fn); recv != "" {
+		if sum := w.sums.of(fn); sum != nil {
 			switch {
-			case recv == "os" && typeN == "File" && blockingFileMethods[fn.Name()]:
-				return "os.File." + fn.Name()
-			case pathHasSuffix(recv, "internal/schedio") && typeN == "Mapping" && fn.Name() == "Close":
-				return "Mapping.Close (munmap)"
-			case recv == "net/http" && typeN == "ResponseWriter":
-				return "ResponseWriter." + fn.Name()
+			case sum.WritesResponse:
+				return "response write"
+			case sum.Blocks:
+				return "call into " + fn.Name() + " (" + sum.BlockReason + ")"
 			}
-		} else {
-			switch {
-			case pkg == "os" && blockingOSFuncs[fn.Name()]:
-				return "os." + fn.Name()
-			case pkg == "io" && blockingIOFuncs[fn.Name()]:
-				return "io." + fn.Name()
-			case pkg == "syscall":
-				return "syscall." + fn.Name()
-			case pathHasSuffix(pkg, "internal/schedio") && fn.Name() == "OpenMapping":
-				return "schedio.OpenMapping (mmap)"
-			case pkg == "net/http" && fn.Name() == "Error":
-				return "http.Error"
+			return ""
+		}
+		if base, ok := baseFacts(fn); ok {
+			if base.Blocks {
+				return base.BlockReason
 			}
+			return ""
 		}
 	}
-	// A call handed an http.ResponseWriter writes to the client at the
-	// client's pace — writeJSON/writeError and friends included. The
-	// ResponseWriter method set itself is matched above; here any
-	// argument whose static type is the interface counts.
-	for _, arg := range call.Args {
-		if w.isResponseWriter(arg) {
-			return "response write"
-		}
-	}
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && w.isResponseWriter(sel.X) {
+	if callHandsWriter(w.p, call) {
 		return "response write"
 	}
 	return ""
-}
-
-// isResponseWriter reports whether e's static type is net/http.ResponseWriter.
-func (w *lockWalk) isResponseWriter(e ast.Expr) bool {
-	tv, ok := w.p.Info.Types[e]
-	if !ok || tv.Type == nil {
-		return false
-	}
-	named, ok := tv.Type.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Name() == "ResponseWriter" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
 }

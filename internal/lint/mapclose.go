@@ -109,7 +109,11 @@ func checkMapClose(pass *Pass, body *ast.BlockStmt) {
 					}
 				}
 			}
-			w := &ownershipWalk{pass: pass, p: p, handle: handle, release: acq.release, siblings: siblings}
+			w := &ownershipWalk{
+				pass: pass, p: p, handle: handle, release: acq.release,
+				settle: acq.release + " or ownership transfer", anchor: "mapclose",
+				siblings: siblings,
+			}
 			st := w.walkSeq(block.List[i+1:], true)
 			if !st.done() {
 				pass.Reportf(call.Pos(), "%s handle %q never reaches %s or an ownership transfer on the fall-through path (docs/LINTING.md#mapclose)", acq.name, handle.Name(), acq.release)
@@ -127,12 +131,35 @@ type ownState struct {
 
 func (s ownState) done() bool { return s.released || s.escaped }
 
+// ownershipWalk tracks one acquired object — a mapping handle, a
+// counted reference, a context cancel func — from its acquisition
+// statement to a settle point. mapclose, refbalance and ctxdeadline all
+// drive it; the fields below the core four configure the per-analyzer
+// behavior.
 type ownershipWalk struct {
 	pass     *Pass
 	p        *Package
 	handle   types.Object
-	release  string
+	release  string // method name that settles the handle (Close, release)
 	siblings map[types.Object]bool
+
+	settle string // message fragment: what the leaking path is missing
+	anchor string // docs/LINTING.md anchor for the report
+	// asCall: the handle itself is the settling callable — calling
+	// handle() settles it (a context.CancelFunc).
+	asCall bool
+	// sums: when set, passing the handle (or its retarget) into a call
+	// whose summary says it releases references settles the handle —
+	// the evict path's releaseAll(victims) handoff.
+	sums *Summaries
+	// retarget: follow `owner = append(owner, handle)` by switching the
+	// tracked object to the slice (refbalance's victims pattern).
+	retarget bool
+	// guards: objects whose truth correlates with the acquisition
+	// having happened (the conditions of the if-statements enclosing
+	// the acquire). A later branch testing a guard is exempt unless it
+	// settles the handle inside.
+	guards map[types.Object]bool
 }
 
 // walkSeq walks a statement sequence that follows the acquisition.
@@ -154,7 +181,9 @@ func (w *ownershipWalk) walkSeq(stmts []ast.Stmt, first bool) ownState {
 				st.released = true
 			}
 		case *ast.AssignStmt:
-			if w.transfersOwnership(s) {
+			if w.retargetAppend(s) {
+				// ownership moved to the append target; keep tracking it
+			} else if w.transfersOwnership(s) {
 				st.escaped = true
 			}
 		case *ast.ReturnStmt:
@@ -164,13 +193,23 @@ func (w *ownershipWalk) walkSeq(stmts []ast.Stmt, first bool) ownState {
 				}
 			}
 			if !st.done() {
-				w.pass.Reportf(s.Pos(), "return leaks %q: no %s or ownership transfer on this path (docs/LINTING.md#mapclose)", w.handle.Name(), w.release)
+				w.pass.Reportf(s.Pos(), "return leaks %q: no %s on this path (docs/LINTING.md#%s)", w.handle.Name(), w.settle, w.anchor)
 				st.escaped = true // report once per path
 			}
 			return st
 		case *ast.IfStmt:
 			if first && i == 0 && w.isFailureGuard(s) {
 				continue // if err != nil { ... } right after acquiring: handle invalid there
+			}
+			if w.isGuardBranch(s) {
+				// The branch tests a guard of the acquisition itself
+				// (lookupPlan's `if !ok { return }` after a guarded
+				// refs.Add): on the path through it the acquire never
+				// happened, unless the branch also settles the handle.
+				if w.containsReleaseOrTransfer(s) {
+					st.released = true
+				}
+				continue
 			}
 			w.walkBranch(s)
 		case *ast.BlockStmt:
@@ -214,13 +253,66 @@ func (w *ownershipWalk) isFailureGuard(s *ast.IfStmt) bool {
 	return false
 }
 
-// releasesHandle reports whether call is handle.Close() / handle.release().
+// releasesHandle reports whether call settles the handle: the release
+// method on it (handle.Close() / handle.release()), the handle itself
+// invoked as a function (a CancelFunc, in asCall mode), or — when a
+// summary table is attached — the handle passed into a call that
+// (transitively) drops references, like releaseAll(victims).
 func (w *ownershipWalk) releasesHandle(call *ast.CallExpr) bool {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != w.release {
+	if w.asCall && w.p.objectOf(call.Fun) == w.handle {
+		return true
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+		sel.Sel.Name == w.release && w.p.objectOf(sel.X) == w.handle {
+		return true
+	}
+	if w.sums != nil {
+		if fn := w.p.callee(call); fn != nil && w.sums.releasesRef(fn) {
+			for _, arg := range call.Args {
+				if w.p.usesObject(arg, w.handle) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isGuardBranch reports whether the if condition tests a guard of the
+// acquisition (see ownershipWalk.guards).
+func (w *ownershipWalk) isGuardBranch(s *ast.IfStmt) bool {
+	for obj := range w.guards {
+		if w.p.usesObject(s.Cond, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// retargetAppend follows `owner = append(owner, handle)`: the slice
+// becomes the tracked object, so a later releaseAll(owner) settles the
+// reference. Only active in retarget mode (refbalance).
+func (w *ownershipWalk) retargetAppend(s *ast.AssignStmt) bool {
+	if !w.retarget || len(s.Rhs) != 1 || len(s.Lhs) != 1 {
 		return false
 	}
-	return w.p.objectOf(sel.X) == w.handle
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || w.p.Info.Uses[id] != nil && w.p.Info.Uses[id].Pkg() != nil {
+		return false
+	}
+	if !w.p.usesObject(call, w.handle) {
+		return false
+	}
+	obj := w.p.objectOf(s.Lhs[0])
+	if obj == nil {
+		return false
+	}
+	w.handle = obj
+	return true
 }
 
 // deferBodyReleases handles defer func() { ... m.Close() ... }().

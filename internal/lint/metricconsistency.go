@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MetricConsistency is a whole-package, cross-file check over the
+// planserver `metrics` struct: every atomic counter/gauge field that is
+// updated anywhere in the package must be rendered by the /metrics
+// writer, and every field the writer renders must be updated somewhere
+// — no silent metrics (operators chart a value that never moves into
+// the exposition), no dead ones (a line in the exposition that is
+// always zero), no orphans (a field nobody touches).
+//
+// Mechanics: fields of a struct type named `metrics` whose type is a
+// sync/atomic counter (Int32/Int64/Uint32/Uint64) are tracked. An
+// `.Add`/`.Store` on a field anywhere counts as an update; a `.Load`
+// counts as a render only inside a function whose summary
+// (callgraph.go) says it writes the HTTP response — that summary is
+// what identifies the /metrics handler without naming it.
+var MetricConsistency = &Analyzer{
+	Name: "metricconsistency",
+	Doc:  "require every metrics field updated to be rendered by the /metrics writer and vice versa",
+	Run:  runMetricConsistency,
+}
+
+func runMetricConsistency(pass *Pass) {
+	p := pass.Pkg
+	if !inServingScope(p.PkgPath) {
+		return
+	}
+	type mfield struct {
+		name string
+		pos  token.Pos
+	}
+	var fields []mfield
+	byObj := map[types.Object]int{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "metrics" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					for _, nm := range fld.Names {
+						obj := p.Info.Defs[nm]
+						if obj == nil || !isAtomicCounter(obj.Type()) {
+							continue
+						}
+						byObj[obj] = len(fields)
+						fields = append(fields, mfield{nm.Name, nm.Pos()})
+					}
+				}
+			}
+		}
+	}
+	if len(fields) == 0 {
+		return
+	}
+	updated := make([]bool, len(fields))
+	rendered := make([]bool, len(fields))
+	sums := p.summaries()
+	p.eachFuncBody(func(decl *ast.FuncDecl) {
+		renderer := false
+		if fn, ok := p.Info.Defs[decl.Name].(*types.Func); ok {
+			if sum := sums.of(fn); sum != nil {
+				renderer = sum.WritesResponse
+			}
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			idx, ok := byObj[p.Info.Uses[inner.Sel]]
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Add", "Store":
+				updated[idx] = true
+			case "Load":
+				if renderer {
+					rendered[idx] = true
+				}
+			}
+			return true
+		})
+	})
+	for i, f := range fields {
+		switch {
+		case updated[i] && !rendered[i]:
+			pass.Reportf(f.pos, "metrics field %s is updated but never rendered by the /metrics writer — a silent metric (docs/LINTING.md#metricconsistency)", f.name)
+		case !updated[i] && rendered[i]:
+			pass.Reportf(f.pos, "metrics field %s is rendered by the /metrics writer but never updated — a dead metric (docs/LINTING.md#metricconsistency)", f.name)
+		case !updated[i] && !rendered[i]:
+			pass.Reportf(f.pos, "metrics field %s is neither updated nor rendered (docs/LINTING.md#metricconsistency)", f.name)
+		}
+	}
+}
+
+// isAtomicCounter reports whether t is a sync/atomic integer type.
+func isAtomicCounter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch obj.Name() {
+	case "Int32", "Int64", "Uint32", "Uint64":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Path machinery for ownership walks that start mid-function: refbalance
+// acquires at a `refs.Add(1)` statement nested inside branches, and
+// ctxdeadline at a `ctx, cancel := context.WithTimeout(...)` assignment,
+// so the walk has to cover the rest of the enclosing statement list at
+// every nesting level, innermost first — falling off the end of an
+// if-body continues in the statements after the if.
+
+// pathFrame is one level of the enclosing-statement-list chain: the
+// list, and the index of the statement (in that list) the target is in.
+type pathFrame struct {
+	list []ast.Stmt
+	idx  int
+}
+
+// stmtPath returns the chain of statement lists from body down to the
+// one directly holding target, or nil if target is not reachable
+// through statement structure. Descending into a function literal
+// resets the chain: statements after the literal's enclosing statement
+// run outside the literal's activation, so an ownership walk must not
+// cross that boundary outward.
+func stmtPath(body *ast.BlockStmt, target ast.Stmt) []pathFrame {
+	var frames []pathFrame
+	list := body.List
+	for {
+		idx := -1
+		for i, st := range list {
+			if st.Pos() <= target.Pos() && target.End() <= st.End() {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil
+		}
+		frames = append(frames, pathFrame{list, idx})
+		st := list[idx]
+		if st == target {
+			return frames
+		}
+		next, viaFuncLit := childStmtList(st, target)
+		if next == nil {
+			return nil
+		}
+		if viaFuncLit {
+			frames = frames[:0]
+		}
+		list = next
+	}
+}
+
+// childStmtList returns the statement list inside st that (positionally)
+// contains target, and whether the descent crossed into a function
+// literal.
+func childStmtList(st ast.Stmt, target ast.Stmt) ([]ast.Stmt, bool) {
+	contains := func(n ast.Node) bool {
+		return n != nil && n.Pos() <= target.Pos() && target.End() <= n.End()
+	}
+	clauses := func(body *ast.BlockStmt) []ast.Stmt {
+		for _, c := range body.List {
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				for _, s := range cc.Body {
+					if contains(s) {
+						return cc.Body
+					}
+				}
+			case *ast.CommClause:
+				for _, s := range cc.Body {
+					if contains(s) {
+						return cc.Body
+					}
+				}
+			}
+		}
+		return nil
+	}
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		if contains(s) {
+			return s.List, false
+		}
+	case *ast.IfStmt:
+		if contains(s.Body) {
+			return s.Body.List, false
+		}
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			if contains(e) {
+				return e.List, false
+			}
+		case *ast.IfStmt:
+			if contains(e) {
+				return []ast.Stmt{e}, false
+			}
+		}
+	case *ast.ForStmt:
+		if contains(s.Body) {
+			return s.Body.List, false
+		}
+	case *ast.RangeStmt:
+		if contains(s.Body) {
+			return s.Body.List, false
+		}
+	case *ast.SwitchStmt:
+		if l := clauses(s.Body); l != nil {
+			return l, false
+		}
+	case *ast.TypeSwitchStmt:
+		if l := clauses(s.Body); l != nil {
+			return l, false
+		}
+	case *ast.SelectStmt:
+		if l := clauses(s.Body); l != nil {
+			return l, false
+		}
+	case *ast.LabeledStmt:
+		if contains(s.Stmt) {
+			return []ast.Stmt{s.Stmt}, false
+		}
+	}
+	// Not in any statement body: the target may sit inside a function
+	// literal in this statement's expressions. Enter the outermost such
+	// literal; deeper nesting is handled by later iterations.
+	var lit *ast.FuncLit
+	ast.Inspect(st, func(n ast.Node) bool {
+		if lit != nil {
+			return false
+		}
+		if fl, ok := n.(*ast.FuncLit); ok && contains(fl) {
+			lit = fl
+			return false
+		}
+		return true
+	})
+	if lit != nil {
+		return lit.Body.List, true
+	}
+	return nil, false
+}
+
+// walkAfter runs the ownership walk over everything that executes after
+// the target statement: the remainder of its own list first (where the
+// leading failure-guard exemption applies), then each enclosing list's
+// remainder, innermost to outermost.
+func (w *ownershipWalk) walkAfter(frames []pathFrame) ownState {
+	for i := len(frames) - 1; i >= 0; i-- {
+		fr := frames[i]
+		st := w.walkSeq(fr.list[fr.idx+1:], i == len(frames)-1)
+		if st.done() {
+			return st
+		}
+	}
+	return ownState{}
+}
+
+// condGuards collects the objects tested by the if-statements the
+// target is nested inside — the acquisition's guards. After
+// `if ok { refs.Add(1) }`, a later `if !ok { return }` runs exactly
+// when the acquire did not, so branches testing ok are exempt from the
+// settle requirement (unless they settle the handle themselves).
+func condGuards(p *Package, frames []pathFrame) map[types.Object]bool {
+	guards := map[types.Object]bool{}
+	for i, fr := range frames {
+		if i == len(frames)-1 {
+			break // the frame holding the target itself encloses nothing
+		}
+		ifs, ok := fr.list[fr.idx].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := guardObject(p.Info.Uses[id]); obj != nil {
+					guards[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardObject filters condition identifiers down to the ok/err shape: a
+// local boolean or error variable. Receivers and other values in a
+// condition do not correlate with the acquisition and must not exempt
+// later branches.
+func guardObject(obj types.Object) types.Object {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	switch t := v.Type().Underlying().(type) {
+	case *types.Basic:
+		if t.Kind() == types.Bool {
+			return obj
+		}
+	case *types.Interface:
+		if named, ok := v.Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return obj
+		}
+	}
+	return nil
+}

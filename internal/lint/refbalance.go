@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RefBalance extends mapclose from handles to counted references: every
+// `refs.Add(1)` acquire on an atomic refcount in planserver/distverify
+// must reach a release on all paths, error returns included. A
+// reference settles by:
+//
+//   - calling release() on the holder (sp.release(), deferred or not)
+//   - returning the holder (the caller now owes the release — this is
+//     lookupPlan handing its caller the +1)
+//   - storing the holder into a field or composite literal (a
+//     longer-lived owner takes over)
+//   - appending the holder to a slice later passed into a function
+//     whose summary (callgraph.go) says it drops references — evict.go's
+//     unlock-then-releaseAll(victims) handoff is the sanctioned pattern
+//
+// A guarded acquire (`if ok { sp.refs.Add(1) }`) exempts later branches
+// that test the same guard: `if !ok { return nil, false }` runs exactly
+// when the reference was never taken.
+var RefBalance = &Analyzer{
+	Name: "refbalance",
+	Doc:  "require every refs.Add(1) acquire to reach release() or an ownership transfer on all paths",
+	Run:  runRefBalance,
+}
+
+func runRefBalance(pass *Pass) {
+	p := pass.Pkg
+	if !inServingScope(p.PkgPath) {
+		return
+	}
+	sums := p.summaries()
+	p.eachFuncBody(func(decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok || !isRefsCounterOp(p, call, true) {
+				return true
+			}
+			// The holder: X in X.refs.Add(1). A non-identifier holder
+			// (s.plans[id].refs.Add(1)) already lives in a longer-lived
+			// owner and needs no tracking.
+			sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			inner := ast.Unparen(sel.X).(*ast.SelectorExpr)
+			holder := p.objectOf(inner.X)
+			if holder == nil {
+				return true
+			}
+			frames := stmtPath(decl.Body, stmt)
+			if frames == nil {
+				return true
+			}
+			w := &ownershipWalk{
+				pass: pass, p: p, handle: holder, release: "release",
+				settle: "release or ownership transfer", anchor: "refbalance",
+				sums: sums, retarget: true,
+				guards:   condGuards(p, frames),
+				siblings: map[types.Object]bool{},
+			}
+			if st := w.walkAfter(frames); !st.done() {
+				pass.Reportf(call.Pos(), "reference taken by %s.refs.Add(1) never reaches %s.release() or an ownership transfer on the fall-through path (docs/LINTING.md#refbalance)", holder.Name(), holder.Name())
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,103 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sparsehypercube/internal/lint"
+)
+
+// Injected-regression smokes: copy the real serving sources, delete one
+// invariant-preserving line, and require sparselint to fail. These
+// prove the analyzers guard the live tree, not just fixtures — exactly
+// the regressions a future PR would introduce.
+
+// mutatePackage copies srcDir's non-test Go files into a temp dir,
+// applying edit to the named file. The edit must change the text.
+func mutatePackage(t *testing.T, srcDir, file string, edit func(string) string) string {
+	t.Helper()
+	dir := t.TempDir()
+	ents, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := false
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(srcDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(data)
+		if name == file {
+			mutated := edit(text)
+			if mutated == text {
+				t.Fatalf("edit left %s unchanged — the regression was not injected", file)
+			}
+			text = mutated
+			touched = true
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !touched {
+		t.Fatalf("file %s not found in %s", file, srcDir)
+	}
+	return dir
+}
+
+// requireFinding loads the mutated package under the real tree's
+// package path and asserts the analyzer reports a message containing
+// msgPart.
+func requireFinding(t *testing.T, dir, pkgPath string, a *lint.Analyzer, msgPart string) {
+	t.Helper()
+	pkg, err := lint.NewLoader(".").LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	for _, d := range diags {
+		if strings.Contains(d.Message, msgPart) {
+			return
+		}
+	}
+	t.Fatalf("expected a %s finding containing %q, got %d diagnostic(s): %v", a.Name, msgPart, len(diags), diags)
+}
+
+func TestInjectedCancelLeakCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the real distverify package")
+	}
+	dir := mutatePackage(t, "../distverify", "distverify.go", func(src string) string {
+		return strings.Replace(src, "defer cancel()", "_ = cancel", 1)
+	})
+	requireFinding(t, dir, "internal/distverify", lint.CtxDeadline, "cancel")
+}
+
+func TestInjectedReleaseLeakCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the real planserver package")
+	}
+	dir := mutatePackage(t, "../planserver", "planserver.go", func(src string) string {
+		return strings.Replace(src, "defer sp.release()", "_ = sp", 1)
+	})
+	requireFinding(t, dir, "internal/planserver", lint.MapClose, "release")
+}
+
+func TestInjectedReaperSpinCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the real planserver package")
+	}
+	re := regexp.MustCompile(`case <-s\.reaperStop:\s*\n\s*return`)
+	dir := mutatePackage(t, "../planserver", "drain.go", func(src string) string {
+		return re.ReplaceAllString(src, "case <-s.reaperStop:")
+	})
+	requireFinding(t, dir, "internal/planserver", lint.GoroutineExit, "loops forever")
+}

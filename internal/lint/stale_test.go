@@ -1,0 +1,60 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sparsehypercube/internal/lint"
+)
+
+// TestStaleAllowFlagged: a //lint:allow that suppresses nothing, and
+// one naming a nonexistent analyzer, both surface through RunChecked.
+func TestStaleAllowFlagged(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+func doubles(x int) int {
+	//lint:allow mapclose nothing here acquires anything
+	return 2 * x
+}
+
+func triples(x int) int {
+	//lint:allow nosuchanalyzer suppressing a ghost
+	return 3 * x
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := lint.NewLoader(".").LoadDir(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, stale := lint.RunChecked([]*lint.Package{pkg}, lint.Analyzers())
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("stale count = %d, want 2: %v", len(stale), stale)
+	}
+	if stale[0].Analyzer != "mapclose" || stale[0].Unknown {
+		t.Errorf("stale[0] = %+v, want unused mapclose entry", stale[0])
+	}
+	if stale[1].Analyzer != "nosuchanalyzer" || !stale[1].Unknown {
+		t.Errorf("stale[1] = %+v, want unknown-analyzer entry", stale[1])
+	}
+}
+
+// TestUsedAllowNotStale: the lockheld fixture's annotated deliberate
+// hold suppresses a live diagnostic and must not be reported stale.
+func TestUsedAllowNotStale(t *testing.T) {
+	pkg, err := lint.NewLoader(".").LoadDir("testdata/src/lockheld/planserver", "internal/planserver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stale := lint.RunChecked([]*lint.Package{pkg}, lint.Analyzers())
+	if len(stale) != 0 {
+		t.Fatalf("used suppression reported stale: %v", stale)
+	}
+}

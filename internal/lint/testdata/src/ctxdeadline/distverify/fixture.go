@@ -1,0 +1,118 @@
+// Fixture: ctxdeadline — outbound HTTP carries a deadline context and
+// its cancel runs on all paths. Loaded as "internal/distverify".
+package distverify
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+type client struct {
+	hc      *http.Client
+	timeout time.Duration
+}
+
+// postWithDeadline is the sanctioned shape: a per-request timeout
+// derived from the caller's context, cancel deferred immediately.
+func (c *client) postWithDeadline(ctx context.Context, url string) error {
+	rctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// callerDeadline hands the caller's own context straight through: the
+// deadline is the caller's responsibility, not flagged here.
+func (c *client) callerDeadline(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+}
+
+// postBareBackground hands the request an undeadlined root context.
+func (c *client) postBareBackground(url string) (*http.Request, error) {
+	return http.NewRequestWithContext(context.Background(), http.MethodPost, url, nil) // want `context.Background\(\) flows into a network request without a deadline`
+}
+
+// postBareVar reaches the same root context through a variable.
+func (c *client) postBareVar(url string) (*http.Request, error) {
+	ctx := context.Background()
+	return http.NewRequestWithContext(ctx, http.MethodPost, url, nil) // want `flows into a network request without a deadline`
+}
+
+// postCancelOnly derives a context that can be cancelled but never
+// expires on its own: a dead peer wedges the dispatch slot.
+func (c *client) postCancelOnly(ctx context.Context, url string) (*http.Request, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return http.NewRequestWithContext(cctx, http.MethodPost, url, nil) // want `cancel-only context`
+}
+
+// cancelLeakedOnError forgets cancel on the error return: the timer and
+// the parent context stay pinned.
+func (c *client) cancelLeakedOnError(ctx context.Context, url string) (*http.Response, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.timeout)
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, url, nil)
+	if err != nil {
+		return nil, err // want `return leaks "cancel": no cancel call`
+	}
+	resp, err := c.hc.Do(req)
+	cancel()
+	return resp, err
+}
+
+// cancelNeverCalled drops the cancel on the floor entirely.
+func (c *client) cancelNeverCalled(ctx context.Context) {
+	_, cancel := context.WithTimeout(ctx, c.timeout) // want `cancel "cancel" is never called on the fall-through path`
+	_ = cancel
+}
+
+// discardedCancel assigns the cancel to the blank identifier.
+func (c *client) discardedCancel(ctx context.Context, url string) (*http.Request, error) {
+	rctx, _ := context.WithTimeout(ctx, c.timeout) // want `cancel function is discarded`
+	return http.NewRequestWithContext(rctx, http.MethodPost, url, nil)
+}
+
+// plainRequest builds a request with no context at all and sends it.
+func (c *client) plainRequest(url string) error {
+	req, err := http.NewRequest(http.MethodPost, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req) // want `request built with http.NewRequest carries no context`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// bareGet uses the context-free convenience: no deadline can ever be
+// attached.
+func (c *client) bareGet(url string) (*http.Response, error) {
+	return c.hc.Get(url) // want `http.Get sends without a request context`
+}
+
+type watcher struct {
+	stop context.CancelFunc
+}
+
+// storedCancel transfers the cancel into a longer-lived owner, which
+// now owes the call.
+func (c *client) storedCancel(ctx context.Context) (context.Context, *watcher) {
+	cctx, cancel := context.WithCancel(ctx)
+	w := &watcher{stop: cancel}
+	return cctx, w
+}
+
+// returnedCancel hands both halves to the caller — the helper shape
+// WithTimeout itself has.
+func (c *client) returnedCancel(ctx context.Context) (context.Context, context.CancelFunc) {
+	rctx, cancel := context.WithTimeout(ctx, c.timeout)
+	return rctx, cancel
+}

@@ -1,0 +1,101 @@
+// Fixture: goroutineexit — every spawned goroutine selects on a
+// stop/done channel or provably terminates. Loaded as
+// "internal/planserver".
+package planserver
+
+type worker struct {
+	stop chan struct{}
+	work chan int
+}
+
+// spinsForever has no exit at all: the goroutine survives Drain and
+// pins its captures for the process lifetime.
+func (w *worker) spinsForever() {
+	go func() {
+		for { // want `goroutine loops forever without an exit condition`
+			<-w.work
+		}
+	}()
+}
+
+// selectsOnStop is the reaper shape: a select arm on the stop channel
+// returns out of the loop.
+func (w *worker) selectsOnStop() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			case v := <-w.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// breaksInnerSelectOnly looks bounded but is not: the unlabeled break
+// leaves the select, never the loop.
+func (w *worker) breaksInnerSelectOnly() {
+	go func() {
+		for { // want `goroutine loops forever without an exit condition`
+			select {
+			case <-w.stop:
+				break
+			case v := <-w.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// labeledBreak exits the loop by name and is sanctioned.
+func (w *worker) labeledBreak() {
+	go func() {
+	drain:
+		for {
+			select {
+			case <-w.stop:
+				break drain
+			case v := <-w.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// pump loops forever; spawning it is the violation, judged through its
+// summary rather than its body at the go site.
+func (w *worker) pump() {
+	for {
+		<-w.work
+	}
+}
+
+func (w *worker) spawnsPump() {
+	go w.pump() // want `goroutine runs pump, which loops forever`
+}
+
+func (w *worker) callsPumpInBody() {
+	go func() {
+		w.pump() // want `goroutine calls pump, which loops forever`
+	}()
+}
+
+// bounded loops carry their own exit condition.
+func (w *worker) bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			<-w.work
+		}
+	}()
+}
+
+// rangesOverChannel exits when the channel closes — the session-pump
+// shape.
+func (w *worker) rangesOverChannel() {
+	go func() {
+		for v := range w.work {
+			_ = v
+		}
+	}()
+}

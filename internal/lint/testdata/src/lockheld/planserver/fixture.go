@@ -150,3 +150,34 @@ func (s *sharded) shardedSweep() {
 		os.Remove(id)
 	}
 }
+
+// removeSpill is the helper shape the summary layer sees through: the
+// unlink sits one call below the locked region.
+func (r *registry) removeSpill(path string) {
+	os.Remove(path)
+}
+
+// removesViaHelperUnderLock blocks interprocedurally: the call site is
+// flagged with the helper's own blocking reason.
+func (r *registry) removesViaHelperUnderLock(id string) {
+	r.mu.Lock()
+	r.removeSpill(r.paths[id]) // want `call into removeSpill \(os.Remove\) while holding r.mu`
+	r.mu.Unlock()
+}
+
+// notesWriter receives the ResponseWriter but never writes to it: its
+// clean summary overrides the writer-argument heuristic.
+func notesWriter(w http.ResponseWriter, id string) string {
+	if w == nil {
+		return ""
+	}
+	return id
+}
+
+// passesWriterToNonWriterUnderLock is sanctioned — before the summary
+// layer, handing the writer to any helper under a lock was flagged.
+func (r *registry) passesWriterToNonWriterUnderLock(w http.ResponseWriter, id string) {
+	r.mu.Lock()
+	r.paths[id] = notesWriter(w, id)
+	r.mu.Unlock()
+}

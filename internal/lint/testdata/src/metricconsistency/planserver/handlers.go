@@ -1,0 +1,30 @@
+package planserver
+
+import (
+	"fmt"
+	"net/http"
+)
+
+type server struct {
+	m metrics
+}
+
+func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	s.m.plansServed.Add(1)
+	s.m.plansEvicted.Add(1)
+	s.m.sampled.Add(1)
+	fmt.Fprintln(w, "ok")
+}
+
+// snapshot loads a field outside any response-writing function: reading
+// a value is not rendering it.
+func (s *server) snapshot() int64 {
+	return s.m.sampled.Load()
+}
+
+// handleMetrics is the exposition writer — identified by its summary
+// (it writes the response), not by name.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintf(w, "plans_served %d\n", s.m.plansServed.Load())
+	fmt.Fprintf(w, "plans_stale %d\n", s.m.plansStale.Load())
+}

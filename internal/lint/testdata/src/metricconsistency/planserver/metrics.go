@@ -1,0 +1,15 @@
+// Fixture: metricconsistency — every atomic metrics field updated is
+// rendered by the /metrics writer and vice versa. The check is
+// cross-file on purpose: the struct lives here, the handlers in
+// handlers.go. Loaded as "internal/planserver".
+package planserver
+
+import "sync/atomic"
+
+type metrics struct {
+	plansServed  atomic.Int64
+	plansEvicted atomic.Int64 // want `updated but never rendered`
+	plansStale   atomic.Int64 // want `rendered by the /metrics writer but never updated`
+	plansOrphan  atomic.Int64 // want `neither updated nor rendered`
+	sampled      atomic.Int64 // want `updated but never rendered`
+}

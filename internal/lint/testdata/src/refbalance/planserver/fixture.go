@@ -1,0 +1,94 @@
+// Fixture: refbalance — every refs.Add(1) acquire reaches release() or
+// an ownership transfer on all paths, error returns included. Loaded as
+// "internal/planserver".
+package planserver
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+var errFailed = errors.New("failed")
+
+type servedPlan struct {
+	refs atomic.Int64
+	info string
+}
+
+func (sp *servedPlan) release() {
+	if sp.refs.Add(-1) == 0 {
+		sp.info = ""
+	}
+}
+
+func releaseAll(sps []*servedPlan) {
+	for _, sp := range sps {
+		sp.release()
+	}
+}
+
+type cache struct {
+	plans map[string]*servedPlan
+}
+
+// acquireAndDrop takes a reference and forgets it.
+func (c *cache) acquireAndDrop(id string) {
+	sp := c.plans[id]
+	sp.refs.Add(1) // want `reference taken by sp.refs.Add\(1\) never reaches`
+}
+
+// acquireLeakOnError releases on the happy path but leaks on the error
+// return — the path class the churn suite only catches dynamically.
+func (c *cache) acquireLeakOnError(id string, fail bool) error {
+	sp := c.plans[id]
+	sp.refs.Add(1)
+	if fail {
+		return errFailed // want `return leaks "sp": no release or ownership transfer`
+	}
+	sp.release()
+	return nil
+}
+
+// deferredRelease is the worker shape: the reference drops however the
+// handler exits.
+func (c *cache) deferredRelease(id string, fail bool) error {
+	sp := c.plans[id]
+	sp.refs.Add(1)
+	defer sp.release()
+	if fail {
+		return errFailed
+	}
+	return nil
+}
+
+// guardedAcquire mirrors lookupPlan: the acquire happens under ok, the
+// not-ok branch returns with no reference to drop, and the caller
+// inherits the +1 through the return.
+func (c *cache) guardedAcquire(id string) (*servedPlan, bool) {
+	sp, ok := c.plans[id]
+	if ok {
+		sp.refs.Add(1)
+	}
+	if !ok {
+		return nil, false
+	}
+	return sp, true
+}
+
+// evictHandoff mirrors evict.go: victims collected under the lock are
+// released together after it, through a helper whose summary says it
+// drops references.
+func (c *cache) evictHandoff(id string) {
+	var victims []*servedPlan
+	sp := c.plans[id]
+	sp.refs.Add(1)
+	victims = append(victims, sp)
+	releaseAll(victims)
+}
+
+// storeTransfer parks the reference in a longer-lived owner.
+func (c *cache) storeTransfer(id string) {
+	sp := c.plans[id]
+	sp.refs.Add(1)
+	c.plans[id+"-pinned"] = sp
+}

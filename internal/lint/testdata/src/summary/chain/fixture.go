@@ -1,0 +1,82 @@
+// Fixture: a synthetic package exercising the call-graph summary layer
+// (callgraph.go) — direct facts, fixpoint propagation across the
+// intra-package call graph, and mutual recursion.
+package chain
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sync/atomic"
+)
+
+type ref struct {
+	refs atomic.Int64
+}
+
+func (r *ref) release() {
+	r.refs.Add(-1)
+}
+
+func releaseAll(rs []*ref) {
+	for _, r := range rs {
+		r.release()
+	}
+}
+
+func unlink(path string) {
+	os.Remove(path)
+}
+
+func sweep(path string) {
+	unlink(path)
+}
+
+func respond(w http.ResponseWriter) {
+	fmt.Fprintln(w, "ok")
+}
+
+func reply(w http.ResponseWriter) {
+	respond(w)
+}
+
+// note receives the writer but never writes: its summary must stay
+// clean — the precision the writer-argument heuristic alone cannot give.
+func note(w http.ResponseWriter) {
+	_ = w
+}
+
+func spinForever(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+func spinWrapper(ch chan int) {
+	spinForever(ch)
+}
+
+// ping and pong are mutually recursive; pong blocks, so the fixpoint
+// must mark both without diverging.
+func ping(n int, path string) {
+	if n > 0 {
+		pong(n-1, path)
+	}
+}
+
+func pong(n int, path string) {
+	os.Remove(path)
+	ping(n, path)
+}
+
+// spawner only starts a goroutine: the spawned body blocks, the spawner
+// does not.
+func spawner(path string) {
+	go func() {
+		os.Remove(path)
+	}()
+}
+
+func pure(a, b int) int {
+	return a + b
+}

@@ -440,6 +440,7 @@ func (s *Server) handlePlanUpload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if spillTracked {
 			s.mu.Lock()
+			//lint:allow lockheld the spill sweep's check-and-unlink must share this critical section — a racing upload of the same id could re-create the file between the ownership check and the remove
 			s.finishSpillLocked(id)
 			s.mu.Unlock()
 		}
@@ -448,20 +449,26 @@ func (s *Server) handlePlanUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	status := http.StatusCreated
 	var victims []*servedPlan
+	var loser *servedPlan
 	s.mu.Lock()
 	if existing, ok := s.plans[id]; ok {
 		// A concurrent identical upload won the insert race: serve its
 		// copy, and report 200 exactly as the sequential dedupe path does.
-		sp.discard()
-		sp, status = existing, http.StatusOK
+		// The loser's mapping is discarded after the unlock below — its
+		// munmap must not serialise other requests behind this section.
+		loser, sp, status = sp, existing, http.StatusOK
 		s.touchPlanLocked(existing)
 	} else {
 		victims = s.insertPlanLocked(sp)
 	}
 	if spillTracked {
+		//lint:allow lockheld the spill sweep's check-and-unlink must share this critical section — a racing upload of the same id could re-create the file between the ownership check and the remove
 		s.finishSpillLocked(id)
 	}
 	s.mu.Unlock()
+	if loser != nil {
+		loser.discard()
+	}
 	// The budgets' evictions unmap outside the lock, and only once the
 	// victims' last in-flight verifiers are done.
 	releaseAll(victims)
