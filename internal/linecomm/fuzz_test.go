@@ -26,9 +26,9 @@ func FuzzValidate(f *testing.F) {
 			t.Fatal("Valid() inconsistent with Violations")
 		}
 		// The streaming engines must classify identically, whatever the
-		// input: map engine via the plain GraphNetwork, bit-set engine
-		// via the dimensioned wrapper.
-		for _, streamNet := range []Network{net, dimNet{net, 4}} {
+		// input: map engine via the stripped wrapper, CSR engine via the
+		// bare GraphNetwork, bit-set engine via the dimensioned wrapper.
+		for _, streamNet := range []Network{plainNet{net}, net, dimNet{net, 4}} {
 			sres := ValidateStream(streamNet, k, s.Source, s.Stream())
 			if sres.Valid() != res.Valid() || sres.Informed != res.Informed ||
 				len(sres.Violations) != len(res.Violations) {

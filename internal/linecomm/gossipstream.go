@@ -17,9 +17,9 @@ import (
 // them, so the doubled gather-scatter schedule is never materialised. Per
 // round it runs the structural checks of checkGossipCall plus the
 // cross-call disjointness checks on flat bitvec-backed sets (hypercube
-// family) or per-round maps (general networks), retaining only the
-// (from, to) exchange pairs — two words per call instead of the full
-// paths.
+// family), slot-indexed bit sets (any SlottedNetwork — see csr.go), or
+// per-round maps (everything else), retaining only the (from, to)
+// exchange pairs — two words per call instead of the full paths.
 //
 // Knowledge tracking is the part that does not fit in memory at n >= 20:
 // a full token matrix is order^2 bits (128 GiB at n = 20). The streamed
@@ -97,6 +97,8 @@ func ValidateMultiSourceStream(net Network, k int, sources []uint64, rounds iter
 		dn.N() >= 1 && order <= maxStreamBits/uint64(dn.N()) &&
 		order <= uint64(1)<<uint(dn.N()) {
 		st = newGossipBitvecState(order, dn.N())
+	} else if sn, ok := slottedFor(net, order); ok {
+		st = newGossipCSRState(sn, order)
 	} else {
 		st = newGossipMapState()
 	}

@@ -170,7 +170,26 @@ type Network interface {
 	HasEdge(u, v uint64) bool
 }
 
-// GraphNetwork adapts graph.Graph to Network.
+// SlottedNetwork is a Network whose edges carry a dense slot numbering:
+// a bijection between edges and [0, NumEdgeSlots). Materialised CSR
+// graphs provide it for free (graph.Graph's eoff arrays), and it is what
+// upgrades an arbitrary network from the per-round map engine to the
+// flat csrState engine — every disjointness constraint indexed by slot
+// id instead of hashed edge keys. The contract binds EdgeSlot to
+// HasEdge: EdgeSlot(u, v) must report ok exactly when HasEdge(u, v),
+// and distinct edges must map to distinct slots.
+type SlottedNetwork interface {
+	Network
+	// NumEdgeSlots returns the size of the slot universe (the number of
+	// edges).
+	NumEdgeSlots() int
+	// EdgeSlot maps the edge {u, v}, in either endpoint order, to its
+	// slot; ok is false for non-edges.
+	EdgeSlot(u, v uint64) (slot int, ok bool)
+}
+
+// GraphNetwork adapts graph.Graph to Network (and SlottedNetwork: the
+// CSR arrays carry the edge-slot numbering).
 type GraphNetwork struct{ G *graph.Graph }
 
 // Order implements Network.
@@ -178,6 +197,18 @@ func (g GraphNetwork) Order() uint64 { return uint64(g.G.NumVertices()) }
 
 // HasEdge implements Network.
 func (g GraphNetwork) HasEdge(u, v uint64) bool { return g.G.HasEdge(int(u), int(v)) }
+
+// NumEdgeSlots implements SlottedNetwork.
+func (g GraphNetwork) NumEdgeSlots() int { return g.G.NumEdgeSlots() }
+
+// EdgeSlot implements SlottedNetwork.
+func (g GraphNetwork) EdgeSlot(u, v uint64) (int, bool) {
+	order := uint64(g.G.NumVertices())
+	if u >= order || v >= order {
+		return 0, false
+	}
+	return g.G.EdgeSlot(int(u), int(v))
+}
 
 // ViolationKind classifies validator findings.
 type ViolationKind int

@@ -11,7 +11,7 @@ import (
 
 // dimHypercube wraps the materialised Q_n as a DimensionedNetwork so the
 // range tests exercise the bitvec engine; the bare GraphNetwork form
-// exercises the map engine.
+// exercises the CSR engine and the stripped plainNet form the map engine.
 type dimHypercube struct {
 	GraphNetwork
 	n int
@@ -56,7 +56,7 @@ func validateInRanges(net Network, k int, source uint64, s *Schedule, workers in
 // TestRangeValidationMatchesSerial: splitting a schedule into seeded
 // round ranges and merging must reproduce the serial ValidateStream
 // Result exactly — on the intact schedule and on every catalogue
-// mutation, under both disjointness engines.
+// mutation, under all three disjointness engines.
 func TestRangeValidationMatchesSerial(t *testing.T) {
 	const n = 6
 	g := topo.Hypercube(n)
@@ -64,7 +64,8 @@ func TestRangeValidationMatchesSerial(t *testing.T) {
 		name string
 		net  Network
 	}{
-		{"map-engine", GraphNetwork{G: g}},
+		{"map-engine", plainNet{GraphNetwork{G: g}}},
+		{"csr-engine", GraphNetwork{G: g}},
 		{"bitvec-engine", dimHypercube{GraphNetwork{G: g}, n}},
 	} {
 		t.Run(net.name, func(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"sparsehypercube/internal/bitvec"
+	"sparsehypercube/internal/graph"
 )
 
 // This file is the streaming half of the validator: ValidateStream
@@ -23,13 +24,15 @@ import (
 //     records, in call order, so the produced Result is byte-for-byte
 //     identical to the sequential Validate.
 //
-// On hypercube-family networks (DimensionedNetwork) with Definition 1
-// capacities the merge phase replaces the per-round map[edgeKey]/receiver
-// maps with flat bitvec-backed disjointness sets: edge slots indexed by
-// vertex*n + dim, receivers and callers by vertex. Everything else —
-// generalised capacities, arbitrary Network implementations, huge vertex
-// spaces — falls back to the same per-round maps the sequential validator
-// uses, still streamed and still sharded in phase 1.
+// The merge phase picks one of three disjointness engines (newRoundState):
+// on hypercube-family networks (DimensionedNetwork) with Definition 1
+// capacities, flat bitvec-backed sets with edge slots indexed by
+// vertex*n + dim; on any network carrying a dense edge numbering
+// (SlottedNetwork — materialised CSR graphs qualify automatically), the
+// slot-indexed csrState in csr.go, generalised capacities included; and
+// for everything else the same per-round maps the sequential validator
+// uses (mapState, the differential suite's reference engine), still
+// streamed and still sharded in phase 1.
 
 // DimensionedNetwork is a Network whose vertices are n-bit addresses and
 // whose edges each connect vertices differing in exactly one bit:
@@ -89,7 +92,9 @@ func ValidateStreamOpts(net Network, k int, source uint64, rounds iter.Seq[Round
 
 // newRoundState picks the disjointness engine for one validation run:
 // flat bit sets on dimensioned networks under Definition 1 capacities,
-// the general per-round maps otherwise.
+// the slot-indexed CSR engine on any network that carries a dense edge
+// numbering (generalised capacities included), the per-round reference
+// maps otherwise.
 func newRoundState(net Network, order, source uint64, opts Options) roundState {
 	if dn, ok := net.(DimensionedNetwork); ok &&
 		opts.EdgeCapacity == 1 && opts.ReceiverCapacity == 1 &&
@@ -98,6 +103,9 @@ func newRoundState(net Network, order, source uint64, opts Options) roundState {
 		// width would alias edge slots): fall back to the map engine.
 		order <= uint64(1)<<uint(dn.N()) {
 		return newBitvecState(order, dn.N(), source)
+	}
+	if sn, ok := slottedFor(net, order); ok {
+		return newCSRState(sn, order, source, opts)
 	}
 	return newMapState(source, opts)
 }
@@ -133,6 +141,19 @@ type roundState interface {
 	seedInformed(vs []uint64)
 }
 
+// slotIndexedState is the optional roundState extension the CSR engine
+// implements: the state exposes its slot numbering so the (sharded)
+// fill phase can resolve each hop's edge slot once — EdgeSlot doubles
+// as the edge-existence check, by the SlottedNetwork contract — and the
+// serial merge phase consumes the resolved slots without re-searching
+// the adjacency structure.
+type slotIndexedState interface {
+	roundState
+	slottedNet() SlottedNetwork
+	// edgeUseSlot is edgeUse for a pre-resolved slot id.
+	edgeUseSlot(slot int) bool
+}
+
 // streamValidator drives the fill/merge cycle and owns the reusable
 // buffers, so steady-state validation of a valid schedule allocates
 // (amortised) nothing per call.
@@ -148,9 +169,33 @@ type streamValidator struct {
 	stages     []uint8
 	shardViols [][]Violation
 	violBuf    []Violation
+
+	// Slot-indexed fast path (slotIndexedState engines only): hopOff[i]
+	// indexes call i of the current block into slots, where the fill
+	// workers record each hop's resolved edge slot.
+	slotInit bool
+	slotSt   slotIndexedState
+	sn       SlottedNetwork
+	gg       *graph.Graph // devirtualised slot source when sn is a GraphNetwork
+	hopOff   []int32
+	slots    []int32
 }
 
 func (v *streamValidator) validateRound(ri int, round Round) {
+	if !v.slotInit {
+		v.slotInit = true
+		if v.fillShards <= 0 {
+			// Resolved once: GOMAXPROCS takes a runtime lock, and this
+			// sits on the per-round path of many-round schedules.
+			v.fillShards = runtime.GOMAXPROCS(0)
+		}
+		if ss, ok := v.st.(slotIndexedState); ok {
+			v.slotSt, v.sn = ss, ss.slottedNet()
+			if gn, ok := v.sn.(GraphNetwork); ok {
+				v.gg = gn.G
+			}
+		}
+	}
 	v.st.beginRound(round)
 	for base := 0; base < len(round); base += streamBlock {
 		blk := round[base:min(base+streamBlock, len(round))]
@@ -170,10 +215,28 @@ func (v *streamValidator) fillBlock(ri, base int, blk Round) ([]uint8, []Violati
 	}
 	stages := v.stages[:len(blk)]
 
-	workers := v.fillShards
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if v.sn != nil {
+		// Prefix-sum the hop counts so fill workers write resolved slots
+		// into disjoint regions of one flat buffer.
+		if cap(v.hopOff) < len(blk)+1 {
+			v.hopOff = make([]int32, len(blk)+1)
+		}
+		v.hopOff = v.hopOff[:len(blk)+1]
+		total := int32(0)
+		for i, c := range blk {
+			v.hopOff[i] = total
+			if h := len(c.Path) - 1; h > 0 {
+				total += int32(h)
+			}
+		}
+		v.hopOff[len(blk)] = total
+		if cap(v.slots) < int(total) {
+			v.slots = make([]int32, total)
+		}
+		v.slots = v.slots[:total]
 	}
+
+	workers := v.fillShards
 	if w := (len(blk) + streamShardChunk - 1) / streamShardChunk; w < workers {
 		workers = w
 	}
@@ -210,14 +273,20 @@ func (v *streamValidator) fillBlock(ri, base int, blk Round) ([]uint8, []Violati
 // checkCalls is the fill-phase worker body for calls [lo, hi) of blk.
 func (v *streamValidator) checkCalls(ri, base int, blk Round, lo, hi int, stages []uint8, out []Violation) []Violation {
 	for i := lo; i < hi; i++ {
-		stages[i], out = v.checkCall(ri, base+i, blk[i], out)
+		var hopSlots []int32
+		if v.sn != nil {
+			hopSlots = v.slots[v.hopOff[i]:v.hopOff[i+1]]
+		}
+		stages[i], out = v.checkCall(ri, base+i, blk[i], hopSlots, out)
 	}
 	return out
 }
 
 // checkCall mirrors the sequential validator's per-call structural
-// section, including its violation order and early-exit points.
-func (v *streamValidator) checkCall(ri, ci int, call Call, out []Violation) (uint8, []Violation) {
+// section, including its violation order and early-exit points. On
+// slot-indexed engines hopSlots receives each hop's resolved edge slot
+// (valid whenever the returned stage is stageFull).
+func (v *streamValidator) checkCall(ri, ci int, call Call, hopSlots []int32, out []Violation) (uint8, []Violation) {
 	if len(call.Path) < 2 {
 		return stageSkip, append(out, Violation{ri, ci, PathInvalid,
 			fmt.Sprintf("path has %d vertices", len(call.Path))})
@@ -234,11 +303,33 @@ func (v *streamValidator) checkCall(ri, ci int, call Call, out []Violation) (uin
 		return stageSkip, out
 	}
 	out, bad = appendRepeatViolations(out, ri, ci, call.Path)
-	for i := 1; i < len(call.Path); i++ {
-		if !v.net.HasEdge(call.Path[i-1], call.Path[i]) {
-			out = append(out, Violation{ri, ci, PathInvalid,
-				fmt.Sprintf("no edge {%d,%d}", call.Path[i-1], call.Path[i])})
-			bad = true
+	if v.sn != nil {
+		// EdgeSlot is the edge-existence check on slotted networks; the
+		// resolved slot is kept for the merge phase. Path vertices are
+		// already known in range, so the devirtualised graph call is safe.
+		for i := 1; i < len(call.Path); i++ {
+			var s int
+			var ok bool
+			if v.gg != nil {
+				s, ok = v.gg.EdgeSlot(int(call.Path[i-1]), int(call.Path[i]))
+			} else {
+				s, ok = v.sn.EdgeSlot(call.Path[i-1], call.Path[i])
+			}
+			if !ok {
+				out = append(out, Violation{ri, ci, PathInvalid,
+					fmt.Sprintf("no edge {%d,%d}", call.Path[i-1], call.Path[i])})
+				bad = true
+				continue
+			}
+			hopSlots[i-1] = int32(s)
+		}
+	} else {
+		for i := 1; i < len(call.Path); i++ {
+			if !v.net.HasEdge(call.Path[i-1], call.Path[i]) {
+				out = append(out, Violation{ri, ci, PathInvalid,
+					fmt.Sprintf("no edge {%d,%d}", call.Path[i-1], call.Path[i])})
+				bad = true
+			}
 		}
 	}
 	if call.Length() > v.k {
@@ -308,12 +399,24 @@ func (v *streamValidator) mergeBlock(ri, base int, blk Round, stages []uint8, vi
 		if stages[i] != stageFull {
 			continue
 		}
-		for h := 1; h < len(call.Path); h++ {
-			if v.st.edgeUse(call.Path[h-1], call.Path[h]) {
-				e := mkEdge(call.Path[h-1], call.Path[h])
-				v.res.Violations = append(v.res.Violations, Violation{ri, ci, EdgeConflict,
-					fmt.Sprintf("edge {%d,%d} used %d times, capacity %d",
-						e.u, e.v, v.opts.EdgeCapacity+1, v.opts.EdgeCapacity)})
+		if v.slotSt != nil {
+			hs := v.slots[v.hopOff[i]:v.hopOff[i+1]]
+			for h := 1; h < len(call.Path); h++ {
+				if v.slotSt.edgeUseSlot(int(hs[h-1])) {
+					e := mkEdge(call.Path[h-1], call.Path[h])
+					v.res.Violations = append(v.res.Violations, Violation{ri, ci, EdgeConflict,
+						fmt.Sprintf("edge {%d,%d} used %d times, capacity %d",
+							e.u, e.v, v.opts.EdgeCapacity+1, v.opts.EdgeCapacity)})
+				}
+			}
+		} else {
+			for h := 1; h < len(call.Path); h++ {
+				if v.st.edgeUse(call.Path[h-1], call.Path[h]) {
+					e := mkEdge(call.Path[h-1], call.Path[h])
+					v.res.Violations = append(v.res.Violations, Violation{ri, ci, EdgeConflict,
+						fmt.Sprintf("edge {%d,%d} used %d times, capacity %d",
+							e.u, e.v, v.opts.EdgeCapacity+1, v.opts.EdgeCapacity)})
+				}
 			}
 		}
 		to := call.Path[len(call.Path)-1]
@@ -331,8 +434,11 @@ func (v *streamValidator) mergeBlock(ri, base int, blk Round, stages []uint8, vi
 }
 
 // mapState is the general-purpose round state: the same per-round hash
-// maps the sequential validator uses, for arbitrary networks and
-// generalised capacities.
+// maps the sequential validator uses, for networks that carry no edge
+// numbering (or exceed the flat engines' size caps). It doubles as the
+// reference engine the differential suite crosschecks csrState against.
+// The maps are allocated once and cleared — not remade — between
+// rounds, so a steady-state round costs no allocations.
 type mapState struct {
 	opts     Options
 	informed map[uint64]bool
@@ -343,7 +449,13 @@ type mapState struct {
 }
 
 func newMapState(source uint64, opts Options) *mapState {
-	return &mapState{opts: opts, informed: map[uint64]bool{source: true}}
+	return &mapState{
+		opts:     opts,
+		informed: map[uint64]bool{source: true},
+		edges:    make(map[edgeKey]int),
+		recvs:    make(map[uint64]int),
+		callers:  make(map[uint64]int),
+	}
 }
 
 func (m *mapState) isInformed(v uint64) bool { return m.informed[v] }
@@ -355,9 +467,9 @@ func (m *mapState) seedInformed(vs []uint64) {
 }
 
 func (m *mapState) beginRound(r Round) {
-	m.edges = make(map[edgeKey]int, len(r)*2)
-	m.recvs = make(map[uint64]int, len(r))
-	m.callers = make(map[uint64]int, len(r))
+	clear(m.edges)
+	clear(m.recvs)
+	clear(m.callers)
 	m.newly = m.newly[:0]
 }
 
@@ -386,7 +498,6 @@ func (m *mapState) endRound() uint64 {
 	for _, v := range m.newly {
 		m.informed[v] = true
 	}
-	m.edges, m.recvs, m.callers = nil, nil, nil
 	return uint64(len(m.informed))
 }
 

@@ -19,11 +19,23 @@ type dimNet struct {
 
 func (d dimNet) N() int { return d.n }
 
-// engines returns the same Q_n network twice: once routed to the map
-// engine, once to the bit-set engine.
+// plainNet strips a GraphNetwork down to the bare Network interface so
+// the validator cannot see its slot numbering and falls back to the map
+// engine. Tests use it to keep mapState covered now that a bare
+// GraphNetwork routes to the CSR engine.
+type plainNet struct {
+	g GraphNetwork
+}
+
+func (p plainNet) Order() uint64            { return p.g.Order() }
+func (p plainNet) HasEdge(u, v uint64) bool { return p.g.HasEdge(u, v) }
+
+// engines returns the same Q_n network three times, one per
+// disjointness engine: wrapped so only the map engine applies, bare so
+// the CSR engine applies, and dimensioned for the bit-set engine.
 func engines(n int) map[string]Network {
 	g := GraphNetwork{G: topo.Hypercube(n)}
-	return map[string]Network{"map": g, "bitvec": dimNet{g, n}}
+	return map[string]Network{"map": plainNet{g}, "csr": g, "bitvec": dimNet{g, n}}
 }
 
 // mustMatchSerial asserts that the streaming validator reproduces the
@@ -162,8 +174,9 @@ func last(p []uint64) (uint64, bool) {
 
 // TestValidateStreamInconsistentWidthFallsBack wraps Q_n with a lying
 // address width (Order > 1<<N). The engine selection must reject the
-// contract violation and fall back to the map engine, so the Result
-// still matches serial instead of aliasing edge slots.
+// contract violation and fall back (to the CSR engine, since the
+// underlying GraphNetwork still carries a valid slot numbering), so the
+// Result still matches serial instead of aliasing edge slots.
 func TestValidateStreamInconsistentWidthFallsBack(t *testing.T) {
 	const n = 6
 	g := GraphNetwork{G: topo.Hypercube(n)}
@@ -184,25 +197,28 @@ func TestValidateStreamSourceOutOfRange(t *testing.T) {
 func TestValidateStreamOptsGeneralisedCapacities(t *testing.T) {
 	// Two calls over the same edge and onto the same receiver: illegal
 	// under Definition 1, legal with capacity 2. The capacity-2 model
-	// routes to the map engine; crosscheck against serial ValidateOpts.
-	net := engines(3)["bitvec"]
+	// skips the bit-set engine (capacity-1 only) and lands on the CSR
+	// engine's per-slot counters — or on the map engine for the wrapped
+	// net; crosscheck every engine against serial ValidateOpts.
 	s := &Schedule{Source: 0, Rounds: []Round{
 		{{Path: []uint64{0, 1}}},
 		{{Path: []uint64{0, 1, 3}}, {Path: []uint64{1, 3}}},
 	}}
 	opts := Options{EdgeCapacity: 2, ReceiverCapacity: 2, AllowInformedReceiver: true}
-	want := ValidateOpts(net, 2, s, opts)
-	got := ValidateStreamOpts(net, 2, s.Source, s.Stream(), opts)
-	if !reflect.DeepEqual(want, got) {
-		t.Fatalf("capacity-2 stream diverges:\nserial: %+v\nstream: %+v", want, got)
-	}
-	if len(got.Violations) != 0 {
-		t.Fatalf("capacity-2 model should accept the dilated round: %v", got.Err())
-	}
-	// Same schedule under Definition 1 must flag both conflicts.
-	res := ValidateStream(net, 2, s.Source, s.Stream())
-	if res.Valid() {
-		t.Fatal("Definition 1 should reject the dilated round")
+	for name, net := range engines(3) {
+		want := ValidateOpts(net, 2, s, opts)
+		got := ValidateStreamOpts(net, 2, s.Source, s.Stream(), opts)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: capacity-2 stream diverges:\nserial: %+v\nstream: %+v", name, want, got)
+		}
+		if len(got.Violations) != 0 {
+			t.Fatalf("%s: capacity-2 model should accept the dilated round: %v", name, got.Err())
+		}
+		// Same schedule under Definition 1 must flag both conflicts.
+		res := ValidateStream(net, 2, s.Source, s.Stream())
+		if res.Valid() {
+			t.Fatalf("%s: Definition 1 should reject the dilated round", name)
+		}
 	}
 }
 

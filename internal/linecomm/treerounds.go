@@ -1,0 +1,110 @@
+package linecomm
+
+import (
+	"iter"
+
+	"sparsehypercube/internal/graph"
+)
+
+// TreeRounds yields a k = 1 broadcast schedule on an arbitrary graph,
+// round by round: a BFS spanning tree is built from source, and in each
+// round every informed vertex that still has uninformed tree children
+// calls the next one. The schedule is valid under Definition 1 —
+// receivers are distinct (each child is called exactly once), calls are
+// edge-disjoint (tree edges are distinct), callers are informed, one
+// call per caller per round — and informs every vertex reachable from
+// source, so on a connected graph it is complete. It is the general-
+// graph workload of the CSR engine's differential suite and of
+// benchtab's map-vs-CSR curve.
+//
+// The yielded round and its call paths reuse storage between
+// iterations; use CloneRound to retain one. An out-of-range source
+// yields nothing.
+func TreeRounds(g *graph.Graph, source uint64) iter.Seq[Round] {
+	return func(yield func(Round) bool) {
+		n := g.NumVertices()
+		if source >= uint64(n) {
+			return
+		}
+		// BFS from source; children of v are the vertices v first reached.
+		parent := make([]int32, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		order := make([]int32, 0, n) // vertices in BFS discovery order
+		parent[source] = int32(source)
+		order = append(order, int32(source))
+		for head := 0; head < len(order); head++ {
+			v := order[head]
+			for _, w := range g.Neighbors(int(v)) {
+				if parent[w] < 0 {
+					parent[w] = v
+					order = append(order, w)
+				}
+			}
+		}
+		// children[off[v]:off[v+1]] in discovery order: earlier-found
+		// children are informed first, keeping rounds frontier-shaped.
+		deg := make([]int32, n+1)
+		for _, v := range order[1:] {
+			deg[parent[v]+1]++
+		}
+		off := make([]int32, n+1)
+		for v := 1; v <= n; v++ {
+			off[v] = off[v-1] + deg[v]
+		}
+		children := make([]int32, off[n])
+		cursor := make([]int32, n)
+		copy(cursor, off[:n])
+		for _, v := range order[1:] {
+			p := parent[v]
+			children[cursor[p]] = v
+			cursor[p]++
+		}
+		// Simulate: informed vertices in the order they were informed,
+		// each with a cursor over its remaining children. One arena and
+		// one Round buffer are reused across rounds.
+		next := make([]int32, n)
+		copy(next, off[:n])
+		informed := make([]int32, 0, n)
+		informed = append(informed, int32(source))
+		var (
+			round Round
+			arena []uint64
+		)
+		for {
+			calls := 0
+			for _, v := range informed {
+				if next[v] < off[v+1] {
+					calls++
+				}
+			}
+			if calls == 0 {
+				return
+			}
+			if cap(round) < calls {
+				round = make(Round, calls)
+				arena = make([]uint64, 2*calls)
+			}
+			round = round[:calls]
+			arena = arena[:2*calls]
+			ci := 0
+			nInformed := len(informed)
+			for _, v := range informed[:nInformed] {
+				if next[v] == off[v+1] {
+					continue
+				}
+				w := children[next[v]]
+				next[v]++
+				arena[2*ci] = uint64(v)
+				arena[2*ci+1] = uint64(w)
+				round[ci] = Call{Path: arena[2*ci : 2*ci+2 : 2*ci+2]}
+				informed = append(informed, w)
+				ci++
+			}
+			if !yield(round) {
+				return
+			}
+		}
+	}
+}

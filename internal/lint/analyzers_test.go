@@ -21,6 +21,12 @@ func TestStreamDisciplineFacadeAllowed(t *testing.T) {
 	linttest.Run(t, lint.StreamDiscipline, "testdata/src/streamdiscipline/facade", "facade")
 }
 
+func TestStreamDisciplineLinecommFixture(t *testing.T) {
+	// File-scoped restriction: csr.go is a stream-validator file and
+	// carries wants; json.go holds the same constructs sanctioned.
+	linttest.Run(t, lint.StreamDiscipline, "testdata/src/streamdiscipline/linecomm", "internal/linecomm")
+}
+
 func TestBoundedAllocFixture(t *testing.T) {
 	linttest.Run(t, lint.BoundedAlloc, "testdata/src/boundedalloc/decoder", "decoder")
 }

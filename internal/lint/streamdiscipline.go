@@ -12,8 +12,8 @@ import (
 // a snapshot), to examples, and to tests.
 //
 // Restricted scope: internal/planserver, internal/analysis, and the
-// linecomm stream validators (stream.go, gossipstream.go, range.go).
-// Flagged there:
+// linecomm stream validators (stream.go, gossipstream.go, range.go,
+// csr.go, treerounds.go). Flagged there:
 //
 //   - Plan.Materialize calls
 //   - Schedule composite literals (sparsehypercube.Schedule and
@@ -32,6 +32,8 @@ var streamValidatorFiles = map[string]bool{
 	"stream.go":       true,
 	"gossipstream.go": true,
 	"range.go":        true,
+	"csr.go":          true,
+	"treerounds.go":   true,
 }
 
 func runStreamDiscipline(pass *Pass) {

@@ -1,0 +1,37 @@
+// Fixture: streamdiscipline violations inside a stream-validator file
+// of the linecomm package. The file name matters — csr.go is on the
+// streamValidatorFiles list, so the same constructs that json.go (this
+// fixture's sibling) may use freely are flagged here.
+package linecomm
+
+import (
+	"bytes"
+
+	"sparsehypercube"
+	lc "sparsehypercube/internal/linecomm"
+	"sparsehypercube/internal/schedio"
+)
+
+func materialisesInEngine(plan *sparsehypercube.Plan) int {
+	sched := plan.Materialize() // want `Plan.Materialize in a streaming hot path`
+	return len(sched.Rounds)
+}
+
+func buildsScheduleInEngine(rounds []lc.Round) *lc.Schedule {
+	return &lc.Schedule{Source: 0, Rounds: rounds} // want `Schedule literal in a streaming hot path`
+}
+
+func decodesAllInEngine(data []byte) error {
+	_, _, err := schedio.DecodeAll(bytes.NewReader(data)) // want `schedio.DecodeAll materialises the whole plan`
+	return err
+}
+
+// streamsProperly is the sanctioned engine pattern: one round in flight
+// at a time, never the whole schedule.
+func streamsProperly(plan *sparsehypercube.Plan) int {
+	rounds := 0
+	for range plan.Rounds() {
+		rounds++
+	}
+	return rounds
+}

@@ -1,0 +1,186 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sparsehypercube/internal/graph"
+)
+
+// Random graph families for the general-graph (CSR engine) workloads:
+// the differential validator suite and benchtab's map-vs-CSR curve need
+// connected sparse graphs that are nothing like hypercubes — random
+// regular graphs (the Fraigniaud–Harutyunyan sparse-broadcast regime)
+// and random k-trees (the Hollander Shabtai–Roditty line-broadcast
+// topology), plus the Erdős–Rényi and tree-plus-chords mixes the tests
+// sweep. All constructions are deterministic in (parameters, seed).
+
+// Gnp returns an Erdős–Rényi G(n, p) sample: every unordered pair is an
+// edge independently with probability p. O(n^2) — intended for test
+// sizes. The sample may be disconnected.
+func Gnp(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// RandomConnected returns a connected graph on n vertices: a random
+// recursive tree (vertex v attaches to a uniform earlier vertex) plus
+// extra uniformly random chords (duplicates coalesce, so the realised
+// chord count can be lower).
+func RandomConnected(n, extra int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, rng.Intn(v))
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Finish()
+}
+
+// RandomRegular returns a uniform-ish random d-regular simple graph on n
+// vertices via the configuration (pairing) model with edge-swap repair:
+// d stubs per vertex are paired uniformly, then self-loops and duplicate
+// edges are removed by swapping endpoints with uniformly chosen partner
+// edges (each swap preserves the degree sequence). Requires 0 <= d < n
+// and n*d even. The result can in principle be disconnected for tiny d;
+// for d >= 3 it essentially never is.
+func RandomRegular(n, d int, seed int64) *graph.Graph {
+	if d < 0 || d >= n || n*d%2 != 0 {
+		panic(fmt.Sprintf("topo: RandomRegular(%d, %d) needs 0 <= d < n and n*d even", n, d))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := n * d / 2
+	stubs := make([]int32, n*d)
+	for v := 0; v < n; v++ {
+		for j := 0; j < d; j++ {
+			stubs[v*d+j] = int32(v)
+		}
+	}
+	edges := make([][2]int32, m)
+	key := func(u, v int32) [2]int32 {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int32{u, v}
+	}
+	for {
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		cnt := make(map[[2]int32]int, m)
+		for i := range edges {
+			edges[i] = key(stubs[2*i], stubs[2*i+1])
+			cnt[edges[i]]++
+		}
+		bad := func(e [2]int32) bool { return e[0] == e[1] || cnt[e] > 1 }
+		// Swap repair: each pass visits the offending edges and tries to
+		// swap each with a random partner; degree sequence is invariant.
+		repaired := false
+		for pass := 0; pass < 200 && !repaired; pass++ {
+			repaired = true
+			for i := range edges {
+				if !bad(edges[i]) {
+					continue
+				}
+				repaired = false
+				for try := 0; try < 50; try++ {
+					j := rng.Intn(m)
+					if j == i {
+						continue
+					}
+					a, b1 := edges[i][0], edges[i][1]
+					c, d1 := edges[j][0], edges[j][1]
+					// Propose {a,c} and {b1,d1} (or the cross pairing).
+					if rng.Intn(2) == 1 {
+						c, d1 = d1, c
+					}
+					e1, e2 := key(a, c), key(b1, d1)
+					if e1[0] == e1[1] || e2[0] == e2[1] {
+						continue
+					}
+					// Reject if either proposal already exists (beyond the
+					// two edges being retired).
+					cnt[edges[i]]--
+					cnt[edges[j]]--
+					if cnt[e1] > 0 || cnt[e2] > 0 || e1 == e2 {
+						cnt[edges[i]]++
+						cnt[edges[j]]++
+						continue
+					}
+					cnt[e1]++
+					cnt[e2]++
+					edges[i], edges[j] = e1, e2
+					break
+				}
+			}
+		}
+		if !repaired {
+			continue // pathological shuffle: start over
+		}
+		b := graph.NewBuilder(n)
+		for _, e := range edges {
+			b.AddEdge(int(e[0]), int(e[1]))
+		}
+		return b.Finish()
+	}
+}
+
+// RandomKTree returns a random k-tree on n vertices: vertices 0..k form
+// a (k+1)-clique, and every later vertex is joined to the k vertices of
+// a uniformly chosen existing k-clique (the standard Markov growth
+// process, the topology of the Hollander Shabtai–Roditty line-broadcast
+// model). Requires n >= k+1 and k >= 1. The result is connected with
+// exactly k*(k+1)/2 + (n-k-1)*k edges: the base clique plus k per later
+// vertex.
+func RandomKTree(n, k int, seed int64) *graph.Graph {
+	if k < 1 || n < k+1 {
+		panic(fmt.Sprintf("topo: RandomKTree(%d, %d) needs k >= 1 and n >= k+1", n, k))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u <= k; u++ {
+		for v := u + 1; v <= k; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	// The k-cliques of the current k-tree, flat: clique i is
+	// cliques[i*k : (i+1)*k]. The base (k+1)-clique contributes its k+1
+	// k-subsets.
+	cliques := make([]int32, 0, (1+(k+1)+(n-k-1)*k)*k)
+	for drop := 0; drop <= k; drop++ {
+		for u := 0; u <= k; u++ {
+			if u != drop {
+				cliques = append(cliques, int32(u))
+			}
+		}
+	}
+	for v := k + 1; v < n; v++ {
+		ci := rng.Intn(len(cliques) / k)
+		c := cliques[ci*k : (ci+1)*k]
+		for _, u := range c {
+			b.AddEdge(v, int(u))
+		}
+		// New k-cliques: c with each member replaced by v.
+		for drop := 0; drop < k; drop++ {
+			for i, u := range c {
+				if i == drop {
+					cliques = append(cliques, int32(v))
+				} else {
+					cliques = append(cliques, u)
+				}
+			}
+		}
+	}
+	return b.Finish()
+}
